@@ -1,0 +1,88 @@
+// Command isqbench runs the paper's evaluation tasks and prints each
+// regenerated figure as a text table (or CSV).
+//
+// Usage:
+//
+//	isqbench [-task A|B1..B7|all] [-datasets SYN5,MZB,...] [-engines ...]
+//	         [-objects 1000] [-queries 10] [-k 10] [-seed 1] [-csv]
+//
+// Examples:
+//
+//	isqbench -task A                 # model size + construction time
+//	isqbench -task B5 -datasets CPH  # SPDQ vs s2t on the airport
+//	isqbench -task all -csv > results.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"indoorsq/internal/bench"
+)
+
+func main() {
+	var (
+		task     = flag.String("task", "all", "evaluation task: A, B1..B7, or all")
+		datasets = flag.String("datasets", "", "comma-separated dataset subset for B2-B5 (default: paper's)")
+		engines  = flag.String("engines", "", "comma-separated engine subset (default: all five)")
+		objects  = flag.Int("objects", 1000, "default object count |O|")
+		queries  = flag.Int("queries", 10, "query instances per setting")
+		k        = flag.Int("k", 10, "default k for kNNQ")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		csv      = flag.Bool("csv", false, "emit CSV instead of text tables")
+	)
+	flag.Parse()
+
+	s := bench.NewSuite()
+	s.Objects = *objects
+	s.Queries = *queries
+	s.K = *k
+	s.Seed = *seed
+	if *engines != "" {
+		s.Engines = strings.Split(*engines, ",")
+	}
+
+	tasks := bench.Tasks()
+	if *task != "all" {
+		tasks = strings.Split(*task, ",")
+	}
+
+	for _, tk := range tasks {
+		start := time.Now()
+		var (
+			series []*bench.Series
+			err    error
+		)
+		switch {
+		case *datasets != "" && (tk == "B2" || tk == "B3" || tk == "B4" || tk == "B5"):
+			ds := strings.Split(*datasets, ",")
+			switch tk {
+			case "B2":
+				series, err = s.RunB2(ds)
+			case "B3":
+				series, err = s.RunB3(ds)
+			case "B4":
+				series, err = s.RunB4(ds)
+			case "B5":
+				series, err = s.RunB5(ds)
+			}
+		case *datasets != "" && tk == "A":
+			series, err = s.RunA(strings.Split(*datasets, ","))
+		default:
+			series, err = s.RunTask(tk)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "isqbench: task %s: %v\n", tk, err)
+			os.Exit(1)
+		}
+		if *csv {
+			bench.WriteAllCSV(os.Stdout, series)
+		} else {
+			fmt.Printf("== Task %s (%.1fs) ==\n\n", tk, time.Since(start).Seconds())
+			bench.WriteAll(os.Stdout, series)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+// Command isqgen exports benchmark datasets as JSON space files (the
+// interchange format of EncodeSpace/DecodeSpace), so other tools — or other
+// implementations — can consume the exact venues this repository benchmarks.
+//
+// Usage:
+//
+//	isqgen -dataset SYN5 -out syn5.json
+//	isqgen -dataset CPH            # writes CPH.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"indoorsq/internal/dataset"
+	"indoorsq/internal/indoor"
+)
+
+func main() {
+	var (
+		ds  = flag.String("dataset", "CPH", "dataset to export")
+		out = flag.String("out", "", "output file (default <dataset>.json)")
+	)
+	flag.Parse()
+
+	info, err := dataset.Build(*ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path = *ds + ".json"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := indoor.EncodeSpace(f, info.Space); err != nil {
+		log.Fatal(err)
+	}
+	st := info.Space.SpaceStats(info.Gamma)
+	fmt.Printf("wrote %s: %d partitions, %d doors, %d floors\n",
+		path, st.Partitions, st.Doors, st.Floors)
+}

@@ -1,0 +1,101 @@
+// Command isqmap renders one floor of a dataset (or of a JSON-encoded
+// space) as SVG: partitions colored by kind, doors as dots (virtual doors
+// hollow, unidirectional doors as arrows). Useful for eyeballing the
+// generated floorplans against the paper's Figure 6.
+//
+// Usage:
+//
+//	isqmap -dataset SYN5 -floor 0 > syn5.svg
+//	isqmap -in space.json -floor 2 > floor2.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"indoorsq/internal/dataset"
+	"indoorsq/internal/indoor"
+)
+
+func main() {
+	var (
+		ds    = flag.String("dataset", "CPH", "dataset to render")
+		in    = flag.String("in", "", "JSON space file (overrides -dataset)")
+		floor = flag.Int("floor", 0, "floor to render")
+		scale = flag.Float64("scale", 0.5, "pixels per meter")
+	)
+	flag.Parse()
+
+	var sp *indoor.Space
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		sp, err = indoor.DecodeSpace(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		info, err := dataset.Build(*ds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sp = info.Space
+	}
+	render(os.Stdout, sp, int16(*floor), *scale)
+}
+
+func render(w *os.File, sp *indoor.Space, floor int16, scale float64) {
+	ids := sp.OnFloor(floor)
+	if len(ids) == 0 {
+		log.Fatalf("no partitions on floor %d", floor)
+	}
+	mbr := sp.Partition(ids[0]).MBR
+	for _, id := range ids[1:] {
+		mbr = mbr.Union(sp.Partition(id).MBR)
+	}
+	const pad = 10.0
+	width := mbr.Width()*scale + 2*pad
+	height := mbr.Height()*scale + 2*pad
+	// SVG y grows downward; flip so the plan reads like the paper's figures.
+	tx := func(x float64) float64 { return (x-mbr.MinX)*scale + pad }
+	ty := func(y float64) float64 { return height - ((y-mbr.MinY)*scale + pad) }
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(w, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+
+	fill := map[indoor.Kind]string{
+		indoor.Room:      "#dce9f5",
+		indoor.Hallway:   "#fdf3d8",
+		indoor.Staircase: "#e7d8f5",
+	}
+	for _, id := range ids {
+		v := sp.Partition(id)
+		fmt.Fprintf(w, `<polygon points="`)
+		for _, p := range v.Poly {
+			fmt.Fprintf(w, "%.1f,%.1f ", tx(p.X), ty(p.Y))
+		}
+		fmt.Fprintf(w, `" fill="%s" stroke="#555" stroke-width="0.8"/>`+"\n", fill[v.Kind])
+	}
+	for i := range sp.Doors() {
+		d := sp.Door(indoor.DoorID(i))
+		if d.Floor != floor {
+			continue
+		}
+		x, y := tx(d.P.X), ty(d.P.Y)
+		switch {
+		case d.Virtual:
+			fmt.Fprintf(w, `<circle cx="%.1f" cy="%.1f" r="2" fill="white" stroke="#c33"/>`+"\n", x, y)
+		case !d.Bidirectional():
+			fmt.Fprintf(w, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="#d22"/>`+"\n", x, y)
+		default:
+			fmt.Fprintf(w, `<circle cx="%.1f" cy="%.1f" r="2" fill="#272"/>`+"\n", x, y)
+		}
+	}
+	fmt.Fprintln(w, `</svg>`)
+}

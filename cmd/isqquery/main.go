@@ -1,0 +1,151 @@
+// Command isqquery runs a single indoor spatial query against a benchmark
+// dataset with a chosen engine — handy for exploring datasets and comparing
+// engines by hand.
+//
+// Usage:
+//
+//	isqquery [-dataset CPH] [-engine VIPTree] [-objects 1000] [-seed 1] <cmd> [args]
+//
+// Commands:
+//
+//	rq   -x X -y Y [-floor F] -r R          range query
+//	knn  -x X -y Y [-floor F] [-k 5]        k nearest neighbors
+//	spd  -x X -y Y -x2 X2 -y2 Y2 [...]      shortest path + distance
+//	rand -type rq|knn|spd [-n 3]            random query instances
+//
+// Example:
+//
+//	isqquery -dataset CPH -engine IDIndex knn -x 1000 -y 300 -k 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"indoorsq/internal/bench"
+	"indoorsq/internal/dataset"
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/query"
+	"indoorsq/internal/workload"
+)
+
+func main() {
+	var (
+		ds      = flag.String("dataset", "CPH", "benchmark dataset")
+		engine  = flag.String("engine", "VIPTree", "engine: IDModel, IDIndex, CIndex, IPTree, VIPTree")
+		objects = flag.Int("objects", 1000, "number of random objects")
+		seed    = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	info, err := dataset.Build(*ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	eng, err := bench.NewEngine(*engine, info)
+	if err != nil {
+		log.Fatal(err)
+	}
+	buildTime := time.Since(start)
+	gen := workload.New(info.Space, *seed)
+	eng.SetObjects(gen.Objects(*objects))
+	fmt.Printf("%s over %s: built in %v, %.1f MB\n",
+		eng.Name(), info.Name, buildTime.Round(time.Millisecond), float64(eng.SizeBytes())/1e6)
+
+	cmd := flag.Arg(0)
+	args := flag.Args()[1:]
+	switch cmd {
+	case "rq":
+		fs := flag.NewFlagSet("rq", flag.ExitOnError)
+		x := fs.Float64("x", 0, "x")
+		y := fs.Float64("y", 0, "y")
+		fl := fs.Int("floor", 0, "floor")
+		r := fs.Float64("r", info.DefaultR, "range radius (m)")
+		fs.Parse(args)
+		runRQ(eng, indoor.At(*x, *y, int16(*fl)), *r)
+	case "knn":
+		fs := flag.NewFlagSet("knn", flag.ExitOnError)
+		x := fs.Float64("x", 0, "x")
+		y := fs.Float64("y", 0, "y")
+		fl := fs.Int("floor", 0, "floor")
+		k := fs.Int("k", 5, "k")
+		fs.Parse(args)
+		runKNN(eng, indoor.At(*x, *y, int16(*fl)), *k)
+	case "spd":
+		fs := flag.NewFlagSet("spd", flag.ExitOnError)
+		x := fs.Float64("x", 0, "source x")
+		y := fs.Float64("y", 0, "source y")
+		fl := fs.Int("floor", 0, "source floor")
+		x2 := fs.Float64("x2", 0, "target x")
+		y2 := fs.Float64("y2", 0, "target y")
+		fl2 := fs.Int("floor2", 0, "target floor")
+		fs.Parse(args)
+		runSPD(eng, indoor.At(*x, *y, int16(*fl)), indoor.At(*x2, *y2, int16(*fl2)))
+	case "rand":
+		fs := flag.NewFlagSet("rand", flag.ExitOnError)
+		typ := fs.String("type", "knn", "query type: rq, knn, spd")
+		n := fs.Int("n", 3, "instances")
+		fs.Parse(args)
+		for i := 0; i < *n; i++ {
+			switch *typ {
+			case "rq":
+				runRQ(eng, gen.Point(), info.DefaultR)
+			case "knn":
+				runKNN(eng, gen.Point(), 5)
+			case "spd":
+				pr := gen.SPDPairs(info.DefaultS2T, 1)[0]
+				runSPD(eng, pr.P, pr.Q)
+			default:
+				log.Fatalf("unknown random query type %q", *typ)
+			}
+		}
+	default:
+		log.Fatalf("unknown command %q (want rq, knn, spd, rand)", cmd)
+	}
+}
+
+func runRQ(eng query.Engine, p indoor.Point, r float64) {
+	var st query.Stats
+	start := time.Now()
+	ids, err := eng.Range(p, r, &st)
+	if err != nil {
+		log.Fatalf("rq: %v", err)
+	}
+	fmt.Printf("RQ((%.0f,%.0f,f%d), %.0fm): %d objects in %v (NVD %d)\n",
+		p.X, p.Y, p.Floor, r, len(ids), time.Since(start).Round(time.Microsecond), st.VisitedDoors)
+}
+
+func runKNN(eng query.Engine, p indoor.Point, k int) {
+	var st query.Stats
+	start := time.Now()
+	nn, err := eng.KNN(p, k, &st)
+	if err != nil {
+		log.Fatalf("knn: %v", err)
+	}
+	fmt.Printf("%dNN((%.0f,%.0f,f%d)) in %v:", k, p.X, p.Y, p.Floor,
+		time.Since(start).Round(time.Microsecond))
+	for _, n := range nn {
+		fmt.Printf(" #%d@%.1fm", n.ID, n.Dist)
+	}
+	fmt.Println()
+}
+
+func runSPD(eng query.Engine, p, q indoor.Point) {
+	var st query.Stats
+	start := time.Now()
+	path, err := eng.SPD(p, q, &st)
+	if err != nil {
+		log.Fatalf("spd: %v", err)
+	}
+	fmt.Printf("SPD((%.0f,%.0f,f%d) -> (%.0f,%.0f,f%d)): %.1fm through %d doors in %v (NVD %d)\n",
+		p.X, p.Y, p.Floor, q.X, q.Y, q.Floor,
+		path.Dist, len(path.Doors), time.Since(start).Round(time.Microsecond), st.VisitedDoors)
+}

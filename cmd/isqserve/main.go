@@ -1,0 +1,67 @@
+// Command isqserve runs the indoor LBS HTTP backend over one benchmark
+// dataset, with any subset of the five engines loaded side by side.
+//
+// Usage:
+//
+//	isqserve [-addr :8080] [-dataset CPH] [-engines IDModel,VIPTree]
+//	         [-default VIPTree] [-objects 1000] [-seed 1]
+//
+// Endpoints (all GET, JSON):
+//
+//	/v1/info
+//	/v1/range?x=&y=&floor=&r=[&engine=]
+//	/v1/knn?x=&y=&floor=&k=[&engine=]
+//	/v1/route?x=&y=&floor=&x2=&y2=&floor2=[&engine=]
+//	/v1/partitions?floor=
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"indoorsq/internal/bench"
+	"indoorsq/internal/dataset"
+	"indoorsq/internal/query"
+	"indoorsq/internal/server"
+	"indoorsq/internal/workload"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		ds      = flag.String("dataset", "CPH", "benchmark dataset")
+		names   = flag.String("engines", "IDModel,VIPTree", "engines to load")
+		def     = flag.String("default", "VIPTree", "default engine")
+		objects = flag.Int("objects", 1000, "number of random POIs")
+		seed    = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	info, err := dataset.Build(*ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	objs := workload.New(info.Space, *seed).Objects(*objects)
+	engines := make(map[string]query.Engine)
+	for _, name := range strings.Split(*names, ",") {
+		start := time.Now()
+		eng, err := bench.NewEngine(name, info)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng.SetObjects(objs)
+		engines[name] = eng
+		log.Printf("built %s in %v (%.1f MB)", name,
+			time.Since(start).Round(time.Millisecond), float64(eng.SizeBytes())/1e6)
+	}
+
+	srv, err := server.New(info.Name, info.Space, engines, *def, info.Gamma)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving %s with %d POIs on %s", info.Name, len(objs), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -1,0 +1,56 @@
+// Command isqstats prints the dataset statistics of Table 4 and, with
+// -hist, the #dv distributions of Figure 7.
+//
+// Usage:
+//
+//	isqstats [-datasets SYN5,MZB,HSM,CPH] [-gamma -1] [-hist]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"indoorsq/internal/dataset"
+)
+
+func main() {
+	var (
+		names = flag.String("datasets", strings.Join(dataset.Names(), ","), "datasets to summarize")
+		gamma = flag.Int("gamma", -1, "crucial-partition threshold override (-1: per-dataset tuned γ)")
+		hist  = flag.Bool("hist", false, "print the #dv histograms (Figure 7)")
+	)
+	flag.Parse()
+
+	fmt.Printf("%-7s %7s %6s %11s %9s %7s %8s %13s %4s %4s %4s %4s\n",
+		"dataset", "floors", "doors", "partitions", "hallways", "stairs", "crucial", "extent(m)", "Q1", "Q2", "Q3", "max")
+	for _, name := range strings.Split(*names, ",") {
+		info, err := dataset.Build(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "isqstats: %v\n", err)
+			os.Exit(1)
+		}
+		g := info.Gamma
+		if *gamma >= 0 {
+			g = *gamma
+		}
+		st := info.Space.SpaceStats(g)
+		fmt.Printf("%-7s %7d %6d %11d %9d %7d %8d %6.0fx%-6.0f %4d %4d %4d %4d\n",
+			name, st.Floors, st.Doors, st.Partitions, st.Hallways, st.Staircases,
+			st.Crucial, st.Length, st.Width, st.Q1, st.Q2, st.Q3, st.Max)
+		if *hist {
+			keys := make([]int, 0, len(st.Hist))
+			for k := range st.Hist {
+				keys = append(keys, k)
+			}
+			sort.Ints(keys)
+			fmt.Printf("  #dv histogram:")
+			for _, k := range keys {
+				fmt.Printf(" %d:%d", k, st.Hist[k])
+			}
+			fmt.Println()
+		}
+	}
+}

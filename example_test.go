@@ -1,0 +1,62 @@
+package indoorsq_test
+
+import (
+	"fmt"
+
+	"indoorsq"
+)
+
+// Example builds a minimal venue and answers the three query types.
+func Example() {
+	b := indoorsq.NewBuilder("demo", 1)
+	hall := b.AddHallway(0, indoorsq.RectPoly(indoorsq.R(0, 0, 20, 4)))
+	cafe := b.AddRoom(0, indoorsq.RectPoly(indoorsq.R(0, 4, 10, 10)))
+	shop := b.AddRoom(0, indoorsq.RectPoly(indoorsq.R(10, 4, 20, 10)))
+	d1 := b.AddDoor(indoorsq.Pt(5, 4), 0)
+	b.ConnectBoth(d1, hall, cafe)
+	d2 := b.AddDoor(indoorsq.Pt(15, 4), 0)
+	b.ConnectBoth(d2, hall, shop)
+	sp, _ := b.Build()
+
+	eng := indoorsq.NewIDModel(sp)
+	eng.SetObjects([]indoorsq.Object{
+		{ID: 1, Loc: indoorsq.At(5, 7, 0), Part: cafe},
+		{ID: 2, Loc: indoorsq.At(15, 7, 0), Part: shop},
+	})
+
+	me := indoorsq.At(5, 2, 0)
+	near, _ := eng.Range(me, 6, nil)
+	nn, _ := eng.KNN(me, 1, nil)
+	path, _ := eng.SPD(me, indoorsq.At(15, 7, 0), nil)
+
+	fmt.Println("in range:", near)
+	fmt.Printf("nearest: #%d at %.0fm\n", nn[0].ID, nn[0].Dist)
+	fmt.Printf("route: %.0fm via %d doors\n", path.Dist, len(path.Doors))
+	// Output:
+	// in range: [1]
+	// nearest: #1 at 5m
+	// route: 13m via 1 doors
+}
+
+// ExampleNewBuilder_oneWay demonstrates a unidirectional door (a security
+// checkpoint): the shortest distance becomes asymmetric.
+func ExampleNewBuilder_oneWay() {
+	b := indoorsq.NewBuilder("checkpoint", 1)
+	land := b.AddHallway(0, indoorsq.RectPoly(indoorsq.R(0, 0, 10, 4)))
+	air := b.AddHallway(0, indoorsq.RectPoly(indoorsq.R(0, 4, 10, 8)))
+	in := b.AddDoor(indoorsq.Pt(2, 4), 0)
+	b.ConnectOneWay(in, land, air) // security: land -> air only
+	out := b.AddDoor(indoorsq.Pt(8, 4), 0)
+	b.ConnectOneWay(out, air, land) // exit: air -> land only
+	sp, _ := b.Build()
+
+	eng := indoorsq.NewIDIndex(sp)
+	eng.SetObjects(nil)
+	p := indoorsq.At(2, 2, 0)
+	q := indoorsq.At(2, 6, 0)
+	fwd, _ := eng.SPD(p, q, nil)
+	back, _ := eng.SPD(q, p, nil)
+	fmt.Printf("in: %.0fm, out: %.0fm\n", fwd.Dist, back.Dist)
+	// Output:
+	// in: 4m, out: 13m
+}

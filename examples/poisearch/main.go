@@ -1,0 +1,63 @@
+// POI search in a shopping mall: the indoor LBS scenario motivating the
+// paper. Loads the HSM (Hangzhou Shopping Mall) benchmark dataset, scatters
+// POIs, and answers "shops near me" (range) and "5 nearest POIs" (kNN)
+// queries with two different indexes, demonstrating that the choice of
+// model/index changes the cost but never the answer.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"indoorsq"
+)
+
+func main() {
+	info, err := indoorsq.Dataset("HSM")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp := info.Space
+	st7 := sp.SpaceStats(info.Gamma)
+	fmt.Printf("venue: %d floors, %d partitions, %d doors\n",
+		st7.Floors, st7.Partitions, st7.Doors)
+
+	// 1000 POIs at reproducible random indoor locations.
+	pois := indoorsq.NewWorkload(sp, 2024).Objects(1000)
+
+	fast := indoorsq.NewIDIndex(sp) // precomputes global door-to-door distances
+	lean := indoorsq.NewIDModel(sp) // no precomputation
+	fast.SetObjects(pois)
+	lean.SetObjects(pois)
+
+	me := indoorsq.NewWorkload(sp, 7).Points(1)[0]
+	fmt.Printf("standing at (%.0f, %.0f) on floor %d\n", me.X, me.Y, me.Floor)
+
+	for _, eng := range []indoorsq.Engine{fast, lean} {
+		var st indoorsq.Stats
+		start := time.Now()
+		near, err := eng.Range(me, 300, &st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("%-8s range(300m): %3d POIs in %8v (index %5.1f MB)\n",
+			eng.Name(), len(near), elapsed, float64(eng.SizeBytes())/1e6)
+	}
+
+	for _, eng := range []indoorsq.Engine{fast, lean} {
+		var st indoorsq.Stats
+		start := time.Now()
+		nn, err := eng.KNN(me, 5, &st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("%-8s 5-NN: ", eng.Name())
+		for _, n := range nn {
+			fmt.Printf("#%d@%.0fm ", n.ID, n.Dist)
+		}
+		fmt.Printf(" in %v\n", elapsed)
+	}
+}

@@ -1,0 +1,76 @@
+// Quickstart: build a small two-room-and-hallway venue with the public API,
+// index it, and run all four indoor spatial query types.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"indoorsq"
+)
+
+func main() {
+	// A one-floor venue:
+	//
+	//	y=10 +--------+--------+
+	//	     | Cafe   | Shop   |
+	//	y=6  +--d1----+----d2--+
+	//	     |      Hallway    |
+	//	y=4  +--------d3-------+
+	//	     |     Lounge      |
+	//	y=0  +-----------------+
+	//	    x=0      8        16
+	b := indoorsq.NewBuilder("quickstart", 1)
+	hall := b.AddHallway(0, indoorsq.RectPoly(indoorsq.R(0, 4, 16, 6)))
+	cafe := b.AddRoom(0, indoorsq.RectPoly(indoorsq.R(0, 6, 8, 10)))
+	shop := b.AddRoom(0, indoorsq.RectPoly(indoorsq.R(8, 6, 16, 10)))
+	lounge := b.AddRoom(0, indoorsq.RectPoly(indoorsq.R(0, 0, 16, 4)))
+
+	d1 := b.AddDoor(indoorsq.Pt(2, 6), 0)
+	b.ConnectBoth(d1, hall, cafe)
+	d2 := b.AddDoor(indoorsq.Pt(14, 6), 0)
+	b.ConnectBoth(d2, hall, shop)
+	d3 := b.AddDoor(indoorsq.Pt(8, 4), 0)
+	b.ConnectBoth(d3, hall, lounge)
+
+	sp, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Index it with the VIP-tree (any of the five engines works identically).
+	eng := indoorsq.NewVIPTree(sp, 0)
+	eng.SetObjects([]indoorsq.Object{
+		{ID: 1, Loc: indoorsq.At(2, 9, 0), Part: cafe},   // espresso machine
+		{ID: 2, Loc: indoorsq.At(15, 9, 0), Part: shop},  // cash register
+		{ID: 3, Loc: indoorsq.At(8, 2, 0), Part: lounge}, // sofa
+		{ID: 4, Loc: indoorsq.At(12, 5, 0), Part: hall},  // info kiosk
+	})
+
+	me := indoorsq.At(1, 5, 0) // standing in the hallway, west end
+
+	// Range query: what is within 10 meters of walking?
+	var st indoorsq.Stats
+	near, err := eng.Range(me, 10, &st)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("within 10m: objects %v (visited %d doors)\n", near, st.VisitedDoors)
+
+	// k nearest neighbors.
+	nn, err := eng.KNN(me, 2, &st)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, n := range nn {
+		fmt.Printf("NN %d: object %d at %.2fm\n", i+1, n.ID, n.Dist)
+	}
+
+	// Shortest path + distance to the cash register.
+	path, err := eng.SPD(me, indoorsq.At(15, 9, 0), &st)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("to the register: %.2fm through %d doors %v\n",
+		path.Dist, len(path.Doors), path.Doors)
+}

@@ -1,0 +1,3 @@
+module indoorsq
+
+go 1.22

@@ -1,0 +1,153 @@
+package indoorsq_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"indoorsq"
+)
+
+// buildTwoRooms assembles a minimal space through the public API.
+func buildTwoRooms(t *testing.T) *indoorsq.Space {
+	t.Helper()
+	b := indoorsq.NewBuilder("api-demo", 1)
+	r1 := b.AddRoom(0, indoorsq.RectPoly(indoorsq.R(0, 0, 10, 10)))
+	r2 := b.AddRoom(0, indoorsq.RectPoly(indoorsq.R(10, 0, 20, 10)))
+	d := b.AddDoor(indoorsq.Pt(10, 5), 0)
+	b.ConnectBoth(d, r1, r2)
+	sp, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func TestPublicBuilderAndEngines(t *testing.T) {
+	sp := buildTwoRooms(t)
+	ctors := []func() indoorsq.Engine{
+		func() indoorsq.Engine { return indoorsq.NewIDModel(sp) },
+		func() indoorsq.Engine { return indoorsq.NewIDIndex(sp) },
+		func() indoorsq.Engine { return indoorsq.NewCIndex(sp) },
+		func() indoorsq.Engine { return indoorsq.NewIPTree(sp, 0) },
+		func() indoorsq.Engine { return indoorsq.NewVIPTree(sp, 0) },
+	}
+	p := indoorsq.At(2, 5, 0)
+	q := indoorsq.At(18, 5, 0)
+	want := 8.0 + 8.0 // via the door at (10,5)
+	for _, ctor := range ctors {
+		eng := ctor()
+		eng.SetObjects([]indoorsq.Object{
+			{ID: 1, Loc: q, Part: 1},
+		})
+		var st indoorsq.Stats
+		path, err := eng.SPD(p, q, &st)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if math.Abs(path.Dist-want) > 1e-9 {
+			t.Fatalf("%s SPD = %g, want %g", eng.Name(), path.Dist, want)
+		}
+		nn, err := eng.KNN(p, 1, &st)
+		if err != nil || len(nn) != 1 || nn[0].ID != 1 {
+			t.Fatalf("%s KNN = %v, %v", eng.Name(), nn, err)
+		}
+		ids, err := eng.Range(p, want+1, &st)
+		if err != nil || len(ids) != 1 {
+			t.Fatalf("%s Range = %v, %v", eng.Name(), ids, err)
+		}
+	}
+}
+
+func TestPublicDataset(t *testing.T) {
+	info, err := indoorsq.Dataset("CPH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Space.NumPartitions() == 0 {
+		t.Fatal("empty dataset")
+	}
+	if _, err := indoorsq.Dataset("nope"); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+	if len(indoorsq.DatasetNames()) != 12 {
+		t.Fatalf("DatasetNames = %v", indoorsq.DatasetNames())
+	}
+}
+
+func TestPublicWorkload(t *testing.T) {
+	sp := buildTwoRooms(t)
+	w := indoorsq.NewWorkload(sp, 1)
+	objs := w.Objects(10)
+	if len(objs) != 10 {
+		t.Fatalf("objects = %d", len(objs))
+	}
+	for _, o := range objs {
+		if !sp.Contains(o.Loc) {
+			t.Fatalf("object %v outside space", o)
+		}
+	}
+}
+
+func TestPublicErrors(t *testing.T) {
+	sp := buildTwoRooms(t)
+	eng := indoorsq.NewIDModel(sp)
+	eng.SetObjects(nil)
+	if _, err := eng.Range(indoorsq.At(-5, -5, 0), 1, nil); err != indoorsq.ErrNoHost {
+		t.Fatalf("err = %v, want ErrNoHost", err)
+	}
+}
+
+func TestPublicTemporal(t *testing.T) {
+	sp := buildTwoRooms(t)
+	sch := indoorsq.NewSchedule()
+	sch.Set(0, indoorsq.OpenInterval{Open: 9, Close: 17})
+
+	day := indoorsq.NewTemporalIDModel(indoorsq.NewIDModel(sp), sch, 12)
+	night := indoorsq.NewTemporalCIndex(indoorsq.NewCIndex(sp), sch, 23)
+	day.SetObjects(nil)
+	night.SetObjects(nil)
+
+	p, q := indoorsq.At(2, 5, 0), indoorsq.At(18, 5, 0)
+	if _, err := day.SPD(p, q, nil); err != nil {
+		t.Fatalf("daytime route: %v", err)
+	}
+	if _, err := night.SPD(p, q, nil); err != indoorsq.ErrUnreachable {
+		t.Fatalf("night route err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestPublicCodec(t *testing.T) {
+	sp := buildTwoRooms(t)
+	var buf bytes.Buffer
+	if err := indoorsq.EncodeSpace(&buf, sp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := indoorsq.DecodeSpace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumDoors() != sp.NumDoors() || got.NumPartitions() != sp.NumPartitions() {
+		t.Fatal("round trip changed the space")
+	}
+}
+
+func TestPublicObjectUpdates(t *testing.T) {
+	sp := buildTwoRooms(t)
+	eng := indoorsq.NewVIPTree(sp, 0)
+	var up indoorsq.ObjectUpdater = eng
+	if !up.InsertObject(indoorsq.Object{ID: 9, Loc: indoorsq.At(18, 5, 0), Part: 1}) {
+		t.Fatal("insert failed")
+	}
+	nn, err := eng.KNN(indoorsq.At(2, 5, 0), 1, nil)
+	if err != nil || len(nn) != 1 || nn[0].ID != 9 {
+		t.Fatalf("KNN after insert = %v, %v", nn, err)
+	}
+	if !up.DeleteObject(9) {
+		t.Fatal("delete failed")
+	}
+	nn, _ = eng.KNN(indoorsq.At(2, 5, 0), 1, nil)
+	if len(nn) != 0 {
+		t.Fatalf("KNN after delete = %v", nn)
+	}
+}

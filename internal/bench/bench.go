@@ -1,0 +1,148 @@
+// Package bench implements the paper's evaluation procedure (Sec. 5.4):
+// task A (model construction) and tasks B1-B7 (query processing), measuring
+// running time (b1), memory use (b2), and the number of visited doors (b3),
+// and emitting one data series per paper figure.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"indoorsq/internal/cindex"
+	"indoorsq/internal/dataset"
+	"indoorsq/internal/idindex"
+	"indoorsq/internal/idmodel"
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/iptree"
+	"indoorsq/internal/query"
+	"indoorsq/internal/workload"
+)
+
+// EngineNames lists the five model/indexes in presentation order.
+var EngineNames = []string{"IDModel", "IDIndex", "CIndex", "IPTree", "VIPTree"}
+
+// NewEngine constructs one model/index over a dataset, applying the
+// dataset-specific γ for the trees (Sec. 5.3).
+func NewEngine(name string, info *dataset.Info) (query.Engine, error) {
+	switch name {
+	case "IDModel":
+		return idmodel.New(info.Space), nil
+	case "IDIndex":
+		return idindex.New(info.Space), nil
+	case "CIndex":
+		return cindex.New(info.Space), nil
+	case "IPTree":
+		return iptree.New(info.Space, iptree.Options{Gamma: info.Gamma}), nil
+	case "VIPTree":
+		return iptree.New(info.Space, iptree.Options{Gamma: info.Gamma, VIP: true}), nil
+	}
+	return nil, fmt.Errorf("bench: unknown engine %q", name)
+}
+
+// Suite drives the evaluation. The zero value is not ready; use NewSuite.
+type Suite struct {
+	// Objects is the default object count |O| (Table 5 bold: 1000).
+	Objects int
+	// Queries is the number of instances per setting (Sec. 5.2: 10).
+	Queries int
+	// K is the default kNN k (Table 5 bold: 10).
+	K int
+	// Seed makes all workloads reproducible.
+	Seed int64
+	// Engines selects the model/indexes to evaluate.
+	Engines []string
+
+	engines map[string]query.Engine
+	objSets map[string][]query.Object
+}
+
+// NewSuite returns a Suite with the paper's default parameters.
+func NewSuite() *Suite {
+	return &Suite{
+		Objects: 1000,
+		Queries: 10,
+		K:       10,
+		Seed:    1,
+		Engines: append([]string(nil), EngineNames...),
+		engines: make(map[string]query.Engine),
+		objSets: make(map[string][]query.Object),
+	}
+}
+
+// Engine returns the (cached) engine for a dataset.
+func (s *Suite) Engine(info *dataset.Info, name string) query.Engine {
+	key := info.Name + "/" + name
+	if e, ok := s.engines[key]; ok {
+		return e
+	}
+	e, err := NewEngine(name, info)
+	if err != nil {
+		panic(err)
+	}
+	s.engines[key] = e
+	return e
+}
+
+// objects returns the cached object workload of the given size for a
+// dataset; all engines observe the identical set.
+func (s *Suite) objects(info *dataset.Info, n int) []query.Object {
+	key := fmt.Sprintf("%s/%d", info.Name, n)
+	if o, ok := s.objSets[key]; ok {
+		return o
+	}
+	o := workload.New(info.Space, s.Seed+int64(n)*7919).Objects(n)
+	s.objSets[key] = o
+	return o
+}
+
+// Measure is one averaged observation.
+type Measure struct {
+	TimeUS float64 // average running time per query, microseconds
+	MemMB  float64 // resident index + average transient working set, MB
+	NVD    float64 // average number of visited doors
+}
+
+// measure runs n queries through fn and averages the metrics.
+func measure(eng query.Engine, n int, fn func(i int, st *query.Stats) error) (Measure, error) {
+	var m Measure
+	var st query.Stats
+	for i := 0; i < n; i++ {
+		st.Reset()
+		start := time.Now()
+		if err := fn(i, &st); err != nil {
+			return Measure{}, err
+		}
+		m.TimeUS += float64(time.Since(start).Microseconds())
+		m.MemMB += float64(st.WorkBytes)
+		m.NVD += float64(st.VisitedDoors)
+	}
+	f := float64(n)
+	m.TimeUS /= f
+	m.MemMB = (m.MemMB/f + float64(eng.SizeBytes())) / 1e6
+	m.NVD /= f
+	return m, nil
+}
+
+// MeasureRQ runs the range query over all points.
+func (s *Suite) MeasureRQ(eng query.Engine, pts []indoor.Point, r float64) (Measure, error) {
+	return measure(eng, len(pts), func(i int, st *query.Stats) error {
+		_, err := eng.Range(pts[i], r, st)
+		return err
+	})
+}
+
+// MeasureKNN runs the kNN query over all points.
+func (s *Suite) MeasureKNN(eng query.Engine, pts []indoor.Point, k int) (Measure, error) {
+	return measure(eng, len(pts), func(i int, st *query.Stats) error {
+		_, err := eng.KNN(pts[i], k, st)
+		return err
+	})
+}
+
+// MeasureSPD runs the fused shortest path/distance query over all pairs.
+func (s *Suite) MeasureSPD(eng query.Engine, pairs []workload.Pair) (Measure, error) {
+	return measure(eng, len(pairs), func(i int, st *query.Stats) error {
+		_, err := eng.SPD(pairs[i].P, pairs[i].Q, st)
+		return err
+	})
+}

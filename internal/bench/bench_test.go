@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"indoorsq/internal/dataset"
+)
+
+// smallSuite uses CPH (the smallest dataset) to keep unit tests quick.
+func smallSuite() *Suite {
+	s := NewSuite()
+	s.Queries = 3
+	s.Objects = 200
+	return s
+}
+
+func TestNewEngineAll(t *testing.T) {
+	info := dataset.Get("CPH")
+	for _, name := range EngineNames {
+		eng, err := NewEngine(name, info)
+		if err != nil {
+			t.Fatalf("NewEngine(%s): %v", name, err)
+		}
+		if eng.Name() != name {
+			t.Fatalf("engine name %q != %q", eng.Name(), name)
+		}
+	}
+	if _, err := NewEngine("Bogus", info); err == nil {
+		t.Fatal("bogus engine must error")
+	}
+}
+
+func TestEngineCaching(t *testing.T) {
+	s := smallSuite()
+	info := dataset.Get("CPH")
+	a := s.Engine(info, "IDModel")
+	b := s.Engine(info, "IDModel")
+	if a != b {
+		t.Fatal("Engine should cache")
+	}
+}
+
+func TestObjectsShared(t *testing.T) {
+	s := smallSuite()
+	info := dataset.Get("CPH")
+	a := s.objects(info, 100)
+	b := s.objects(info, 100)
+	if &a[0] != &b[0] {
+		t.Fatal("objects should be cached per size")
+	}
+}
+
+func TestMeasureRQProducesSaneNumbers(t *testing.T) {
+	s := smallSuite()
+	info := dataset.Get("CPH")
+	eng := s.Engine(info, "IDModel")
+	eng.SetObjects(s.objects(info, s.Objects))
+	pts := s.points(info)
+	m, err := s.MeasureRQ(eng, pts, info.DefaultR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TimeUS < 0 || m.MemMB <= 0 {
+		t.Fatalf("bad measure %+v", m)
+	}
+}
+
+func TestRunAOnSmallDatasets(t *testing.T) {
+	s := smallSuite()
+	series, err := s.RunA([]string{"CPH"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("RunA returned %d series", len(series))
+	}
+	for _, name := range EngineNames {
+		if series[0].Get(name, 0) <= 0 {
+			t.Fatalf("%s size not recorded", name)
+		}
+	}
+	// IDIndex must be the largest model on any dataset.
+	idx := series[0].Get("IDIndex", 0)
+	for _, name := range []string{"IDModel", "CIndex"} {
+		if series[0].Get(name, 0) >= idx {
+			t.Fatalf("IDIndex (%g MB) should dominate %s (%g MB)",
+				idx, name, series[0].Get(name, 0))
+		}
+	}
+}
+
+func TestSeriesWriters(t *testing.T) {
+	s := newSeries("F1", "demo", "us", "x", []string{"1", "2"}, []string{"A", "B"})
+	s.Set("A", 0, 1.5)
+	s.Set("A", 1, 2000)
+	s.Set("B", 0, 0)
+	s.Set("B", 1, 12.25)
+	var buf bytes.Buffer
+	s.WriteTable(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "# F1: demo [us]") || !strings.Contains(out, "2000") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	buf.Reset()
+	s.WriteCSV(&buf)
+	if !strings.Contains(buf.String(), "F1,2,2000,12.25") {
+		t.Fatalf("csv output:\n%s", buf.String())
+	}
+}
+
+func TestVariantSweepOnCPHOnly(t *testing.T) {
+	// Exercise the shared sweep path with a single tiny dataset.
+	s := smallSuite()
+	series, err := s.variantSweep([]string{"CPH"}, [7]string{
+		"T1", "T2", "T3", "T4", "T5", "T6", "T7",
+	}, "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 7 {
+		t.Fatalf("got %d series", len(series))
+	}
+	// SPDQ NVD: IDIndex visits far fewer doors than IDModel.
+	nvd := series[6]
+	if nvd.Get("IDIndex", 0) >= nvd.Get("IDModel", 0) {
+		t.Fatalf("IDIndex NVD %g should be below IDModel %g",
+			nvd.Get("IDIndex", 0), nvd.Get("IDModel", 0))
+	}
+}
+
+func TestRunTaskUnknown(t *testing.T) {
+	s := smallSuite()
+	if _, err := s.RunTask("Z9"); err == nil {
+		t.Fatal("unknown task must error")
+	}
+	if len(Tasks()) != 9 {
+		t.Fatalf("Tasks = %v", Tasks())
+	}
+}
+
+// TestRunXSmoke exercises the extension-scaling task.
+func TestRunXSmoke(t *testing.T) {
+	s := smallSuite()
+	series, err := s.RunX("CPH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("got %d series", len(series))
+	}
+	// Multi-stop optimization cost must grow with the stop count.
+	x4 := series[3]
+	if x4.Get("time", 3) < x4.Get("time", 0) {
+		t.Fatalf("8-stop %g should cost more than 2-stop %g",
+			x4.Get("time", 3), x4.Get("time", 0))
+	}
+}
+
+// TestRunB3B4B5SmokeCPH exercises the remaining task runners on the
+// smallest dataset.
+func TestRunB3B4B5SmokeCPH(t *testing.T) {
+	s := smallSuite()
+	for _, run := range []func([]string) ([]*Series, error){
+		s.RunB3, s.RunB4, s.RunB5,
+	} {
+		series, err := run([]string{"CPH"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(series) < 2 {
+			t.Fatalf("got %d series", len(series))
+		}
+		for _, sr := range series {
+			for _, name := range EngineNames {
+				for xi := range sr.Xs {
+					if v := sr.Get(name, xi); v < 0 {
+						t.Fatalf("%s %s x=%s: negative value %g", sr.ID, name, sr.Xs[xi], v)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"indoorsq/internal/cindex"
+	"indoorsq/internal/dataset"
+	"indoorsq/internal/idmodel"
+	"indoorsq/internal/keyword"
+	"indoorsq/internal/moving"
+	"indoorsq/internal/route"
+	"indoorsq/internal/uncertain"
+	"indoorsq/internal/workload"
+)
+
+// RunX measures the Sec. 7 extension features' scaling behaviour on one
+// dataset: keyword-aware routing vs. keyword count, continuous-monitor
+// update cost vs. registered queries, probabilistic range queries vs.
+// samples per object, and multi-stop optimization vs. stop count.
+func (s *Suite) RunX(ds string) ([]*Series, error) {
+	info := dataset.Get(ds)
+	sp := info.Space
+	gen := workload.New(sp, s.Seed)
+	col := []string{"time"}
+
+	// X1: keyword route vs number of required keywords.
+	words := []string{"alpha", "beta", "gamma", "delta"}
+	plain := s.objects(info, s.Objects)
+	tagged := make([]keyword.Tagged, len(plain))
+	for i, o := range plain {
+		tagged[i] = keyword.Tagged{Object: o, Words: []string{words[i%len(words)]}}
+	}
+	kw := keyword.New(idmodel.New(sp), sp, tagged)
+	pairs := s.pairs(info, info.DefaultS2T)
+	xs1 := []string{"0", "1", "2", "3"}
+	x1 := newSeries("X1", "Keyword route time vs #words ("+ds+")", "us", "#words", xs1, col)
+	for wi := 0; wi < len(xs1); wi++ {
+		start := time.Now()
+		runs := 0
+		for _, pr := range pairs {
+			if _, err := kw.Route(pr.P, pr.Q, nil, words[:wi]...); err == nil {
+				runs++
+			}
+		}
+		if runs == 0 {
+			runs = 1
+		}
+		x1.Set("time", wi, float64(time.Since(start).Microseconds())/float64(runs))
+	}
+
+	// X2: monitor update cost vs number of registered continuous queries.
+	xs2 := []string{"1", "5", "10", "20"}
+	x2 := newSeries("X2", "Continuous-monitor update time vs #queries ("+ds+")", "us", "#queries", xs2, col)
+	qPts := gen.Points(20)
+	objs := s.objects(info, 200)
+	for qi, nq := range []int{1, 5, 10, 20} {
+		mon := moving.NewMonitor(sp)
+		for i := 0; i < nq; i++ {
+			if _, err := mon.Register(int32(i), qPts[i], info.DefaultR, 0); err != nil {
+				return nil, err
+			}
+		}
+		start := time.Now()
+		for i, o := range objs {
+			mon.Apply(moving.Update{ID: o.ID, Loc: o.Loc, Part: o.Part, T: float64(i)})
+		}
+		x2.Set("time", qi, float64(time.Since(start).Microseconds())/float64(len(objs)))
+	}
+
+	// X3: probabilistic range query vs samples per object.
+	xs3 := []string{"5", "13", "25"}
+	x3 := newSeries("X3", "ProbRange time vs samples/object ("+ds+")", "us", "samples", xs3, col)
+	nu := len(plain)
+	if nu > 300 {
+		nu = 300
+	}
+	uobjs := make([]uncertain.Object, nu)
+	for i, o := range plain[:nu] {
+		uobjs[i] = uncertain.Object{ID: o.ID, Center: o.Loc, Radius: 5, Part: o.Part}
+	}
+	cx := cindex.New(sp)
+	pts := s.points(info)
+	for si, samples := range []int{5, 13, 25} {
+		ux := uncertain.New(cx, sp, uobjs, samples)
+		start := time.Now()
+		for _, p := range pts {
+			if _, err := ux.ProbRange(p, info.DefaultR, 0.5); err != nil {
+				return nil, err
+			}
+		}
+		x3.Set("time", si, float64(time.Since(start).Microseconds())/float64(len(pts)))
+	}
+
+	// X4: multi-stop optimization vs stop count.
+	xs4 := []string{"2", "4", "6", "8"}
+	x4 := newSeries("X4", "Multi-stop optimization time vs #stops ("+ds+")", "us", "#stops", xs4, col)
+	eng := s.Engine(info, "IDIndex")
+	eng.SetObjects(nil)
+	pl := route.New(eng)
+	wp := gen.Points(10)
+	for ni, n := range []int{2, 4, 6, 8} {
+		start := time.Now()
+		const reps = 5
+		for rep := 0; rep < reps; rep++ {
+			if _, _, err := pl.Optimized(wp[0], wp[1:1+n], wp[9], nil); err != nil {
+				return nil, fmt.Errorf("multi-stop %d: %w", n, err)
+			}
+		}
+		x4.Set("time", ni, float64(time.Since(start).Microseconds())/reps)
+	}
+	return []*Series{x1, x2, x3, x4}, nil
+}

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Series is one regenerated paper figure: a metric as a function of one
+// varied parameter, with one column per engine.
+type Series struct {
+	ID     string // paper figure id, e.g. "F10"
+	Title  string
+	Unit   string
+	XLabel string
+	Xs     []string
+	Vals   map[string][]float64 // engine -> values aligned with Xs
+	Order  []string             // engine order
+}
+
+// newSeries allocates a series for the given engines and x values.
+func newSeries(id, title, unit, xlabel string, xs []string, engines []string) *Series {
+	s := &Series{
+		ID: id, Title: title, Unit: unit, XLabel: xlabel,
+		Xs:    append([]string(nil), xs...),
+		Vals:  make(map[string][]float64, len(engines)),
+		Order: append([]string(nil), engines...),
+	}
+	for _, e := range engines {
+		s.Vals[e] = make([]float64, len(xs))
+	}
+	return s
+}
+
+// Set records one observation.
+func (s *Series) Set(engine string, xi int, v float64) { s.Vals[engine][xi] = v }
+
+// Get returns one observation.
+func (s *Series) Get(engine string, xi int) float64 { return s.Vals[engine][xi] }
+
+// WriteTable renders the series as an aligned text table in the layout of
+// the paper's figures (x on rows, engines on columns).
+func (s *Series) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "# %s: %s [%s]\n", s.ID, s.Title, s.Unit)
+	cols := append([]string{s.XLabel}, s.Order...)
+	widths := make([]int, len(cols))
+	rows := make([][]string, 0, len(s.Xs)+1)
+	rows = append(rows, cols)
+	for xi, x := range s.Xs {
+		row := []string{x}
+		for _, e := range s.Order {
+			row = append(row, formatVal(s.Vals[e][xi]))
+		}
+		rows = append(rows, row)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], c)
+		}
+		fmt.Fprintln(w, b.String())
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCSV renders the series as CSV.
+func (s *Series) WriteCSV(w io.Writer) {
+	fmt.Fprintf(w, "figure,%s,%s\n", s.XLabel, strings.Join(s.Order, ","))
+	for xi, x := range s.Xs {
+		vals := make([]string, 0, len(s.Order))
+		for _, e := range s.Order {
+			vals = append(vals, fmt.Sprintf("%g", s.Vals[e][xi]))
+		}
+		fmt.Fprintf(w, "%s,%s,%s\n", s.ID, x, strings.Join(vals, ","))
+	}
+}
+
+func formatVal(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// WriteAll renders a list of series as text tables.
+func WriteAll(w io.Writer, series []*Series) {
+	for _, s := range series {
+		s.WriteTable(w)
+	}
+}
+
+// WriteAllCSV renders a list of series as CSV blocks.
+func WriteAllCSV(w io.Writer, series []*Series) {
+	for _, s := range series {
+		s.WriteCSV(w)
+	}
+}

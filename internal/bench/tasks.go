@@ -1,0 +1,320 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"indoorsq/internal/dataset"
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/workload"
+)
+
+// Default evaluation settings from Table 5.
+var (
+	// B2 object counts.
+	ObjectCounts = []int{500, 1000, 1500, 2000, 2500}
+	// B4 k values.
+	KValues = []int{1, 5, 10, 50, 100}
+	// B1 floor counts.
+	FloorCounts = []int{3, 5, 7, 9}
+	// B2-B5 datasets.
+	QueryDatasets = []string{"SYN5", "MZB", "HSM", "CPH"}
+	// Task A datasets (Figures 8-9).
+	ConstructionDatasets = []string{"SYN3", "SYN5", "SYN7", "SYN9", "MZB", "HSM", "CPH"}
+	// B6 topology variants.
+	TopologyDatasets = []string{"SYN5-", "SYN5", "SYN5+"}
+	// B7 decomposition variants.
+	DecompositionDatasets = []string{"SYN50", "SYN5", "MZB0", "MZB", "MZBD"}
+)
+
+// points returns the shared RQ/kNN query points of a dataset.
+func (s *Suite) points(info *dataset.Info) []indoor.Point {
+	gen := workload.New(info.Space, s.Seed)
+	return gen.Points(s.Queries)
+}
+
+// pairs returns the shared SPDQ pairs of a dataset for one s2t value.
+func (s *Suite) pairs(info *dataset.Info, s2t float64) []workload.Pair {
+	gen := workload.New(info.Space, s.Seed+int64(s2t*17))
+	return gen.SPDPairs(s2t, s.Queries)
+}
+
+// RunA evaluates model construction (task A): model size (a1, Figure 8) and
+// construction time (a2, Figure 9). Engines are built fresh here, bypassing
+// the suite cache, so timings are honest.
+func (s *Suite) RunA(datasets []string) ([]*Series, error) {
+	size := newSeries("F8", "Model Size", "MB", "dataset", datasets, s.Engines)
+	tim := newSeries("F9", "Construction Time", "ms", "dataset", datasets, s.Engines)
+	for xi, ds := range datasets {
+		info := dataset.Get(ds)
+		for _, name := range s.Engines {
+			start := time.Now()
+			eng, err := NewEngine(name, info)
+			if err != nil {
+				return nil, err
+			}
+			elapsed := time.Since(start)
+			size.Set(name, xi, float64(eng.SizeBytes())/1e6)
+			tim.Set(name, xi, float64(elapsed.Microseconds())/1e3)
+			// Keep the freshly built engine for subsequent query tasks.
+			s.engines[info.Name+"/"+name] = eng
+		}
+	}
+	return []*Series{size, tim}, nil
+}
+
+// queryTriple measures RQ, kNN and SPDQ at the dataset defaults and fills
+// one x-slot of up to seven series (time/mem for RQ and kNN; time/mem/NVD
+// for SPDQ). Nil series are skipped.
+func (s *Suite) queryTriple(info *dataset.Info, xi int,
+	rqT, rqM, knnT, knnM, spdT, spdM, spdN *Series) error {
+	pts := s.points(info)
+	prs := s.pairs(info, info.DefaultS2T)
+	objs := s.objects(info, s.Objects)
+	for _, name := range s.Engines {
+		eng := s.Engine(info, name)
+		eng.SetObjects(objs)
+		if rqT != nil {
+			m, err := s.MeasureRQ(eng, pts, info.DefaultR)
+			if err != nil {
+				return fmt.Errorf("%s RQ on %s: %w", name, info.Name, err)
+			}
+			rqT.Set(name, xi, m.TimeUS)
+			rqM.Set(name, xi, m.MemMB)
+		}
+		if knnT != nil {
+			m, err := s.MeasureKNN(eng, pts, s.K)
+			if err != nil {
+				return fmt.Errorf("%s kNN on %s: %w", name, info.Name, err)
+			}
+			knnT.Set(name, xi, m.TimeUS)
+			knnM.Set(name, xi, m.MemMB)
+		}
+		if spdT != nil {
+			m, err := s.MeasureSPD(eng, prs)
+			if err != nil {
+				return fmt.Errorf("%s SPDQ on %s: %w", name, info.Name, err)
+			}
+			spdT.Set(name, xi, m.TimeUS)
+			spdM.Set(name, xi, m.MemMB)
+			spdN.Set(name, xi, m.NVD)
+		}
+	}
+	return nil
+}
+
+// RunB1 evaluates the effect of the floor number n on SYN (Figures 10-16).
+func (s *Suite) RunB1() ([]*Series, error) {
+	xs := make([]string, len(FloorCounts))
+	for i, n := range FloorCounts {
+		xs[i] = fmt.Sprintf("%d", n)
+	}
+	rqT := newSeries("F10", "RQ Time vs n (SYN)", "us", "n", xs, s.Engines)
+	rqM := newSeries("F11", "RQ Memory vs n (SYN)", "MB", "n", xs, s.Engines)
+	knnT := newSeries("F12", "kNNQ Time vs n (SYN)", "us", "n", xs, s.Engines)
+	knnM := newSeries("F13", "kNNQ Memory vs n (SYN)", "MB", "n", xs, s.Engines)
+	spdT := newSeries("F14", "SPDQ Time vs n (SYN)", "us", "n", xs, s.Engines)
+	spdM := newSeries("F15", "SPDQ Memory vs n (SYN)", "MB", "n", xs, s.Engines)
+	spdN := newSeries("F16", "SPDQ NVD vs n (SYN)", "doors", "n", xs, s.Engines)
+	for xi, n := range FloorCounts {
+		info := dataset.Get(fmt.Sprintf("SYN%d", n))
+		if err := s.queryTriple(info, xi, rqT, rqM, knnT, knnM, spdT, spdM, spdN); err != nil {
+			return nil, err
+		}
+	}
+	return []*Series{rqT, rqM, knnT, knnM, spdT, spdM, spdN}, nil
+}
+
+// RunB2 evaluates the effect of the object count |O| (Figures 17-20).
+func (s *Suite) RunB2(datasets []string) ([]*Series, error) {
+	var out []*Series
+	xs := make([]string, len(ObjectCounts))
+	for i, n := range ObjectCounts {
+		xs[i] = fmt.Sprintf("%d", n)
+	}
+	for _, ds := range datasets {
+		info := dataset.Get(ds)
+		rqT := newSeries("F17", "RQ Time vs |O| ("+ds+")", "us", "|O|", xs, s.Engines)
+		rqM := newSeries("F18", "RQ Memory vs |O| ("+ds+")", "MB", "|O|", xs, s.Engines)
+		knnT := newSeries("F19", "kNNQ Time vs |O| ("+ds+")", "us", "|O|", xs, s.Engines)
+		knnM := newSeries("F20", "kNNQ Memory vs |O| ("+ds+")", "MB", "|O|", xs, s.Engines)
+		pts := s.points(info)
+		for xi, n := range ObjectCounts {
+			objs := s.objects(info, n)
+			for _, name := range s.Engines {
+				eng := s.Engine(info, name)
+				eng.SetObjects(objs)
+				m, err := s.MeasureRQ(eng, pts, info.DefaultR)
+				if err != nil {
+					return nil, err
+				}
+				rqT.Set(name, xi, m.TimeUS)
+				rqM.Set(name, xi, m.MemMB)
+				m, err = s.MeasureKNN(eng, pts, s.K)
+				if err != nil {
+					return nil, err
+				}
+				knnT.Set(name, xi, m.TimeUS)
+				knnM.Set(name, xi, m.MemMB)
+			}
+		}
+		out = append(out, rqT, rqM, knnT, knnM)
+	}
+	return out, nil
+}
+
+// RunB3 evaluates the effect of the range radius r on RQ (Figures 21-22).
+func (s *Suite) RunB3(datasets []string) ([]*Series, error) {
+	var out []*Series
+	for _, ds := range datasets {
+		info := dataset.Get(ds)
+		xs := make([]string, len(info.RValues))
+		for i, r := range info.RValues {
+			xs[i] = fmt.Sprintf("%g", r)
+		}
+		rqT := newSeries("F21", "RQ Time vs r ("+ds+")", "us", "r(m)", xs, s.Engines)
+		rqM := newSeries("F22", "RQ Memory vs r ("+ds+")", "MB", "r(m)", xs, s.Engines)
+		pts := s.points(info)
+		objs := s.objects(info, s.Objects)
+		for _, name := range s.Engines {
+			eng := s.Engine(info, name)
+			eng.SetObjects(objs)
+			for xi, r := range info.RValues {
+				m, err := s.MeasureRQ(eng, pts, r)
+				if err != nil {
+					return nil, err
+				}
+				rqT.Set(name, xi, m.TimeUS)
+				rqM.Set(name, xi, m.MemMB)
+			}
+		}
+		out = append(out, rqT, rqM)
+	}
+	return out, nil
+}
+
+// RunB4 evaluates the effect of k on kNNQ (Figures 23-24).
+func (s *Suite) RunB4(datasets []string) ([]*Series, error) {
+	var out []*Series
+	xs := make([]string, len(KValues))
+	for i, k := range KValues {
+		xs[i] = fmt.Sprintf("%d", k)
+	}
+	for _, ds := range datasets {
+		info := dataset.Get(ds)
+		knnT := newSeries("F23", "kNNQ Time vs k ("+ds+")", "us", "k", xs, s.Engines)
+		knnM := newSeries("F24", "kNNQ Memory vs k ("+ds+")", "MB", "k", xs, s.Engines)
+		pts := s.points(info)
+		objs := s.objects(info, s.Objects)
+		for _, name := range s.Engines {
+			eng := s.Engine(info, name)
+			eng.SetObjects(objs)
+			for xi, k := range KValues {
+				m, err := s.MeasureKNN(eng, pts, k)
+				if err != nil {
+					return nil, err
+				}
+				knnT.Set(name, xi, m.TimeUS)
+				knnM.Set(name, xi, m.MemMB)
+			}
+		}
+		out = append(out, knnT, knnM)
+	}
+	return out, nil
+}
+
+// RunB5 evaluates the effect of the source-target distance s2t on SPDQ
+// (Figures 25-27).
+func (s *Suite) RunB5(datasets []string) ([]*Series, error) {
+	var out []*Series
+	for _, ds := range datasets {
+		info := dataset.Get(ds)
+		xs := make([]string, len(info.S2TValues))
+		for i, v := range info.S2TValues {
+			xs[i] = fmt.Sprintf("%g", v)
+		}
+		spdT := newSeries("F25", "SPDQ Time vs s2t ("+ds+")", "us", "s2t(m)", xs, s.Engines)
+		spdM := newSeries("F26", "SPDQ Memory vs s2t ("+ds+")", "MB", "s2t(m)", xs, s.Engines)
+		spdN := newSeries("F27", "SPDQ NVD vs s2t ("+ds+")", "doors", "s2t(m)", xs, s.Engines)
+		objs := s.objects(info, s.Objects)
+		for xi, v := range info.S2TValues {
+			prs := s.pairs(info, v)
+			for _, name := range s.Engines {
+				eng := s.Engine(info, name)
+				eng.SetObjects(objs)
+				m, err := s.MeasureSPD(eng, prs)
+				if err != nil {
+					return nil, err
+				}
+				spdT.Set(name, xi, m.TimeUS)
+				spdM.Set(name, xi, m.MemMB)
+				spdN.Set(name, xi, m.NVD)
+			}
+		}
+		out = append(out, spdT, spdM, spdN)
+	}
+	return out, nil
+}
+
+// RunB6 evaluates topological change on SYN (Figures 28-34).
+func (s *Suite) RunB6() ([]*Series, error) {
+	return s.variantSweep(TopologyDatasets, [7]string{
+		"F28", "F29", "F30", "F31", "F32", "F33", "F34",
+	}, "topology")
+}
+
+// RunB7 evaluates the hallway decomposition method (Figures 35-41).
+func (s *Suite) RunB7() ([]*Series, error) {
+	return s.variantSweep(DecompositionDatasets, [7]string{
+		"F35", "F36", "F37", "F38", "F39", "F40", "F41",
+	}, "decomposition")
+}
+
+// variantSweep runs the RQ/kNN/SPDQ triple across dataset variants.
+func (s *Suite) variantSweep(datasets []string, figs [7]string, what string) ([]*Series, error) {
+	rqT := newSeries(figs[0], "RQ Time vs "+what, "us", what, datasets, s.Engines)
+	rqM := newSeries(figs[1], "RQ Memory vs "+what, "MB", what, datasets, s.Engines)
+	knnT := newSeries(figs[2], "kNNQ Time vs "+what, "us", what, datasets, s.Engines)
+	knnM := newSeries(figs[3], "kNNQ Memory vs "+what, "MB", what, datasets, s.Engines)
+	spdT := newSeries(figs[4], "SPDQ Time vs "+what, "us", what, datasets, s.Engines)
+	spdM := newSeries(figs[5], "SPDQ Memory vs "+what, "MB", what, datasets, s.Engines)
+	spdN := newSeries(figs[6], "SPDQ NVD vs "+what, "doors", what, datasets, s.Engines)
+	for xi, ds := range datasets {
+		info := dataset.Get(ds)
+		if err := s.queryTriple(info, xi, rqT, rqM, knnT, knnM, spdT, spdM, spdN); err != nil {
+			return nil, err
+		}
+	}
+	return []*Series{rqT, rqM, knnT, knnM, spdT, spdM, spdN}, nil
+}
+
+// RunTask dispatches a task by name ("A", "B1".."B7").
+func (s *Suite) RunTask(task string) ([]*Series, error) {
+	switch task {
+	case "A":
+		return s.RunA(ConstructionDatasets)
+	case "B1":
+		return s.RunB1()
+	case "B2":
+		return s.RunB2(QueryDatasets)
+	case "B3":
+		return s.RunB3(QueryDatasets)
+	case "B4":
+		return s.RunB4(QueryDatasets)
+	case "B5":
+		return s.RunB5(QueryDatasets)
+	case "B6":
+		return s.RunB6()
+	case "B7":
+		return s.RunB7()
+	case "X":
+		return s.RunX("CPH")
+	}
+	return nil, fmt.Errorf("bench: unknown task %q", task)
+}
+
+// Tasks lists all task names in order (X is the extension-scaling task,
+// beyond the paper's figures).
+func Tasks() []string {
+	return []string{"A", "B1", "B2", "B3", "B4", "B5", "B6", "B7", "X"}
+}

@@ -1,0 +1,203 @@
+// Package cindex implements CINDEX, the composite indoor index of Xie et al.
+// (ICDE 2013; Sec. 3.3 of the paper): a layered structure with
+//
+//   - a geometric layer: an R-tree over partition MBRs (fan-out 20, standing
+//     in for the R*-tree as the paper's own experiments do, Sec. 5.3);
+//   - a topological layer: inter-partition links (dk, ->vj) attached to each
+//     partition, forming an implicit door graph;
+//   - an object layer: per-partition object buckets plus an object hashtable.
+//
+// CINDEX precomputes no indoor distances. Query initialization locates the
+// host partition through the R-tree; expansion runs Dijkstra over the
+// topological links, computing door-to-door distances on the fly, with an
+// additional Euclidean lower-bound check before bucket scans (which, as the
+// paper observes, rarely prunes under indoor topology).
+package cindex
+
+import (
+	"indoorsq/internal/geom"
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/query"
+	"indoorsq/internal/rtree"
+	"indoorsq/internal/traverse"
+)
+
+// Link is one topological-layer record: partition vi connects through door D
+// into partition To.
+type Link struct {
+	D  indoor.DoorID
+	To indoor.PartitionID
+}
+
+// Index is the CINDEX engine.
+type Index struct {
+	sp    *indoor.Space
+	tree  *rtree.Tree
+	links [][]Link // per partition
+	store *query.ObjectStore
+	g     *traverse.Graph
+	size  int64
+}
+
+// New builds the CINDEX over a space.
+func New(sp *indoor.Space) *Index {
+	ix := &Index{
+		sp:    sp,
+		tree:  rtree.New(rtree.DefaultFanout),
+		links: make([][]Link, sp.NumPartitions()),
+	}
+	for vi := range sp.Partitions() {
+		v := indoor.PartitionID(vi)
+		part := sp.Partition(v)
+		ix.tree.Insert(part.MBR, int32(vi))
+		for _, d := range part.Leave {
+			for _, to := range sp.Door(d).Enterable {
+				if to != v {
+					ix.links[vi] = append(ix.links[vi], Link{D: d, To: to})
+				}
+			}
+		}
+		ix.size += int64(len(ix.links[vi])) * 8
+	}
+	ix.size += ix.tree.SizeBytes() + sp.BaseSizeBytes() + sp.GeomSizeBytes()
+	ix.g = traverse.New(sp, ix.Host, ix.d2d, true)
+	return ix
+}
+
+// Host locates the partition containing p using the geometric layer.
+func (ix *Index) Host(p indoor.Point) (indoor.PartitionID, bool) {
+	cands := ix.tree.SearchPoint(p.XY(), nil)
+	host := indoor.NoPartition
+	for _, c := range cands {
+		v := indoor.PartitionID(c)
+		part := ix.sp.Partition(v)
+		if p.Floor < part.Floor || p.Floor > part.TopFloor {
+			continue
+		}
+		if !part.Poly.Contains(p.XY()) {
+			continue
+		}
+		if part.Kind != indoor.Staircase {
+			return v, true
+		}
+		if host == indoor.NoPartition {
+			host = v
+		}
+	}
+	return host, host != indoor.NoPartition
+}
+
+// d2d computes the door-to-door distance within v on the fly, honouring
+// door direction through the link structure.
+func (ix *Index) d2d(v indoor.PartitionID, di, dj indoor.DoorID) float64 {
+	return ix.sp.WithinDoors(v, di, dj)
+}
+
+// Links returns the topological-layer records of partition v.
+func (ix *Index) Links(v indoor.PartitionID) []Link { return ix.links[v] }
+
+// Tree exposes the geometric layer (used by extensions and tests).
+func (ix *Index) Tree() *rtree.Tree { return ix.tree }
+
+// Name implements query.Engine.
+func (ix *Index) Name() string { return "CIndex" }
+
+// SetObjects implements query.Engine (the object layer).
+func (ix *Index) SetObjects(objs []query.Object) {
+	ix.store = query.NewObjectStore(ix.sp, objs)
+}
+
+// Range implements query.Engine.
+func (ix *Index) Range(p indoor.Point, r float64, st *query.Stats) ([]int32, error) {
+	return ix.g.Range(ix.store, p, r, st)
+}
+
+// KNN implements query.Engine.
+func (ix *Index) KNN(p indoor.Point, k int, st *query.Stats) ([]query.Neighbor, error) {
+	return ix.g.KNN(ix.store, p, k, st)
+}
+
+// SPD implements query.Engine.
+func (ix *Index) SPD(p, q indoor.Point, st *query.Stats) (query.Path, error) {
+	return ix.g.SPD(p, q, st)
+}
+
+// SizeBytes implements query.Engine.
+func (ix *Index) SizeBytes() int64 { return ix.size }
+
+// RangeCandidates returns the partitions whose MBRs intersect the Euclidean
+// disk of radius r around p, a geometric-layer primitive used by extensions
+// (e.g. uncertain-location queries, Sec. 7).
+func (ix *Index) RangeCandidates(p indoor.Point, r float64) []indoor.PartitionID {
+	box := geom.R(p.X-r, p.Y-r, p.X+r, p.Y+r)
+	refs := ix.tree.Search(box, nil)
+	out := make([]indoor.PartitionID, 0, len(refs))
+	for _, c := range refs {
+		v := indoor.PartitionID(c)
+		part := ix.sp.Partition(v)
+		if p.Floor >= part.Floor && p.Floor <= part.TopFloor {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// openView is a temporal view of the index: the topological layer is
+// filtered by door open state at query time.
+type openView struct {
+	*Index
+	g *traverse.Graph
+}
+
+// WithOpen returns a view of the index that only traverses doors for which
+// open reports true — the temporal-variation extension of Sec. 7, realized
+// through the dynamically-updatable topological layer.
+func (ix *Index) WithOpen(open func(indoor.DoorID) bool) query.Engine {
+	return &openView{Index: ix, g: ix.g.WithOpen(open)}
+}
+
+// Range implements query.Engine under the door filter.
+func (v *openView) Range(p indoor.Point, r float64, st *query.Stats) ([]int32, error) {
+	return v.g.Range(v.Index.store, p, r, st)
+}
+
+// KNN implements query.Engine under the door filter.
+func (v *openView) KNN(p indoor.Point, k int, st *query.Stats) ([]query.Neighbor, error) {
+	return v.g.KNN(v.Index.store, p, k, st)
+}
+
+// SPD implements query.Engine under the door filter.
+func (v *openView) SPD(p, q indoor.Point, st *query.Stats) (query.Path, error) {
+	return v.g.SPD(p, q, st)
+}
+
+// ensureStore lazily creates an empty object store.
+func (ix *Index) ensureStore() *query.ObjectStore {
+	if ix.store == nil {
+		ix.store = query.NewObjectStore(ix.sp, nil)
+	}
+	return ix.store
+}
+
+// InsertObject implements query.ObjectUpdater.
+func (ix *Index) InsertObject(o query.Object) bool {
+	return ix.ensureStore().Insert(ix.sp, o)
+}
+
+// DeleteObject implements query.ObjectUpdater.
+func (ix *Index) DeleteObject(id int32) bool {
+	return ix.ensureStore().Delete(id)
+}
+
+// MoveObject implements query.ObjectUpdater.
+func (ix *Index) MoveObject(id int32, loc indoor.Point, part indoor.PartitionID) bool {
+	return ix.ensureStore().Move(ix.sp, id, loc, part)
+}
+
+// SetEuclidPrune toggles the geometric-layer Euclidean lower-bound check
+// before object bucket scans — an ablation knob for the design choice the
+// paper evaluates (Sec. 6.2 B5 observes it rarely prunes under indoor
+// topology).
+func (ix *Index) SetEuclidPrune(on bool) {
+	ix.g = traverse.New(ix.sp, ix.Host, ix.d2d, on)
+}

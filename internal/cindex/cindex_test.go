@@ -1,0 +1,95 @@
+package cindex_test
+
+import (
+	"testing"
+
+	"indoorsq/internal/cindex"
+	"indoorsq/internal/enginetest"
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/query"
+	"indoorsq/internal/testspaces"
+)
+
+func TestConformance(t *testing.T) {
+	enginetest.Run(t, func(sp *indoor.Space) query.Engine {
+		return cindex.New(sp)
+	})
+}
+
+func TestHostViaRTree(t *testing.T) {
+	f := testspaces.NewStrip()
+	ix := cindex.New(f.Space)
+	cases := []struct {
+		p    indoor.Point
+		want indoor.PartitionID
+	}{
+		{indoor.At(2, 8, 0), f.R1},
+		{indoor.At(10, 5, 0), f.Hall},
+		{indoor.At(15, 2, 0), f.R7},
+	}
+	for _, c := range cases {
+		got, ok := ix.Host(c.p)
+		if !ok || got != c.want {
+			t.Errorf("Host(%v) = %v,%v, want %v", c.p, got, ok, c.want)
+		}
+	}
+	if _, ok := ix.Host(indoor.At(-3, 0, 0)); ok {
+		t.Error("point outside should have no host")
+	}
+	// R-tree host agrees with sequential scan on many points.
+	for _, sp := range []*indoor.Space{f.Space, testspaces.RandomGrid(2, 4, 5, 2, 6, 0.2)} {
+		ix := cindex.New(sp)
+		for x := 0.5; x < 60; x += 3.7 {
+			for y := 0.5; y < 40; y += 2.9 {
+				p := indoor.At(x, y, 0)
+				g1, ok1 := ix.Host(p)
+				g2, ok2 := sp.HostPartition(p)
+				if ok1 != ok2 || (ok1 && g1 != g2) {
+					t.Fatalf("Host mismatch at %v: rtree=%v,%v scan=%v,%v", p, g1, ok1, g2, ok2)
+				}
+			}
+		}
+	}
+}
+
+func TestTopologicalLinks(t *testing.T) {
+	f := testspaces.NewStrip()
+	ix := cindex.New(f.Space)
+	// R6 leaves through D6 (to hall) and D8 (to R7): two link records.
+	links := ix.Links(f.R6)
+	if len(links) != 2 {
+		t.Fatalf("links(R6) = %v, want 2 records", links)
+	}
+	// R7 must not have a link through the one-way D8.
+	for _, l := range ix.Links(f.R7) {
+		if l.D == f.D8 {
+			t.Fatalf("R7 has a link through one-way D8: %v", l)
+		}
+	}
+	// Hall has 7 doors, each leading to one room.
+	if len(ix.Links(f.Hall)) != 7 {
+		t.Fatalf("links(Hall) = %d, want 7", len(ix.Links(f.Hall)))
+	}
+}
+
+func TestRangeCandidates(t *testing.T) {
+	f := testspaces.NewStrip()
+	ix := cindex.New(f.Space)
+	got := ix.RangeCandidates(indoor.At(2.5, 8, 0), 1)
+	// Small disk: only R1.
+	if len(got) != 1 || got[0] != f.R1 {
+		t.Fatalf("RangeCandidates small = %v", got)
+	}
+	all := ix.RangeCandidates(indoor.At(10, 5, 0), 100)
+	if len(all) != f.Space.NumPartitions() {
+		t.Fatalf("RangeCandidates large = %d, want all %d", len(all), f.Space.NumPartitions())
+	}
+}
+
+func TestTreeExposed(t *testing.T) {
+	f := testspaces.NewStrip()
+	ix := cindex.New(f.Space)
+	if ix.Tree().Len() != f.Space.NumPartitions() {
+		t.Fatalf("tree holds %d entries, want %d", ix.Tree().Len(), f.Space.NumPartitions())
+	}
+}

@@ -1,0 +1,104 @@
+package dataset
+
+import (
+	"fmt"
+
+	"indoorsq/internal/geom"
+	"indoorsq/internal/indoor"
+)
+
+// CPH builds a synthetic stand-in for the ground floor of Copenhagen
+// Airport: a single long, narrow, open floor (2000m x 600m) with a wide
+// main hall and a secondary concourse, joined through a band of gate/office
+// rooms; door density is low and regular (Q2 = 2, max ~12), matching the
+// open character the paper describes.
+const (
+	cphW      = 2000.0
+	cphH      = 600.0
+	cphMainY0 = 250.0
+	cphMainY1 = 350.0
+	cphMainN  = 13 // main hall pieces
+	cphSecY0  = 100.0
+	cphSecY1  = 150.0
+	cphSecN   = 12 // secondary hall pieces
+	cphMidN   = 24 // rooms joining the two halls
+	cphUpperN = 72 // rooms above the main hall
+	cphLowerN = 24 // rooms below the secondary hall
+)
+
+// cphChain adds a chain of hallway pieces spanning [0, cphW] x [y0, y1].
+func cphChain(b *indoor.Builder, n int, y0, y1 float64) (func(geom.Point) indoor.PartitionID, []indoor.PartitionID) {
+	ids := make([]indoor.PartitionID, n)
+	rects := make([]geom.Rect, n)
+	for i := 0; i < n; i++ {
+		r := geom.R(cphW*float64(i)/float64(n), y0, cphW*float64(i+1)/float64(n), y1)
+		rects[i] = r
+		ids[i] = b.AddHallway(0, geom.RectPoly(r))
+		if i > 0 {
+			d := b.AddVirtualDoor(geom.Pt(r.MinX, (y0+y1)/2), 0)
+			b.ConnectBoth(d, ids[i-1], ids[i])
+		}
+	}
+	locate := func(p geom.Point) indoor.PartitionID {
+		for i, r := range rects {
+			if r.Contains(p) {
+				return ids[i]
+			}
+		}
+		panic(fmt.Sprintf("dataset: no CPH hall piece contains %v", p))
+	}
+	return locate, ids
+}
+
+// CPH builds the airport dataset (always a single floor).
+func CPH() (*indoor.Space, error) {
+	b := indoor.NewBuilder("CPH", 1)
+	mainAt, _ := cphChain(b, cphMainN, cphMainY0, cphMainY1)
+	secAt, _ := cphChain(b, cphSecN, cphSecY0, cphSecY1)
+
+	// Upper rooms: one door onto the main hall; every third adjacent pair
+	// is additionally interconnected.
+	uw := cphW / cphUpperN
+	var prevUpper indoor.PartitionID = indoor.NoPartition
+	for i := 0; i < cphUpperN; i++ {
+		x0, x1 := float64(i)*uw, float64(i+1)*uw
+		room := b.AddRoom(0, geom.RectPoly(geom.R(x0, cphMainY1, x1, cphH)))
+		p := geom.Pt((x0+x1)/2, cphMainY1)
+		d := b.AddDoor(p, 0)
+		b.ConnectBoth(d, room, mainAt(p))
+		if prevUpper != indoor.NoPartition && i%5 == 1 {
+			nd := b.AddDoor(geom.Pt(x0, (cphMainY1+cphH)/2), 0)
+			b.ConnectBoth(nd, prevUpper, room)
+		}
+		prevUpper = room
+	}
+
+	// Middle rooms: doors to both halls.
+	mw := cphW / cphMidN
+	for i := 0; i < cphMidN; i++ {
+		x0, x1 := float64(i)*mw, float64(i+1)*mw
+		xm := (x0 + x1) / 2
+		room := b.AddRoom(0, geom.RectPoly(geom.R(x0, cphSecY1, x1, cphMainY0)))
+		dTop := b.AddDoor(geom.Pt(xm, cphMainY0), 0)
+		b.ConnectBoth(dTop, room, mainAt(geom.Pt(xm, cphMainY0)))
+		dBot := b.AddDoor(geom.Pt(xm, cphSecY1), 0)
+		b.ConnectBoth(dBot, room, secAt(geom.Pt(xm, cphSecY1)))
+	}
+
+	// Lower rooms: one door onto the secondary hall plus neighbor doors.
+	lw := cphW / cphLowerN
+	var prevLower indoor.PartitionID = indoor.NoPartition
+	for i := 0; i < cphLowerN; i++ {
+		x0, x1 := float64(i)*lw, float64(i+1)*lw
+		xm := (x0 + x1) / 2
+		room := b.AddRoom(0, geom.RectPoly(geom.R(x0, 0, x1, cphSecY0)))
+		d := b.AddDoor(geom.Pt(xm, cphSecY0), 0)
+		b.ConnectBoth(d, room, secAt(geom.Pt(xm, cphSecY0)))
+		if prevLower != indoor.NoPartition {
+			nd := b.AddDoor(geom.Pt(x0, cphSecY0/2), 0)
+			b.ConnectBoth(nd, prevLower, room)
+		}
+		prevLower = room
+	}
+	return b.Build()
+}

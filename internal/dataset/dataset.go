@@ -1,0 +1,131 @@
+// Package dataset builds the four benchmark venues of the paper's Sec. 5.1
+// (SYN, MZB, HSM, CPH) and their topology/decomposition variants (Table 4).
+//
+// The real floorplans used by the paper (a mall floorplan for SYN floors,
+// the Menzies Building, the Hangzhou Shopping Mall, and Copenhagen Airport)
+// are not redistributable; each generator here is a parametric synthetic
+// equivalent engineered to match the published dataset statistics — floor
+// count, partition/door/hallway counts, extents, and the #dv quartile
+// profile — which are the only properties the evaluated algorithms depend
+// on. EXPERIMENTS.md records generated-vs-published statistics.
+package dataset
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"indoorsq/internal/indoor"
+)
+
+// Info bundles a benchmark dataset with its evaluation parameters from
+// Table 5 (defaults in bold there: |O| = 1000, r = 600 (MZB 60), k = 10,
+// s2t = 1500 (MZB 90)).
+type Info struct {
+	Name  string
+	Space *indoor.Space
+	// Gamma is the tuned crucial-partition threshold for IP/VIP-TREE
+	// construction (Sec. 5.3: SYN 6, MZB 4, HSM 7, CPH 5).
+	Gamma int
+	// RValues are the B3 range-query radii; DefaultR is the bold default.
+	RValues  []float64
+	DefaultR float64
+	// S2TValues are the B5 source-target distances; DefaultS2T the default.
+	S2TValues  []float64
+	DefaultS2T float64
+}
+
+var (
+	largeR   = []float64{200, 400, 600, 800, 1000}
+	smallR   = []float64{20, 40, 60, 80, 100}
+	largeS2T = []float64{1100, 1300, 1500, 1700, 1900}
+	smallS2T = []float64{30, 60, 90, 120, 150}
+)
+
+// Names lists every dataset understood by Build, in presentation order.
+func Names() []string {
+	return []string{
+		"SYN3", "SYN5", "SYN7", "SYN9",
+		"SYN5-", "SYN5+", "SYN50",
+		"MZB", "MZB0", "MZBD",
+		"HSM", "CPH",
+	}
+}
+
+// Build constructs the named dataset. Recognized names are those returned
+// by Names.
+func Build(name string) (*Info, error) {
+	info := &Info{Name: name}
+	var sp *indoor.Space
+	var err error
+	switch name {
+	case "SYN5-":
+		sp, err = SYN(5, SynMinus)
+		info.Gamma = 6
+	case "SYN5+":
+		sp, err = SYN(5, SynPlus)
+		info.Gamma = 6
+	case "SYN50":
+		sp, err = SYN(5, SynZero)
+		info.Gamma = 6
+	case "MZB":
+		sp, err = MZBFull(MzbDefault)
+		info.Gamma = 4
+	case "MZB0":
+		sp, err = MZBFull(MzbZero)
+		info.Gamma = 4
+	case "MZBD":
+		sp, err = MZBFull(MzbDelta)
+		info.Gamma = 4
+	case "HSM":
+		sp, err = HSMFull()
+		info.Gamma = 7
+	case "CPH":
+		sp, err = CPH()
+		info.Gamma = 5
+	default:
+		// SYN<n> for any floor count, e.g. SYN3, SYN12.
+		if suffix, ok := strings.CutPrefix(name, "SYN"); ok {
+			if n, perr := strconv.Atoi(suffix); perr == nil && n >= 1 && n <= 99 {
+				sp, err = SYN(n, SynDefault)
+				info.Gamma = 6
+				break
+			}
+		}
+		return nil, fmt.Errorf("dataset: unknown dataset %q", name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	info.Space = sp
+	if name == "MZB" || name == "MZB0" || name == "MZBD" {
+		info.RValues, info.DefaultR = smallR, 60
+		info.S2TValues, info.DefaultS2T = smallS2T, 90
+	} else {
+		info.RValues, info.DefaultR = largeR, 600
+		info.S2TValues, info.DefaultS2T = largeS2T, 1500
+	}
+	return info, nil
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*Info{}
+)
+
+// Get returns the named dataset, building it once and caching the result.
+// It panics on unknown names; use Build for error handling.
+func Get(name string) *Info {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if info, ok := cache[name]; ok {
+		return info
+	}
+	info, err := Build(name)
+	if err != nil {
+		panic(err)
+	}
+	cache[name] = info
+	return info
+}

@@ -1,0 +1,242 @@
+package dataset
+
+import (
+	"testing"
+
+	"indoorsq/internal/indoor"
+)
+
+func stats(t *testing.T, name string, gamma int) indoor.Stats {
+	t.Helper()
+	info, err := Build(name)
+	if err != nil {
+		t.Fatalf("Build(%s): %v", name, err)
+	}
+	return info.Space.SpaceStats(gamma)
+}
+
+func TestSYN5MatchesTable4(t *testing.T) {
+	st := stats(t, "SYN5", 6)
+	// Table 4: 5 floors, 1080 doors, 705 partitions, 205 hallways,
+	// extent 1368 x 1368, Q2(#dv) = 2.
+	if st.Floors != 5 {
+		t.Fatalf("floors = %d", st.Floors)
+	}
+	if st.Hallways != 205 {
+		t.Fatalf("hallways = %d, want 205 (41 per floor)", st.Hallways)
+	}
+	if st.Rooms != 500 {
+		t.Fatalf("rooms = %d, want 500", st.Rooms)
+	}
+	if st.Length != 1368 {
+		t.Fatalf("length = %g, want 1368", st.Length)
+	}
+	if st.Doors < 900 || st.Doors > 1200 {
+		t.Fatalf("doors = %d, want ~1080", st.Doors)
+	}
+	if st.Partitions < 700 || st.Partitions > 730 {
+		t.Fatalf("partitions = %d, want ~705", st.Partitions)
+	}
+	if st.Q2 < 1 || st.Q2 > 3 {
+		t.Fatalf("Q2 = %d, want ~2", st.Q2)
+	}
+	if st.Max < 6 || st.Max > 12 {
+		t.Fatalf("max #dv = %d, want ~10", st.Max)
+	}
+	if st.Crucial != 40 { // Table 4: 8n crucial partitions
+		t.Fatalf("crucial = %d, want 40", st.Crucial)
+	}
+}
+
+func TestSYNVariantsChangeDoors(t *testing.T) {
+	minus := stats(t, "SYN5-", 6)
+	def := stats(t, "SYN5", 6)
+	plus := stats(t, "SYN5+", 6)
+	if !(minus.Doors < def.Doors && def.Doors < plus.Doors) {
+		t.Fatalf("door ordering: %d, %d, %d", minus.Doors, def.Doors, plus.Doors)
+	}
+	// Partition counts stay identical across B6 variants.
+	if minus.Partitions != def.Partitions || plus.Partitions != def.Partitions {
+		t.Fatalf("partitions differ: %d, %d, %d", minus.Partitions, def.Partitions, plus.Partitions)
+	}
+}
+
+func TestSYN0Undecomposed(t *testing.T) {
+	zero := stats(t, "SYN50", 6)
+	if zero.Hallways != 5 {
+		t.Fatalf("SYN50 hallways = %d, want 5 (one per floor)", zero.Hallways)
+	}
+	def := stats(t, "SYN5", 6)
+	if zero.Doors >= def.Doors {
+		t.Fatalf("SYN50 doors %d should be below SYN5 %d (no virtual doors)", zero.Doors, def.Doors)
+	}
+	if zero.Max <= def.Max {
+		t.Fatalf("SYN50 max #dv %d should exceed SYN5 %d", zero.Max, def.Max)
+	}
+}
+
+func TestMZBMatchesTable4(t *testing.T) {
+	st := stats(t, "MZB", 4)
+	if st.Floors != 17 {
+		t.Fatalf("floors = %d", st.Floors)
+	}
+	if st.Length < 124.9 || st.Length > 125.1 || st.Width != 35 {
+		t.Fatalf("extent = %g x %g", st.Length, st.Width)
+	}
+	// Skewed profile: median partition has exactly one door.
+	if st.Q1 != 1 || st.Q2 != 1 {
+		t.Fatalf("Q1/Q2 = %d/%d, want 1/1", st.Q1, st.Q2)
+	}
+	if st.Max < 40 {
+		t.Fatalf("max #dv = %d, want a >50-door crucial corridor", st.Max)
+	}
+	if st.Hallways != 5*17 {
+		t.Fatalf("hallways = %d, want 85", st.Hallways)
+	}
+	if st.Partitions < 1250 || st.Partitions > 1450 {
+		t.Fatalf("partitions = %d, want ~1344", st.Partitions)
+	}
+	if st.Doors < 1250 || st.Doors > 1500 {
+		t.Fatalf("doors = %d, want ~1375", st.Doors)
+	}
+}
+
+func TestMZBVariants(t *testing.T) {
+	zero := stats(t, "MZB0", 4)
+	def := stats(t, "MZB", 4)
+	delta := stats(t, "MZBD", 4)
+	if zero.Hallways != 17 {
+		t.Fatalf("MZB0 hallways = %d, want 17", zero.Hallways)
+	}
+	if delta.Hallways != 11*17 {
+		t.Fatalf("MZBD hallways = %d, want 187", delta.Hallways)
+	}
+	if !(zero.Doors < def.Doors && def.Doors < delta.Doors) {
+		t.Fatalf("door ordering: %d, %d, %d", zero.Doors, def.Doors, delta.Doors)
+	}
+	if zero.Max <= def.Max {
+		t.Fatalf("MZB0 max %d should exceed MZB %d", zero.Max, def.Max)
+	}
+}
+
+func TestHSMMatchesTable4(t *testing.T) {
+	st := stats(t, "HSM", 7)
+	if st.Floors != 7 {
+		t.Fatalf("floors = %d", st.Floors)
+	}
+	if st.Length != 2700 {
+		t.Fatalf("length = %g", st.Length)
+	}
+	if st.Partitions < 850 || st.Partitions > 1150 {
+		t.Fatalf("partitions = %d, want ~1050", st.Partitions)
+	}
+	if st.Doors < 1900 || st.Doors > 2350 {
+		t.Fatalf("doors = %d, want ~2093", st.Doors)
+	}
+	if st.Q2 < 3 || st.Q2 > 5 {
+		t.Fatalf("Q2 = %d, want ~4", st.Q2)
+	}
+	if st.Max < 12 || st.Max > 22 {
+		t.Fatalf("max #dv = %d, want ~17", st.Max)
+	}
+	if st.Crucial < 80 {
+		t.Fatalf("crucial = %d, want ~133", st.Crucial)
+	}
+}
+
+func TestCPHMatchesTable4(t *testing.T) {
+	st := stats(t, "CPH", 5)
+	if st.Floors != 1 || st.Staircases != 0 {
+		t.Fatalf("floors/stairs = %d/%d", st.Floors, st.Staircases)
+	}
+	if st.Length != 2000 || st.Width != 600 {
+		t.Fatalf("extent = %g x %g", st.Length, st.Width)
+	}
+	if st.Partitions < 135 || st.Partitions > 160 {
+		t.Fatalf("partitions = %d, want ~147", st.Partitions)
+	}
+	if st.Doors < 190 || st.Doors > 230 {
+		t.Fatalf("doors = %d, want ~211", st.Doors)
+	}
+	if st.Hallways != cphMainN+cphSecN {
+		t.Fatalf("hallways = %d, want 25", st.Hallways)
+	}
+	if st.Q2 != 2 {
+		t.Fatalf("Q2 = %d, want 2", st.Q2)
+	}
+	if st.Max < 8 || st.Max > 14 {
+		t.Fatalf("max #dv = %d, want ~12", st.Max)
+	}
+}
+
+func TestSYNScalesWithFloors(t *testing.T) {
+	s3 := stats(t, "SYN3", 6)
+	s5 := stats(t, "SYN5", 6)
+	if s5.Partitions <= s3.Partitions || s5.Doors <= s3.Doors {
+		t.Fatal("SYN5 must be larger than SYN3")
+	}
+	// Roughly linear growth per floor.
+	perFloor3 := float64(s3.Partitions) / 3
+	perFloor5 := float64(s5.Partitions) / 5
+	if perFloor5/perFloor3 > 1.1 || perFloor3/perFloor5 > 1.1 {
+		t.Fatalf("per-floor partitions diverge: %g vs %g", perFloor3, perFloor5)
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	if _, err := Build("NOPE"); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+}
+
+func TestGetCaches(t *testing.T) {
+	a := Get("CPH")
+	b := Get("CPH")
+	if a != b {
+		t.Fatal("Get should cache")
+	}
+}
+
+// TestDatasetsPassDeepCheck guards the generators: every benchmark venue
+// must be geometrically and topologically clean (no overlapping partitions,
+// doors on walls, full reachability).
+func TestDatasetsPassDeepCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds every dataset")
+	}
+	for _, name := range Names() {
+		info, err := Build(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if errs := info.Space.Check(); len(errs) != 0 {
+			for _, e := range errs[:min(len(errs), 10)] {
+				t.Errorf("%s: %v", name, e)
+			}
+			t.Fatalf("%s: %d problems", name, len(errs))
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestSYNArbitraryFloors(t *testing.T) {
+	info, err := Build("SYN2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Space.Floors != 2 {
+		t.Fatalf("floors = %d", info.Space.Floors)
+	}
+	if _, err := Build("SYN0"); err == nil {
+		t.Fatal("SYN0 collides with nothing and must fail (0 floors)")
+	}
+	if _, err := Build("SYNx"); err == nil {
+		t.Fatal("SYNx must fail")
+	}
+}

@@ -1,0 +1,184 @@
+package dataset
+
+import (
+	"fmt"
+
+	"indoorsq/internal/geom"
+	"indoorsq/internal/indoor"
+)
+
+// HSM builds a synthetic stand-in for the Hangzhou Shopping Mall: a 7-floor
+// 2700m x 2000m venue with a regular corridor grid (two long horizontal
+// corridors linked by a vertical connector), rows of shops with medium door
+// density (most shops have 3-5 doors: one or two onto the corridor plus
+// doors to their neighbors), and ten stairways per adjacent floor pair.
+const (
+	hsmFloors    = 7
+	hsmW         = 2700.0
+	hsmH         = 2000.0
+	hsmC1Y0      = 450.0
+	hsmC1Y1      = 500.0
+	hsmC2Y0      = 1500.0
+	hsmC2Y1      = 1550.0
+	hsmPieces    = 8 // pieces per horizontal corridor
+	hsmShops     = 30
+	hsmShopDepth = 450.0
+	hsmVertX0    = 1485.0
+	hsmVertX1    = 1535.0
+	hsmStairLen  = 6.0
+)
+
+// hsmCorridors adds one floor's corridor pieces and returns a locator.
+func hsmCorridors(b *indoor.Builder, fl int16) func(geom.Point) indoor.PartitionID {
+	type piece struct {
+		r  geom.Rect
+		id indoor.PartitionID
+	}
+	var pieces []piece
+	addChain := func(y0, y1 float64) {
+		var prev indoor.PartitionID = indoor.NoPartition
+		for i := 0; i < hsmPieces; i++ {
+			x0 := hsmW * float64(i) / hsmPieces
+			x1 := hsmW * float64(i+1) / hsmPieces
+			r := geom.R(x0, y0, x1, y1)
+			id := b.AddHallway(fl, geom.RectPoly(r))
+			pieces = append(pieces, piece{r, id})
+			if prev != indoor.NoPartition {
+				d := b.AddVirtualDoor(geom.Pt(x0, (y0+y1)/2), fl)
+				b.ConnectBoth(d, prev, id)
+			}
+			prev = id
+		}
+	}
+	addChain(hsmC1Y0, hsmC1Y1)
+	addChain(hsmC2Y0, hsmC2Y1)
+
+	// Vertical connector between the two corridors, two pieces.
+	vr1 := geom.R(hsmVertX0, hsmC1Y1, hsmVertX1, (hsmC1Y1+hsmC2Y0)/2)
+	vr2 := geom.R(hsmVertX0, (hsmC1Y1+hsmC2Y0)/2, hsmVertX1, hsmC2Y0)
+	v1 := b.AddHallway(fl, geom.RectPoly(vr1))
+	v2 := b.AddHallway(fl, geom.RectPoly(vr2))
+	pieces = append(pieces, piece{vr1, v1}, piece{vr2, v2})
+	dv := b.AddVirtualDoor(geom.Pt((hsmVertX0+hsmVertX1)/2, (hsmC1Y1+hsmC2Y0)/2), fl)
+	b.ConnectBoth(dv, v1, v2)
+
+	locate := func(p geom.Point) indoor.PartitionID {
+		for _, pc := range pieces {
+			if pc.r.Contains(p) {
+				return pc.id
+			}
+		}
+		panic(fmt.Sprintf("dataset: no HSM corridor piece contains %v", p))
+	}
+	// Join the connector ends to the horizontal corridors.
+	xm := (hsmVertX0 + hsmVertX1) / 2
+	dLow := b.AddVirtualDoor(geom.Pt(xm, hsmC1Y1), fl)
+	b.ConnectBoth(dLow, v1, locate(geom.Pt(xm, hsmC1Y1-1)))
+	dHigh := b.AddVirtualDoor(geom.Pt(xm, hsmC2Y0), fl)
+	b.ConnectBoth(dHigh, v2, locate(geom.Pt(xm, hsmC2Y0+1)))
+	return locate
+}
+
+// hsmRow describes one shop row: its y extent and the corridor wall side.
+type hsmRow struct {
+	y0, y1    float64
+	corridorY float64 // y of the wall shared with the corridor
+	skipVert  bool    // drop slots covered by the vertical connector
+	stairs    bool    // row hosts the stairwell slots
+}
+
+func hsmRows() []hsmRow {
+	return []hsmRow{
+		{y0: hsmC1Y0 - hsmShopDepth, y1: hsmC1Y0, corridorY: hsmC1Y0, stairs: true},
+		{y0: hsmC1Y1, y1: hsmC1Y1 + hsmShopDepth, corridorY: hsmC1Y1, skipVert: true},
+		{y0: hsmC2Y0 - hsmShopDepth, y1: hsmC2Y0, corridorY: hsmC2Y0, skipVert: true},
+		{y0: hsmC2Y1, y1: hsmC2Y1 + hsmShopDepth, corridorY: hsmC2Y1},
+	}
+}
+
+// hsmStairSlot reports whether slot i of the stair row is reserved.
+func hsmStairSlot(i int) bool {
+	switch i {
+	case 1, 4, 7, 10, 13, 16, 19, 22, 25, 28:
+		return true
+	}
+	return false
+}
+
+// hsmShopRows adds the shop rows of one floor.
+func hsmShopRows(b *indoor.Builder, fl int16, locate func(geom.Point) indoor.PartitionID) {
+	w := hsmW / hsmShops
+	for _, row := range hsmRows() {
+		var prev indoor.PartitionID = indoor.NoPartition
+		var prevEdge float64
+		for i := 0; i < hsmShops; i++ {
+			x0, x1 := float64(i)*w, float64(i+1)*w
+			if row.skipVert && x1 > hsmVertX0 && x0 < hsmVertX1 {
+				prev = indoor.NoPartition
+				continue
+			}
+			if row.stairs && hsmStairSlot(i) {
+				prev = indoor.NoPartition
+				continue
+			}
+			shop := b.AddRoom(fl, geom.RectPoly(geom.R(x0, row.y0, x1, row.y1)))
+			// Two corridor doors per shop.
+			p1 := geom.Pt(x0+w/4, row.corridorY)
+			d1 := b.AddDoor(p1, fl)
+			b.ConnectBoth(d1, shop, locate(p1))
+			p2 := geom.Pt(x0+3*w/4, row.corridorY)
+			d2 := b.AddDoor(p2, fl)
+			b.ConnectBoth(d2, shop, locate(p2))
+			// Neighbor door to the previous shop for two of three walls.
+			if prev != indoor.NoPartition && i%3 != 0 {
+				nd := b.AddDoor(geom.Pt(prevEdge, (row.y0+row.y1)/2), fl)
+				b.ConnectBoth(nd, prev, shop)
+			}
+			prev = shop
+			prevEdge = x1
+		}
+	}
+}
+
+// hsmStairs links floor fl to fl+1 with ten stairways in the reserved slots
+// of the stair row, alternating slot halves by parity.
+func hsmStairs(b *indoor.Builder, fl int16, low, high func(geom.Point) indoor.PartitionID) {
+	even := []int{1, 7, 13, 19, 25}
+	odd := []int{4, 10, 16, 22, 28}
+	slots := even
+	if fl%2 == 1 {
+		slots = odd
+	}
+	w := hsmW / hsmShops
+	row := hsmRows()[0]
+	for _, i := range slots {
+		x0, x1 := float64(i)*w, float64(i+1)*w
+		poly := geom.RectPoly(geom.R(x0, row.y0, x1, row.y1))
+		st := b.AddStair(fl, fl+1, poly, hsmStairLen)
+		p := geom.Pt((x0+x1)/2, row.corridorY)
+		dl := b.AddDoor(p, fl)
+		b.ConnectBoth(dl, low(p), st)
+		dh := b.AddDoor(p, fl+1)
+		b.ConnectBoth(dh, high(p), st)
+	}
+}
+
+// HSM builds the shopping-mall dataset with the given floor count.
+func HSM(floors int) (*indoor.Space, error) {
+	if floors < 1 {
+		return nil, fmt.Errorf("dataset: HSM needs >= 1 floor")
+	}
+	b := indoor.NewBuilder("HSM", floors)
+	locs := make([]func(geom.Point) indoor.PartitionID, floors)
+	for fl := 0; fl < floors; fl++ {
+		locs[fl] = hsmCorridors(b, int16(fl))
+		hsmShopRows(b, int16(fl), locs[fl])
+	}
+	for fl := 0; fl+1 < floors; fl++ {
+		hsmStairs(b, int16(fl), locs[fl], locs[fl+1])
+	}
+	return b.Build()
+}
+
+// HSMFull builds the full 7-floor dataset.
+func HSMFull() (*indoor.Space, error) { return HSM(hsmFloors) }

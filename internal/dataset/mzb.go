@@ -1,0 +1,166 @@
+package dataset
+
+import (
+	"fmt"
+
+	"indoorsq/internal/geom"
+	"indoorsq/internal/indoor"
+)
+
+// MZB builds a synthetic stand-in for the Menzies Building (Monash
+// University): 17 long and narrow floors (125m x 35m) with a central
+// corridor, a highly skewed door distribution (most rooms have exactly one
+// door; one corridor section concentrates more than fifty doors — the
+// "crucial partitions" the paper highlights), and two or four 5m stairways
+// per adjacent floor pair.
+//
+// Variants control the hallway decomposition (task B7):
+//
+//	MzbDefault — corridor cut into 5 uneven pieces (one dense crucial piece)
+//	MzbZero    — corridor kept as a single partition per floor
+//	MzbDelta   — corridor cut into 11 pieces
+type MzbVariant int
+
+// MZB variants.
+const (
+	MzbDefault MzbVariant = iota
+	MzbZero
+	MzbDelta
+)
+
+const (
+	mzbFloors   = 17
+	mzbW        = 125.0
+	mzbH        = 35.0
+	mzbCorrY0   = 15.0
+	mzbCorrY1   = 20.0
+	mzbDenseEnd = 87.5 // dense-room section [0, 87.5]
+	mzbDenseN   = 28   // dense rooms per side
+	mzbSparseN  = 9    // sparse rooms per side
+	mzbStairLen = 5.0
+)
+
+// mzbCuts returns the corridor cut positions for a variant.
+func mzbCuts(variant MzbVariant) []float64 {
+	switch variant {
+	case MzbZero:
+		return nil
+	case MzbDelta:
+		cuts := make([]float64, 0, 10)
+		for i := 1; i <= 10; i++ {
+			cuts = append(cuts, mzbW*float64(i)/11)
+		}
+		return cuts
+	default:
+		return []float64{mzbDenseEnd, 97, 106.5, 116}
+	}
+}
+
+// mzbFloor adds one floor: the corridor pieces, the rooms and the per-floor
+// doors; it returns a locator for corridor pieces.
+func mzbFloor(b *indoor.Builder, fl int16, variant MzbVariant) func(geom.Point) indoor.PartitionID {
+	cuts := mzbCuts(variant)
+	xs := append([]float64{0}, cuts...)
+	xs = append(xs, mzbW)
+	ids := make([]indoor.PartitionID, 0, len(xs)-1)
+	rects := make([]geom.Rect, 0, len(xs)-1)
+	for i := 0; i+1 < len(xs); i++ {
+		r := geom.R(xs[i], mzbCorrY0, xs[i+1], mzbCorrY1)
+		rects = append(rects, r)
+		ids = append(ids, b.AddHallway(fl, geom.RectPoly(r)))
+	}
+	for i := 0; i+1 < len(ids); i++ {
+		d := b.AddVirtualDoor(geom.Pt(xs[i+1], (mzbCorrY0+mzbCorrY1)/2), fl)
+		b.ConnectBoth(d, ids[i], ids[i+1])
+	}
+	locate := func(p geom.Point) indoor.PartitionID {
+		for i, r := range rects {
+			if r.Contains(p) {
+				return ids[i]
+			}
+		}
+		panic(fmt.Sprintf("dataset: no MZB corridor piece contains %v", p))
+	}
+
+	// Dense single-door rooms in [0, mzbDenseEnd].
+	dw := mzbDenseEnd / mzbDenseN
+	for i := 0; i < mzbDenseN; i++ {
+		x0, x1 := float64(i)*dw, float64(i+1)*dw
+		xm := (x0 + x1) / 2
+		up := b.AddRoom(fl, geom.RectPoly(geom.R(x0, mzbCorrY1, x1, mzbH)))
+		d := b.AddDoor(geom.Pt(xm, mzbCorrY1), fl)
+		b.ConnectBoth(d, up, locate(geom.Pt(xm, mzbCorrY1)))
+		dn := b.AddRoom(fl, geom.RectPoly(geom.R(x0, 0, x1, mzbCorrY0)))
+		d2 := b.AddDoor(geom.Pt(xm, mzbCorrY0), fl)
+		b.ConnectBoth(d2, dn, locate(geom.Pt(xm, mzbCorrY0)))
+	}
+	// Sparse rooms in [mzbDenseEnd, mzbW]; four upper slots are reserved
+	// for stairwells (two per floor parity) and get no room.
+	sw := (mzbW - mzbDenseEnd) / mzbSparseN
+	for i := 0; i < mzbSparseN; i++ {
+		x0 := mzbDenseEnd + float64(i)*sw
+		x1 := x0 + sw
+		xm := (x0 + x1) / 2
+		if !mzbStairSlot(i) {
+			up := b.AddRoom(fl, geom.RectPoly(geom.R(x0, mzbCorrY1, x1, mzbH)))
+			d := b.AddDoor(geom.Pt(xm, mzbCorrY1), fl)
+			b.ConnectBoth(d, up, locate(geom.Pt(xm, mzbCorrY1)))
+		}
+		dn := b.AddRoom(fl, geom.RectPoly(geom.R(x0, 0, x1, mzbCorrY0)))
+		d2 := b.AddDoor(geom.Pt(xm, mzbCorrY0), fl)
+		b.ConnectBoth(d2, dn, locate(geom.Pt(xm, mzbCorrY0)))
+	}
+	return locate
+}
+
+// mzbStairSlot reports whether sparse upper slot i is reserved for stairs.
+func mzbStairSlot(i int) bool { return i == 1 || i == 3 || i == 5 || i == 7 }
+
+// mzbStairs links floor fl to fl+1 with two stairways, alternating slots by
+// floor parity.
+func mzbStairs(b *indoor.Builder, fl int16, low, high func(geom.Point) indoor.PartitionID) {
+	slots := []int{1, 5}
+	if fl%2 == 1 {
+		slots = []int{3, 7}
+	}
+	sw := (mzbW - mzbDenseEnd) / mzbSparseN
+	for _, i := range slots {
+		x0 := mzbDenseEnd + float64(i)*sw
+		x1 := x0 + sw
+		xm := (x0 + x1) / 2
+		poly := geom.RectPoly(geom.R(x0, mzbCorrY1, x1, mzbH))
+		st := b.AddStair(fl, fl+1, poly, mzbStairLen)
+		p := geom.Pt(xm, mzbCorrY1)
+		dLow := b.AddDoor(p, fl)
+		b.ConnectBoth(dLow, low(p), st)
+		dHigh := b.AddDoor(p, fl+1)
+		b.ConnectBoth(dHigh, high(p), st)
+	}
+}
+
+// MZB builds the Menzies-Building-like dataset with the given decomposition
+// variant and floor count (pass mzbFloors upstream; exposed for tests).
+func MZB(floors int, variant MzbVariant) (*indoor.Space, error) {
+	if floors < 1 {
+		return nil, fmt.Errorf("dataset: MZB needs >= 1 floor")
+	}
+	name := "MZB"
+	switch variant {
+	case MzbZero:
+		name = "MZB0"
+	case MzbDelta:
+		name = "MZBD"
+	}
+	b := indoor.NewBuilder(name, floors)
+	locs := make([]func(geom.Point) indoor.PartitionID, floors)
+	for fl := 0; fl < floors; fl++ {
+		locs[fl] = mzbFloor(b, int16(fl), variant)
+	}
+	for fl := 0; fl+1 < floors; fl++ {
+		mzbStairs(b, int16(fl), locs[fl], locs[fl+1])
+	}
+	return b.Build()
+}
+
+// MZBFull builds the full 17-floor dataset.
+func MZBFull(variant MzbVariant) (*indoor.Space, error) { return MZB(mzbFloors, variant) }

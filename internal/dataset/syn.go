@@ -1,0 +1,254 @@
+package dataset
+
+import (
+	"fmt"
+
+	"indoorsq/internal/decomp"
+	"indoorsq/internal/geom"
+	"indoorsq/internal/indoor"
+)
+
+// SYN builds the synthetic n-floor building of Sec. 5.1: each floor is a
+// 1368m x 1368m plan with a comb-shaped corridor (20 branches), 100 rooms,
+// and four 20m stairways to the next floor. The default topology variant
+// decomposes the corridor into 41 rectangular pieces joined by virtual
+// doors, exactly as Table 4 reports.
+//
+// Topology variants (Table 4 / task B6-B7):
+//
+//	SynDefault — corridor decomposed, default door set
+//	SynMinus   — fewer doors (rooms have a single door each)
+//	SynPlus    — more doors (extra room-room and room-corridor doors)
+//	SynZero    — corridor not decomposed (one concave hallway per floor)
+type SynVariant int
+
+// SYN variants.
+const (
+	SynDefault SynVariant = iota
+	SynMinus
+	SynPlus
+	SynZero
+)
+
+// Geometry constants of one SYN floor (meters).
+const (
+	synSize       = 1368.0
+	synBranches   = 20
+	synPitch      = 68.0
+	synBranchW    = 28.0
+	synBranchLen  = 500.0
+	synCorrY0     = 670.0
+	synCorrY1     = 698.0
+	synRoomW      = 20.0
+	synRoomDepth  = 250.0
+	synTopDepth   = 170.0
+	synStairLen   = 20.0
+	synStairDepth = 60.0
+)
+
+// synCrucialBranch designates the branches whose corridor slab keeps all
+// five room doors and therefore becomes a crucial partition (8 per floor,
+// matching Table 4's "8n" crucial partitions for SYN).
+func synCrucialBranch(k int) bool {
+	return k%5 == 0 || k%5 == 2
+}
+
+// synBranchX returns the x-extent of branch k.
+func synBranchX(k int) (bx0, bx1 float64) {
+	return float64(k)*synPitch + 20, float64(k)*synPitch + 48
+}
+
+// synCombPolygon builds the CCW comb-shaped corridor outline: even branches
+// point up, odd branches point down.
+func synCombPolygon() geom.Polygon {
+	var p geom.Polygon
+	// East along the bottom edge with down-teeth at odd branches.
+	p = append(p, geom.Pt(0, synCorrY0))
+	for k := 1; k < synBranches; k += 2 {
+		bx0, bx1 := synBranchX(k)
+		y := synCorrY0 - synBranchLen
+		p = append(p,
+			geom.Pt(bx0, synCorrY0), geom.Pt(bx0, y),
+			geom.Pt(bx1, y), geom.Pt(bx1, synCorrY0))
+	}
+	p = append(p, geom.Pt(synSize, synCorrY0), geom.Pt(synSize, synCorrY1))
+	// West along the top edge with up-teeth at even branches.
+	for k := synBranches - 2; k >= 0; k -= 2 {
+		bx0, bx1 := synBranchX(k)
+		y := synCorrY1 + synBranchLen
+		p = append(p,
+			geom.Pt(bx1, synCorrY1), geom.Pt(bx1, y),
+			geom.Pt(bx0, y), geom.Pt(bx0, synCorrY1))
+	}
+	p = append(p, geom.Pt(0, synCorrY1))
+	return p
+}
+
+// synFloorHalls adds the corridor partitions of one floor and returns a
+// locator mapping a point on the corridor boundary to its hallway piece.
+func synFloorHalls(b *indoor.Builder, fl int16, variant SynVariant) (func(geom.Point) indoor.PartitionID, error) {
+	poly := synCombPolygon()
+	if variant == SynZero {
+		hall := b.AddHallway(fl, poly)
+		return func(geom.Point) indoor.PartitionID { return hall }, nil
+	}
+	res, err := decomp.Decompose(poly)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: SYN corridor decomposition: %w", err)
+	}
+	ids := make([]indoor.PartitionID, len(res.Pieces))
+	for i, r := range res.Pieces {
+		ids[i] = b.AddHallway(fl, geom.RectPoly(r))
+	}
+	for _, j := range res.Junctions {
+		d := b.AddVirtualDoor(j.P, fl)
+		b.ConnectBoth(d, ids[j.A], ids[j.B])
+	}
+	rects := res.Pieces
+	locate := func(p geom.Point) indoor.PartitionID {
+		for i, r := range rects {
+			if r.Contains(p) {
+				return ids[i]
+			}
+		}
+		panic(fmt.Sprintf("dataset: no SYN corridor piece contains %v", p))
+	}
+	return locate, nil
+}
+
+// synFloorRooms adds the 100 rooms of one floor with their doors.
+func synFloorRooms(b *indoor.Builder, fl int16, variant SynVariant, hallAt func(geom.Point) indoor.PartitionID) {
+	addDoor := func(p geom.Point, v1, v2 indoor.PartitionID) {
+		d := b.AddDoor(p, fl)
+		b.ConnectBoth(d, v1, v2)
+	}
+	for k := 0; k < synBranches; k++ {
+		bx0, bx1 := synBranchX(k)
+		up := k%2 == 0
+		// Oriented helpers: for up branches rooms grow in +y from the
+		// corridor top; for down branches in -y from the corridor bottom.
+		base := synCorrY1
+		dir := 1.0
+		if !up {
+			base = synCorrY0
+			dir = -1
+		}
+		yy := func(off float64) float64 { return base + dir*off }
+		rect := func(x0, x1, off0, off1 float64) geom.Polygon {
+			y0, y1 := yy(off0), yy(off1)
+			if y0 > y1 {
+				y0, y1 = y1, y0
+			}
+			return geom.RectPoly(geom.R(x0, y0, x1, y1))
+		}
+
+		// Two stacked side rooms on each side of the branch. In crucial
+		// branches all four side rooms open onto the branch slab; elsewhere
+		// the lower rooms open onto the corridor band beside the branch,
+		// spreading their doors over the gap slabs.
+		crucial := synCrucialBranch(k)
+		var side [2][2]indoor.PartitionID // [left/right][lower/upper]
+		for s, x := range [2][2]float64{{bx0 - synRoomW, bx0}, {bx1, bx1 + synRoomW}} {
+			for lvl := 0; lvl < 2; lvl++ {
+				off0 := float64(lvl) * synRoomDepth
+				room := b.AddRoom(fl, rect(x[0], x[1], off0, off0+synRoomDepth))
+				side[s][lvl] = room
+				var doorP geom.Point
+				if lvl == 0 && !crucial {
+					// Lower room: door onto the corridor band.
+					doorP = geom.Pt((x[0]+x[1])/2, base)
+				} else {
+					doorX := bx0
+					if s == 1 {
+						doorX = bx1
+					}
+					doorP = geom.Pt(doorX, (yy(off0)+yy(off0+synRoomDepth))/2)
+				}
+				addDoor(doorP, room, hallAt(doorP))
+			}
+		}
+		// Top (or bottom) room across the branch tip.
+		tip := yy(synBranchLen)
+		top := b.AddRoom(fl, rect(bx0-synRoomW, bx1+synRoomW, synBranchLen, synBranchLen+synTopDepth))
+		tipDoor := geom.Pt((bx0+bx1)/2, tip)
+		addDoor(tipDoor, top, hallAt(tipDoor))
+
+		if variant != SynMinus {
+			// Stacked-room doors.
+			addDoor(geom.Pt(bx0-synRoomW/2, yy(synRoomDepth)), side[0][0], side[0][1])
+			addDoor(geom.Pt(bx1+synRoomW/2, yy(synRoomDepth)), side[1][0], side[1][1])
+			// Tip room to the upper-left side room.
+			addDoor(geom.Pt(bx0-synRoomW/2, tip), side[0][1], top)
+		}
+		if variant == SynPlus {
+			// Tip room to the upper-right side room.
+			addDoor(geom.Pt(bx1+synRoomW/2, tip), side[1][1], top)
+			// Second exits for the lower side rooms: onto whichever corridor
+			// slab they are not yet connected to.
+			for s, xm := range [2]float64{bx0 - synRoomW/2, bx1 + synRoomW/2} {
+				var doorP geom.Point
+				if crucial {
+					doorP = geom.Pt(xm, base)
+				} else {
+					doorX := bx0
+					if s == 1 {
+						doorX = bx1
+					}
+					doorP = geom.Pt(doorX, (yy(0)+yy(synRoomDepth))/2)
+				}
+				addDoor(doorP, side[s][0], hallAt(doorP))
+			}
+		}
+	}
+}
+
+// synStairs adds four stairways between floor fl and fl+1, alternating
+// positions by floor parity so consecutive stairwells do not overlap.
+func synStairs(b *indoor.Builder, fl int16, hallAtLow, hallAtHigh func(geom.Point) indoor.PartitionID) {
+	slots := []int{2, 6, 10, 14}
+	if fl%2 == 1 {
+		slots = []int{4, 8, 12, 16}
+	}
+	for _, k := range slots {
+		x0 := float64(k)*synPitch - 20
+		x1 := float64(k) * synPitch
+		poly := geom.RectPoly(geom.R(x0, synCorrY1, x1, synCorrY1+synStairDepth))
+		st := b.AddStair(fl, fl+1, poly, synStairLen)
+		pLow := geom.Pt((x0+x1)/2, synCorrY1)
+		dLow := b.AddDoor(pLow, fl)
+		b.ConnectBoth(dLow, hallAtLow(pLow), st)
+		dHigh := b.AddDoor(pLow, fl+1)
+		b.ConnectBoth(dHigh, hallAtHigh(pLow), st)
+	}
+}
+
+// SYN builds the synthetic building with n floors and the given topology
+// variant.
+func SYN(n int, variant SynVariant) (*indoor.Space, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dataset: SYN needs >= 1 floor, got %d", n)
+	}
+	name := fmt.Sprintf("SYN%d", n)
+	switch variant {
+	case SynMinus:
+		name += "-"
+	case SynPlus:
+		name += "+"
+	case SynZero:
+		name += "0"
+	}
+	b := indoor.NewBuilder(name, n)
+	locators := make([]func(geom.Point) indoor.PartitionID, n)
+	for fl := 0; fl < n; fl++ {
+		loc, err := synFloorHalls(b, int16(fl), variant)
+		if err != nil {
+			return nil, err
+		}
+		locators[fl] = loc
+		synFloorRooms(b, int16(fl), variant, loc)
+	}
+	for fl := 0; fl+1 < n; fl++ {
+		synStairs(b, int16(fl), locators[fl], locators[fl+1])
+	}
+	return b.Build()
+}

@@ -1,0 +1,220 @@
+// Package decomp decomposes irregular (concave or imbalanced) rectilinear
+// partitions into regular rectangular pieces connected by virtual doors,
+// implementing the decomposition step of CINDEX and of the default datasets
+// (Sec. 3.3 and footnote 3 of the paper). A virtual door marks the open
+// segment between two adjacent pieces and is represented by its center point.
+package decomp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"indoorsq/internal/geom"
+)
+
+// Junction is the adjacency between two pieces: an open segment on their
+// shared boundary, represented by its center point P (the virtual door).
+type Junction struct {
+	A, B int // indexes into Result.Pieces
+	P    geom.Point
+}
+
+// Result is a decomposition: rectangular pieces plus the virtual doors
+// between adjacent pieces.
+type Result struct {
+	Pieces    []geom.Rect
+	Junctions []Junction
+}
+
+// Decompose splits a rectilinear polygon into rectangles using a vertical
+// slab sweep: the polygon is cut at every distinct vertex x-coordinate, and
+// each slab contributes one rectangle per covered y-interval. Pieces in
+// adjacent slabs that share a boundary segment of positive length are joined
+// by a virtual door at the segment midpoint.
+func Decompose(poly geom.Polygon) (Result, error) {
+	if err := poly.Validate(); err != nil {
+		return Result{}, err
+	}
+	if !poly.IsRectilinear() {
+		return Result{}, fmt.Errorf("decomp: polygon is not rectilinear")
+	}
+
+	xs := distinctXs(poly)
+	var res Result
+	// prev holds the piece indexes of the previous slab for adjacency checks.
+	var prev []int
+	for i := 0; i+1 < len(xs); i++ {
+		x0, x1 := xs[i], xs[i+1]
+		ys := slabIntervals(poly, (x0+x1)/2)
+		var cur []int
+		for j := 0; j+1 < len(ys); j += 2 {
+			idx := len(res.Pieces)
+			res.Pieces = append(res.Pieces, geom.R(x0, ys[j], x1, ys[j+1]))
+			cur = append(cur, idx)
+		}
+		for _, a := range prev {
+			for _, b := range cur {
+				ra, rb := res.Pieces[a], res.Pieces[b]
+				lo := math.Max(ra.MinY, rb.MinY)
+				hi := math.Min(ra.MaxY, rb.MaxY)
+				if hi-lo > geom.Eps {
+					res.Junctions = append(res.Junctions, Junction{
+						A: a, B: b,
+						P: geom.Pt(ra.MaxX, (lo+hi)/2),
+					})
+				}
+			}
+		}
+		prev = cur
+	}
+	if len(res.Pieces) == 0 {
+		return Result{}, fmt.Errorf("decomp: polygon produced no pieces")
+	}
+	return res, nil
+}
+
+// distinctXs returns the sorted distinct x-coordinates of poly's vertices.
+func distinctXs(poly geom.Polygon) []float64 {
+	xs := make([]float64, 0, len(poly))
+	for _, v := range poly {
+		xs = append(xs, v.X)
+	}
+	sort.Float64s(xs)
+	out := xs[:0]
+	for _, x := range xs {
+		if len(out) == 0 || x-out[len(out)-1] > geom.Eps {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// slabIntervals returns the sorted y-coordinates where the vertical line at
+// x crosses horizontal edges of poly; consecutive pairs bound the covered
+// intervals.
+func slabIntervals(poly geom.Polygon, x float64) []float64 {
+	var ys []float64
+	n := len(poly)
+	for i := 0; i < n; i++ {
+		a, b := poly[i], poly[(i+1)%n]
+		if math.Abs(a.Y-b.Y) > geom.Eps {
+			continue // vertical edge
+		}
+		lo, hi := math.Min(a.X, b.X), math.Max(a.X, b.X)
+		if x > lo && x < hi {
+			ys = append(ys, a.Y)
+		}
+	}
+	sort.Float64s(ys)
+	return ys
+}
+
+// SplitLong refines a decomposition by cutting every piece longer than
+// maxLen (in either dimension) into equal slices, inserting virtual doors on
+// the cut lines. It is used to build the finer-grained dataset variants
+// (MZB-delta in Table 4).
+func SplitLong(res Result, maxLen float64) Result {
+	out := Result{}
+	// mapping from old piece index to its new slice indexes, in order.
+	slices := make([][]int, len(res.Pieces))
+	for i, r := range res.Pieces {
+		nx := int(math.Ceil(r.Width() / maxLen))
+		ny := int(math.Ceil(r.Height() / maxLen))
+		if nx < 1 {
+			nx = 1
+		}
+		if ny < 1 {
+			ny = 1
+		}
+		// Slice along the longer dimension only, keeping pieces rectangular
+		// strips; slicing both ways would need a grid of junctions.
+		if r.Width() >= r.Height() {
+			ny = 1
+		} else {
+			nx = 1
+		}
+		var ids []int
+		for ix := 0; ix < nx; ix++ {
+			for iy := 0; iy < ny; iy++ {
+				x0 := r.MinX + r.Width()*float64(ix)/float64(nx)
+				x1 := r.MinX + r.Width()*float64(ix+1)/float64(nx)
+				y0 := r.MinY + r.Height()*float64(iy)/float64(ny)
+				y1 := r.MinY + r.Height()*float64(iy+1)/float64(ny)
+				ids = append(ids, len(out.Pieces))
+				out.Pieces = append(out.Pieces, geom.R(x0, y0, x1, y1))
+			}
+		}
+		// Junctions between consecutive slices of the same piece.
+		for k := 0; k+1 < len(ids); k++ {
+			ra, rb := out.Pieces[ids[k]], out.Pieces[ids[k+1]]
+			var p geom.Point
+			if r.Width() >= r.Height() {
+				p = geom.Pt(ra.MaxX, (ra.MinY+ra.MaxY)/2)
+			} else {
+				p = geom.Pt((ra.MinX+ra.MaxX)/2, ra.MaxY)
+			}
+			out.Junctions = append(out.Junctions, Junction{A: ids[k], B: ids[k+1], P: p})
+			_ = rb
+		}
+		slices[i] = ids
+	}
+	// Re-link original junctions to the nearest new slices.
+	for _, j := range res.Junctions {
+		a := nearestSlice(out.Pieces, slices[j.A], j.P)
+		b := nearestSlice(out.Pieces, slices[j.B], j.P)
+		out.Junctions = append(out.Junctions, Junction{A: a, B: b, P: j.P})
+	}
+	return out
+}
+
+// nearestSlice returns the id among ids whose rectangle contains (or is
+// nearest to) p.
+func nearestSlice(pieces []geom.Rect, ids []int, p geom.Point) int {
+	best, bestD := ids[0], math.Inf(1)
+	for _, id := range ids {
+		if d := pieces[id].MinDist(p); d < bestD {
+			best, bestD = id, d
+		}
+	}
+	return best
+}
+
+// Union returns the total area of the decomposition's pieces. Pieces never
+// overlap, so this equals the polygon area; tests use it as an invariant.
+func (r Result) Union() float64 {
+	var a float64
+	for _, p := range r.Pieces {
+		a += p.Area()
+	}
+	return a
+}
+
+// Connected reports whether the piece adjacency graph is connected, another
+// test invariant: decomposition must preserve reachability.
+func (r Result) Connected() bool {
+	if len(r.Pieces) == 0 {
+		return false
+	}
+	adj := make([][]int, len(r.Pieces))
+	for _, j := range r.Junctions {
+		adj[j.A] = append(adj[j.A], j.B)
+		adj[j.B] = append(adj[j.B], j.A)
+	}
+	seen := make([]bool, len(r.Pieces))
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == len(r.Pieces)
+}

@@ -1,0 +1,157 @@
+package decomp
+
+import (
+	"math"
+	"testing"
+
+	"indoorsq/internal/geom"
+)
+
+func lShape() geom.Polygon {
+	return geom.Polygon{
+		geom.Pt(0, 0), geom.Pt(6, 0), geom.Pt(6, 2),
+		geom.Pt(2, 2), geom.Pt(2, 4), geom.Pt(0, 4),
+	}
+}
+
+func comb() geom.Polygon {
+	// Main corridor [0,12]x[0,2] with two teeth going up.
+	return geom.Polygon{
+		geom.Pt(0, 0), geom.Pt(12, 0), geom.Pt(12, 2), geom.Pt(9, 2),
+		geom.Pt(9, 6), geom.Pt(7, 6), geom.Pt(7, 2), geom.Pt(5, 2),
+		geom.Pt(5, 6), geom.Pt(3, 6), geom.Pt(3, 2), geom.Pt(0, 2),
+	}
+}
+
+func TestDecomposeRectangle(t *testing.T) {
+	res, err := Decompose(geom.RectPoly(geom.R(0, 0, 5, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pieces) != 1 || len(res.Junctions) != 0 {
+		t.Fatalf("rectangle decomposed into %d pieces, %d junctions", len(res.Pieces), len(res.Junctions))
+	}
+	if res.Pieces[0] != geom.R(0, 0, 5, 3) {
+		t.Fatalf("piece = %v", res.Pieces[0])
+	}
+}
+
+func TestDecomposeLShape(t *testing.T) {
+	res, err := Decompose(lShape())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pieces) != 2 {
+		t.Fatalf("L decomposed into %d pieces, want 2", len(res.Pieces))
+	}
+	if len(res.Junctions) != 1 {
+		t.Fatalf("L has %d junctions, want 1", len(res.Junctions))
+	}
+	if a := res.Union(); math.Abs(a-lShape().Area()) > 1e-9 {
+		t.Fatalf("pieces area %g != polygon area %g", a, lShape().Area())
+	}
+	if !res.Connected() {
+		t.Fatal("decomposition must be connected")
+	}
+	// Virtual door sits on the shared x=2 boundary.
+	j := res.Junctions[0]
+	if math.Abs(j.P.X-2) > 1e-9 {
+		t.Fatalf("junction at %v, want x=2", j.P)
+	}
+}
+
+func TestDecomposeComb(t *testing.T) {
+	res, err := Decompose(comb())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slabs at x = 0,3,5,7,9,12 -> 5 pieces; the tooth slabs [3,5] and [7,9]
+	// become tall rectangles spanning corridor plus tooth.
+	if len(res.Pieces) != 5 {
+		t.Fatalf("comb decomposed into %d pieces, want 5", len(res.Pieces))
+	}
+	if a := res.Union(); math.Abs(a-comb().Area()) > 1e-9 {
+		t.Fatalf("pieces area %g != polygon area %g", a, comb().Area())
+	}
+	if !res.Connected() {
+		t.Fatal("comb decomposition must be connected")
+	}
+	// The five slabs form a chain -> 4 junctions.
+	if len(res.Junctions) != 4 {
+		t.Fatalf("comb has %d junctions, want 4", len(res.Junctions))
+	}
+	tall := 0
+	for _, p := range res.Pieces {
+		if p.Height() == 6 {
+			tall++
+		}
+	}
+	if tall != 2 {
+		t.Fatalf("comb has %d tall pieces, want 2", tall)
+	}
+}
+
+func TestDecomposeRejectsBadInput(t *testing.T) {
+	if _, err := Decompose(geom.Polygon{geom.Pt(0, 0), geom.Pt(1, 0)}); err == nil {
+		t.Fatal("degenerate polygon should fail")
+	}
+	tri := geom.Polygon{geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(2, 3)}
+	if _, err := Decompose(tri); err == nil {
+		t.Fatal("non-rectilinear polygon should fail")
+	}
+}
+
+func TestSplitLong(t *testing.T) {
+	res, err := Decompose(geom.RectPoly(geom.R(0, 0, 10, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine := SplitLong(res, 2.5)
+	if len(fine.Pieces) != 4 {
+		t.Fatalf("SplitLong produced %d pieces, want 4", len(fine.Pieces))
+	}
+	if len(fine.Junctions) != 3 {
+		t.Fatalf("SplitLong produced %d junctions, want 3", len(fine.Junctions))
+	}
+	if a := fine.Union(); math.Abs(a-20) > 1e-9 {
+		t.Fatalf("area after split = %g, want 20", a)
+	}
+	if !fine.Connected() {
+		t.Fatal("split decomposition must stay connected")
+	}
+}
+
+func TestSplitLongVertical(t *testing.T) {
+	res, _ := Decompose(geom.RectPoly(geom.R(0, 0, 2, 9)))
+	fine := SplitLong(res, 3)
+	if len(fine.Pieces) != 3 {
+		t.Fatalf("vertical SplitLong produced %d pieces, want 3", len(fine.Pieces))
+	}
+	if !fine.Connected() {
+		t.Fatal("vertical split must stay connected")
+	}
+}
+
+func TestSplitLongPreservesCrossJunctions(t *testing.T) {
+	res, err := Decompose(lShape())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine := SplitLong(res, 1.5)
+	if !fine.Connected() {
+		t.Fatal("refined L decomposition must stay connected")
+	}
+	if a := fine.Union(); math.Abs(a-lShape().Area()) > 1e-9 {
+		t.Fatalf("area after refine = %g, want %g", a, lShape().Area())
+	}
+}
+
+func TestDecomposeCombDoorsOnSharedBoundaries(t *testing.T) {
+	res, _ := Decompose(comb())
+	for _, j := range res.Junctions {
+		ra, rb := res.Pieces[j.A], res.Pieces[j.B]
+		if !ra.Contains(j.P) || !rb.Contains(j.P) {
+			t.Fatalf("junction %v not on both pieces %v / %v", j.P, ra, rb)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Package doorgraph builds the directed door connectivity graph of an
+// indoor space — nodes are doors, and an edge d -> d' with weight
+// fd2d(v, d, d') exists when one can enter partition v through d and leave
+// it through d' — and runs single-source Dijkstra in either direction.
+// It is the construction-time substrate of IDINDEX and IP/VIP-TREE.
+package doorgraph
+
+import (
+	"math"
+
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/pq"
+)
+
+// Edge is a weighted directed connection between doors.
+type Edge struct {
+	To int32
+	W  float64
+}
+
+// Graph is the door graph with forward and reverse adjacency.
+type Graph struct {
+	N   int
+	Fwd [][]Edge // Fwd[d]: edges leaving door d
+	Rev [][]Edge // Rev[d]: reversed edges (for distances *to* a door)
+}
+
+// Build derives the door graph of a space.
+func Build(sp *indoor.Space) *Graph {
+	n := sp.NumDoors()
+	g := &Graph{N: n, Fwd: make([][]Edge, n), Rev: make([][]Edge, n)}
+	for di := 0; di < n; di++ {
+		d := indoor.DoorID(di)
+		for _, v := range sp.Door(d).Enterable {
+			for _, nd := range sp.Partition(v).Leave {
+				if nd == d {
+					continue
+				}
+				w := sp.WithinDoors(v, d, nd)
+				if math.IsInf(w, 1) {
+					continue
+				}
+				g.Fwd[di] = append(g.Fwd[di], Edge{To: int32(nd), W: w})
+				g.Rev[nd] = append(g.Rev[nd], Edge{To: int32(di), W: w})
+			}
+		}
+	}
+	return g
+}
+
+// SizeBytes returns a deep size estimate of the adjacency lists.
+func (g *Graph) SizeBytes() int64 {
+	var sz int64
+	for i := range g.Fwd {
+		sz += int64(len(g.Fwd[i])+len(g.Rev[i])) * 16
+	}
+	return sz + int64(g.N)*48
+}
+
+// Dijkstra computes single-source shortest distances over the door graph.
+// With reverse = false, dist[t] is the distance from src to t and prev[t]
+// is t's predecessor on that path. With reverse = true, dist[t] is the
+// distance from t to src and prev[t] is t's successor on that path.
+// Unreachable doors have dist +Inf and prev -1.
+func (g *Graph) Dijkstra(src int32, reverse bool) (dist []float64, prev []int32) {
+	adj := g.Fwd
+	if reverse {
+		adj = g.Rev
+	}
+	dist = make([]float64, g.N)
+	prev = make([]int32, g.N)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[src] = 0
+	var h pq.Heap[int32]
+	h.Push(src, 0)
+	for h.Len() > 0 {
+		d, dd := h.Pop()
+		if dd > dist[d] {
+			continue
+		}
+		for _, e := range adj[d] {
+			if nd := dd + e.W; nd < dist[e.To] {
+				dist[e.To] = nd
+				prev[e.To] = d
+				h.Push(e.To, nd)
+			}
+		}
+	}
+	return dist, prev
+}

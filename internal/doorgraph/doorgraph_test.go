@@ -1,0 +1,102 @@
+package doorgraph
+
+import (
+	"math"
+	"testing"
+
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/testspaces"
+)
+
+func TestBuildStrip(t *testing.T) {
+	f := testspaces.NewStrip()
+	g := Build(f.Space)
+	if g.N != f.Space.NumDoors() {
+		t.Fatalf("N = %d, want %d", g.N, f.Space.NumDoors())
+	}
+	// D1 enters the hall and R1; from the hall every other hall door is
+	// reachable in one hop: 6 hall doors + 0 from R1 (its only door is D1).
+	if len(g.Fwd[f.D1]) != 6 {
+		t.Fatalf("fwd(D1) = %d edges, want 6", len(g.Fwd[f.D1]))
+	}
+	// One-way D8 has forward edges only out of R7.
+	for _, e := range g.Fwd[f.D8] {
+		if indoor.DoorID(e.To) == f.D8 {
+			t.Fatal("self edge")
+		}
+	}
+	// D8 is reachable only by entering R6: only D6 has an edge to D8.
+	var into []int32
+	for d := 0; d < g.N; d++ {
+		for _, e := range g.Fwd[d] {
+			if indoor.DoorID(e.To) == f.D8 {
+				into = append(into, int32(d))
+			}
+		}
+	}
+	if len(into) != 1 || indoor.DoorID(into[0]) != f.D6 {
+		t.Fatalf("edges into D8 from %v, want [D6]", into)
+	}
+}
+
+func TestDijkstraForwardVsReverse(t *testing.T) {
+	sp := testspaces.RandomGrid(3, 4, 4, 2, 6, 0.3)
+	g := Build(sp)
+	// dist_fwd(a -> b) must equal dist_rev measured from b.
+	for a := int32(0); a < int32(g.N); a += 3 {
+		fwd, _ := g.Dijkstra(a, false)
+		for b := int32(0); b < int32(g.N); b += 5 {
+			rev, _ := g.Dijkstra(b, true)
+			if math.Abs(fwd[b]-rev[a]) > 1e-9 &&
+				!(math.IsInf(fwd[b], 1) && math.IsInf(rev[a], 1)) {
+				t.Fatalf("fwd[%d->%d]=%g != rev=%g", a, b, fwd[b], rev[a])
+			}
+		}
+	}
+}
+
+func TestDijkstraPrevChainsReachSource(t *testing.T) {
+	f := testspaces.NewStrip()
+	g := Build(f.Space)
+	dist, prev := g.Dijkstra(int32(f.D1), false)
+	for d := 0; d < g.N; d++ {
+		if math.IsInf(dist[d], 1) {
+			if prev[d] != -1 {
+				t.Fatalf("unreachable door %d has prev %d", d, prev[d])
+			}
+			continue
+		}
+		// Walk predecessors back to the source.
+		seen := 0
+		for cur := int32(d); cur != int32(f.D1); cur = prev[cur] {
+			if prev[cur] < 0 {
+				t.Fatalf("door %d: broken prev chain at %d", d, cur)
+			}
+			if seen++; seen > g.N {
+				t.Fatalf("door %d: prev cycle", d)
+			}
+		}
+	}
+}
+
+func TestDijkstraTriangle(t *testing.T) {
+	sp := testspaces.RandomGrid(9, 3, 5, 1, 4, 0)
+	g := Build(sp)
+	d0, _ := g.Dijkstra(0, false)
+	for m := int32(1); m < int32(g.N); m++ {
+		dm, _ := g.Dijkstra(m, false)
+		for to := 0; to < g.N; to++ {
+			if d0[to] > d0[m]+dm[to]+1e-9 {
+				t.Fatalf("triangle violated: 0->%d = %g > 0->%d->%d = %g",
+					to, d0[to], m, to, d0[m]+dm[to])
+			}
+		}
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	g := Build(testspaces.NewStrip().Space)
+	if g.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes must be positive")
+	}
+}

@@ -1,0 +1,105 @@
+package enginetest
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/query"
+	"indoorsq/internal/testspaces"
+)
+
+// TestConcurrentQueries verifies every engine is safe for concurrent
+// read-only use after SetObjects: run with -race to catch violations.
+func TestConcurrentQueries(t *testing.T) {
+	sp := testspaces.RandomGrid(11, 4, 5, 2, 7, 0.2)
+	engines := allEngines(sp)
+	gen := struct{ objs []query.Object }{}
+	gen.objs = randomObjectsForConcurrency(sp)
+	for _, e := range engines {
+		e.SetObjects(gen.objs)
+	}
+
+	pts := []indoor.Point{
+		indoor.At(5, 5, 0), indoor.At(35, 25, 0), indoor.At(15, 35, 1),
+		indoor.At(45, 5, 1), indoor.At(25, 15, 0),
+	}
+	for _, e := range engines {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			// Baseline answers, computed sequentially.
+			var st query.Stats
+			baseRange := make([][]int32, len(pts))
+			baseKNN := make([][]query.Neighbor, len(pts))
+			baseSPD := make([]float64, len(pts))
+			for i, p := range pts {
+				baseRange[i], _ = e.Range(p, 40, &st)
+				baseKNN[i], _ = e.KNN(p, 5, &st)
+				if path, err := e.SPD(p, pts[(i+1)%len(pts)], &st); err == nil {
+					baseSPD[i] = path.Dist
+				} else {
+					baseSPD[i] = -1
+				}
+			}
+
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(worker int) {
+					defer wg.Done()
+					var st query.Stats
+					for round := 0; round < 20; round++ {
+						i := (worker + round) % len(pts)
+						p := pts[i]
+						ids, err := e.Range(p, 40, &st)
+						if err != nil || !sameIDs(ids, baseRange[i]) {
+							t.Errorf("concurrent Range mismatch at %v", p)
+							return
+						}
+						nn, err := e.KNN(p, 5, &st)
+						if err != nil || len(nn) != len(baseKNN[i]) {
+							t.Errorf("concurrent KNN mismatch at %v", p)
+							return
+						}
+						for j := range nn {
+							if math.Abs(nn[j].Dist-baseKNN[i][j].Dist) > 1e-9 {
+								t.Errorf("concurrent KNN dist mismatch at %v", p)
+								return
+							}
+						}
+						path, err := e.SPD(p, pts[(i+1)%len(pts)], &st)
+						got := -1.0
+						if err == nil {
+							got = path.Dist
+						}
+						if math.Abs(got-baseSPD[i]) > 1e-9 {
+							t.Errorf("concurrent SPD mismatch at %v", p)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+func randomObjectsForConcurrency(sp *indoor.Space) []query.Object {
+	var objs []query.Object
+	id := int32(0)
+	for i := 0; i < sp.NumPartitions(); i++ {
+		v := sp.Partition(indoor.PartitionID(i))
+		if v.Kind == indoor.Staircase {
+			continue
+		}
+		c := v.MBR.Center()
+		objs = append(objs, query.Object{
+			ID:   id,
+			Loc:  indoor.At(c.X, c.Y, v.Floor),
+			Part: v.ID,
+		})
+		id++
+	}
+	return objs
+}

@@ -1,0 +1,227 @@
+package enginetest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"indoorsq/internal/cindex"
+	"indoorsq/internal/idindex"
+	"indoorsq/internal/idmodel"
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/iptree"
+	"indoorsq/internal/query"
+	"indoorsq/internal/testspaces"
+)
+
+// allEngines builds all five model/indexes over one space.
+func allEngines(sp *indoor.Space) []query.Engine {
+	return []query.Engine{
+		idmodel.New(sp),
+		idindex.New(sp),
+		cindex.New(sp),
+		iptree.New(sp, iptree.Options{LeafSize: 3, Fanout: 2, Gamma: 4}),
+		iptree.New(sp, iptree.Options{LeafSize: 3, Fanout: 2, Gamma: 4, VIP: true}),
+	}
+}
+
+// randomObjects scatters n objects over random partitions of sp.
+func randomObjects(sp *indoor.Space, rng *rand.Rand, n int) []query.Object {
+	objs := make([]query.Object, 0, n)
+	for len(objs) < n {
+		v := indoor.PartitionID(rng.Intn(sp.NumPartitions()))
+		part := sp.Partition(v)
+		if part.Kind == indoor.Staircase {
+			continue
+		}
+		mbr := part.MBR
+		x := mbr.MinX + rng.Float64()*mbr.Width()
+		y := mbr.MinY + rng.Float64()*mbr.Height()
+		p := indoor.At(x, y, part.Floor)
+		if !part.Poly.Contains(p.XY()) {
+			continue
+		}
+		objs = append(objs, query.Object{ID: int32(len(objs)), Loc: p, Part: v})
+	}
+	return objs
+}
+
+// randomPoint picks a valid indoor point.
+func randomPoint(sp *indoor.Space, rng *rand.Rand) indoor.Point {
+	for {
+		v := indoor.PartitionID(rng.Intn(sp.NumPartitions()))
+		part := sp.Partition(v)
+		if part.Kind == indoor.Staircase {
+			continue
+		}
+		mbr := part.MBR
+		x := mbr.MinX + rng.Float64()*mbr.Width()
+		y := mbr.MinY + rng.Float64()*mbr.Height()
+		p := indoor.At(x, y, part.Floor)
+		if part.Poly.Contains(p.XY()) {
+			return p
+		}
+	}
+}
+
+// TestCrossEngineConsistency verifies that all five engines return identical
+// answers for RQ, kNNQ, and SPDQ on randomized multi-floor spaces with
+// unidirectional doors.
+func TestCrossEngineConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-engine sweep is slow")
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed * 101))
+		sp := testspaces.RandomGrid(seed, 4, 5, 2, 7, 0.2)
+		engines := allEngines(sp)
+		objs := randomObjects(sp, rng, 40)
+		for _, e := range engines {
+			e.SetObjects(objs)
+		}
+		ref := engines[0]
+		var st query.Stats
+
+		for trial := 0; trial < 12; trial++ {
+			p := randomPoint(sp, rng)
+			q := randomPoint(sp, rng)
+			r := 5 + rng.Float64()*60
+			k := 1 + rng.Intn(8)
+
+			wantIDs, err := ref.Range(p, r, &st)
+			if err != nil {
+				t.Fatalf("seed %d: reference Range: %v", seed, err)
+			}
+			wantKNN, err := ref.KNN(p, k, &st)
+			if err != nil {
+				t.Fatalf("seed %d: reference KNN: %v", seed, err)
+			}
+			wantPath, wantErr := ref.SPD(p, q, &st)
+
+			for _, e := range engines[1:] {
+				gotIDs, err := e.Range(p, r, &st)
+				if err != nil {
+					t.Fatalf("seed %d %s Range: %v", seed, e.Name(), err)
+				}
+				if !sameIDs(gotIDs, wantIDs) {
+					t.Fatalf("seed %d trial %d: %s Range(%v, %g) = %v, want %v",
+						seed, trial, e.Name(), p, r, gotIDs, wantIDs)
+				}
+
+				gotKNN, err := e.KNN(p, k, &st)
+				if err != nil {
+					t.Fatalf("seed %d %s KNN: %v", seed, e.Name(), err)
+				}
+				if len(gotKNN) != len(wantKNN) {
+					t.Fatalf("seed %d trial %d: %s KNN count %d, want %d",
+						seed, trial, e.Name(), len(gotKNN), len(wantKNN))
+				}
+				for i := range gotKNN {
+					if math.Abs(gotKNN[i].Dist-wantKNN[i].Dist) > 1e-6 {
+						t.Fatalf("seed %d trial %d: %s KNN[%d] dist %g, want %g",
+							seed, trial, e.Name(), i, gotKNN[i].Dist, wantKNN[i].Dist)
+					}
+				}
+
+				gotPath, err := e.SPD(p, q, &st)
+				if wantErr != nil {
+					if err == nil {
+						t.Fatalf("seed %d trial %d: %s SPD should fail like reference (%v)",
+							seed, trial, e.Name(), wantErr)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("seed %d trial %d: %s SPD: %v", seed, trial, e.Name(), err)
+				}
+				if math.Abs(gotPath.Dist-wantPath.Dist) > 1e-6 {
+					t.Fatalf("seed %d trial %d: %s SPD(%v -> %v) = %.9g, want %.9g",
+						seed, trial, e.Name(), p, q, gotPath.Dist, wantPath.Dist)
+				}
+				// The reported path must be internally consistent: its door
+				// sequence length sums to its distance.
+				if err := checkPathSum(sp, gotPath); err != nil {
+					t.Fatalf("seed %d trial %d: %s path: %v", seed, trial, e.Name(), err)
+				}
+			}
+		}
+	}
+}
+
+// checkPathSum verifies L(φ) = Σ hop lengths (footnote 2 of the paper).
+func checkPathSum(sp *indoor.Space, path query.Path) error {
+	sum, err := PathLength(sp, path)
+	if err != nil {
+		return err
+	}
+	if math.Abs(sum-path.Dist) > 1e-6 {
+		return errPathSum(path.Dist, sum)
+	}
+	return nil
+}
+
+type errPathSum2 struct{ want, got float64 }
+
+func errPathSum(want, got float64) error { return errPathSum2{want, got} }
+func (e errPathSum2) Error() string {
+	return "path distance mismatch with hop sum"
+}
+
+func sameIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCrossEngineConsistencyConcave repeats the consistency sweep on spaces
+// whose hallway is a concave L, so intra-partition distances go through the
+// visibility graph in every engine.
+func TestCrossEngineConsistencyConcave(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-engine sweep is slow")
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed * 211))
+		sp := testspaces.RandomGridConcave(seed, 4, 5, 2, 0)
+		engines := allEngines(sp)
+		objs := randomObjects(sp, rng, 30)
+		for _, e := range engines {
+			e.SetObjects(objs)
+		}
+		ref := engines[0]
+		var st query.Stats
+		for trial := 0; trial < 8; trial++ {
+			p := randomPoint(sp, rng)
+			q := randomPoint(sp, rng)
+			r := 10 + rng.Float64()*60
+
+			wantIDs, err := ref.Range(p, r, &st)
+			if err != nil {
+				t.Fatalf("seed %d: reference Range: %v", seed, err)
+			}
+			wantPath, wantErr := ref.SPD(p, q, &st)
+			for _, e := range engines[1:] {
+				gotIDs, err := e.Range(p, r, &st)
+				if err != nil || !sameIDs(gotIDs, wantIDs) {
+					t.Fatalf("seed %d trial %d: %s Range = %v (%v), want %v",
+						seed, trial, e.Name(), gotIDs, err, wantIDs)
+				}
+				gotPath, err := e.SPD(p, q, &st)
+				if (wantErr != nil) != (err != nil) {
+					t.Fatalf("seed %d trial %d: %s SPD err %v vs ref %v",
+						seed, trial, e.Name(), err, wantErr)
+				}
+				if err == nil && math.Abs(gotPath.Dist-wantPath.Dist) > 1e-6 {
+					t.Fatalf("seed %d trial %d: %s SPD = %.9g, want %.9g",
+						seed, trial, e.Name(), gotPath.Dist, wantPath.Dist)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,425 @@
+// Package enginetest provides a conformance suite run against every
+// model/index engine: all five must produce identical answers for the four
+// indoor spatial query types on fixtures with hand-computed distances.
+package enginetest
+
+import (
+	"math"
+	"testing"
+
+	"indoorsq/internal/geom"
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/query"
+	"indoorsq/internal/testspaces"
+)
+
+// BuildFunc constructs the engine under test for a space.
+type BuildFunc func(sp *indoor.Space) query.Engine
+
+const tol = 1e-6
+
+// Run executes the full conformance suite.
+func Run(t *testing.T, build BuildFunc) {
+	t.Run("StripRange", func(t *testing.T) { stripRange(t, build) })
+	t.Run("StripKNN", func(t *testing.T) { stripKNN(t, build) })
+	t.Run("StripSPD", func(t *testing.T) { stripSPD(t, build) })
+	t.Run("StripAsymmetry", func(t *testing.T) { stripAsymmetry(t, build) })
+	t.Run("TwoFloorSPD", func(t *testing.T) { twoFloorSPD(t, build) })
+	t.Run("ConcaveHall", func(t *testing.T) { concaveHall(t, build) })
+	t.Run("OneWayUnreachable", func(t *testing.T) { oneWayUnreachable(t, build) })
+	t.Run("EdgeCases", func(t *testing.T) { edgeCases(t, build) })
+	t.Run("SizeBytes", func(t *testing.T) { sizeBytes(t, build) })
+}
+
+// stripObjects places six objects with hand-computed distances from
+// p = (2.5, 8) in R1:
+//
+//	o1 @ (2.5,9)  in R1   -> 1
+//	o3 @ (1,5)    in Hall -> 2 + sqrt(3.25)           ~ 3.802776
+//	o2 @ (7.5,9)  in R2   -> 2 + 5 + 3                = 10
+//	o5 @ (7,1)    in R6   -> 2 + sqrt(29) + sqrt(9.25) ~ 10.426600
+//	o6 @ (18,2)   in R7   -> 2 + sqrt(160.25) + sqrt(13) ~ 18.264634
+//	o4 @ (17.5,9) in R4   -> 2 + 15 + 3               = 20
+func stripObjects(f *testspaces.Strip) []query.Object {
+	return []query.Object{
+		{ID: 1, Loc: indoor.At(2.5, 9, 0), Part: f.R1},
+		{ID: 2, Loc: indoor.At(7.5, 9, 0), Part: f.R2},
+		{ID: 3, Loc: indoor.At(1, 5, 0), Part: f.Hall},
+		{ID: 4, Loc: indoor.At(17.5, 9, 0), Part: f.R4},
+		{ID: 5, Loc: indoor.At(7, 1, 0), Part: f.R6},
+		{ID: 6, Loc: indoor.At(18, 2, 0), Part: f.R7},
+	}
+}
+
+var stripP = indoor.At(2.5, 8, 0)
+
+var stripDists = map[int32]float64{
+	1: 1,
+	3: 2 + math.Sqrt(3.25),
+	2: 10,
+	5: 2 + math.Sqrt(29) + math.Sqrt(9.25),
+	6: 2 + math.Sqrt(160.25) + math.Sqrt(13),
+	4: 20,
+}
+
+func stripRange(t *testing.T, build BuildFunc) {
+	f := testspaces.NewStrip()
+	e := build(f.Space)
+	e.SetObjects(stripObjects(f))
+
+	var st query.Stats
+	cases := []struct {
+		r    float64
+		want []int32
+	}{
+		{0.5, nil},
+		{1, []int32{1}},
+		{3, []int32{1}},
+		{4, []int32{1, 3}},
+		{10.5, []int32{1, 2, 3, 5}},
+		{100, []int32{1, 2, 3, 4, 5, 6}},
+	}
+	for _, c := range cases {
+		st.Reset()
+		got, err := e.Range(stripP, c.r, &st)
+		if err != nil {
+			t.Fatalf("Range(r=%g): %v", c.r, err)
+		}
+		if !eqIDs(got, c.want) {
+			t.Errorf("Range(r=%g) = %v, want %v", c.r, got, c.want)
+		}
+	}
+}
+
+func stripKNN(t *testing.T, build BuildFunc) {
+	f := testspaces.NewStrip()
+	e := build(f.Space)
+	e.SetObjects(stripObjects(f))
+
+	var st query.Stats
+	got, err := e.KNN(stripP, 3, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs := []int32{1, 3, 2}
+	if len(got) != 3 {
+		t.Fatalf("KNN(3) returned %d results", len(got))
+	}
+	for i, n := range got {
+		if n.ID != wantIDs[i] {
+			t.Errorf("KNN(3)[%d].ID = %d, want %d", i, n.ID, wantIDs[i])
+		}
+		if want := stripDists[wantIDs[i]]; math.Abs(n.Dist-want) > tol {
+			t.Errorf("KNN(3)[%d].Dist = %g, want %g", i, n.Dist, want)
+		}
+	}
+
+	// k exceeding |O| returns everything in distance order.
+	got, err = e.KNN(stripP, 50, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 {
+		t.Fatalf("KNN(50) returned %d results, want 6", len(got))
+	}
+	order := []int32{1, 3, 2, 5, 6, 4}
+	for i, n := range got {
+		if n.ID != order[i] {
+			t.Fatalf("KNN(50) order = %v", got)
+		}
+		if want := stripDists[n.ID]; math.Abs(n.Dist-want) > tol {
+			t.Errorf("KNN(50)[%d].Dist = %g, want %g", i, n.Dist, want)
+		}
+	}
+}
+
+func stripSPD(t *testing.T, build BuildFunc) {
+	f := testspaces.NewStrip()
+	e := build(f.Space)
+	e.SetObjects(nil)
+
+	var st query.Stats
+	// Same-partition direct path.
+	p1, p2 := indoor.At(1, 5, 0), indoor.At(19, 5, 0)
+	path, err := e.SPD(p1, p2, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(path.Dist-18) > tol {
+		t.Fatalf("same-partition SPD = %g, want 18", path.Dist)
+	}
+	if len(path.Doors) != 0 {
+		t.Fatalf("same-partition path should have no doors, got %v", path.Doors)
+	}
+
+	// R1 -> R2 through the hallway.
+	path, err = e.SPD(indoor.At(2.5, 8, 0), indoor.At(7.5, 9, 0), &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(path.Dist-10) > tol {
+		t.Fatalf("R1->R2 SPD = %g, want 10", path.Dist)
+	}
+	if len(path.Doors) != 2 || path.Doors[0] != f.D1 || path.Doors[1] != f.D2 {
+		t.Fatalf("R1->R2 path doors = %v, want [D1 D2]", path.Doors)
+	}
+}
+
+func stripAsymmetry(t *testing.T, build BuildFunc) {
+	f := testspaces.NewStrip()
+	e := build(f.Space)
+	e.SetObjects(nil)
+
+	var st query.Stats
+	p6 := indoor.At(7, 2, 0)  // in R6
+	p7 := indoor.At(15, 2, 0) // in R7
+
+	fwd, err := e.SPD(p6, p7, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fwd.Dist-8) > tol {
+		t.Fatalf("R6->R7 = %g, want 8 (through one-way D8)", fwd.Dist)
+	}
+	if len(fwd.Doors) != 1 || fwd.Doors[0] != f.D8 {
+		t.Fatalf("R6->R7 doors = %v, want [D8]", fwd.Doors)
+	}
+
+	back, err := e.SPD(p7, p6, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBack := 2 + 7.5 + math.Sqrt(0.25+4)
+	if math.Abs(back.Dist-wantBack) > tol {
+		t.Fatalf("R7->R6 = %g, want %g (around through the hall)", back.Dist, wantBack)
+	}
+	if len(back.Doors) != 2 || back.Doors[0] != f.D7 || back.Doors[1] != f.D6 {
+		t.Fatalf("R7->R6 doors = %v, want [D7 D6]", back.Doors)
+	}
+}
+
+func twoFloorSPD(t *testing.T, build BuildFunc) {
+	f := testspaces.NewTwoFloor()
+	e := build(f.Space)
+	e.SetObjects(nil)
+
+	var st query.Stats
+	p := indoor.At(2.5, 8, 0) // RoomA0
+	q := indoor.At(2.5, 8, 1) // RoomA1
+	path, err := e.SPD(p, q, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leg := math.Sqrt(17.5*17.5 + 1) // DA to DS within a hallway
+	want := 2 + leg + 5 + leg + 2
+	if math.Abs(path.Dist-want) > tol {
+		t.Fatalf("cross-floor SPD = %g, want %g", path.Dist, want)
+	}
+	wantDoors := []indoor.DoorID{f.DA0, f.DS0, f.DS1, f.DA1}
+	if len(path.Doors) != len(wantDoors) {
+		t.Fatalf("cross-floor path = %v, want %v", path.Doors, wantDoors)
+	}
+	for i := range wantDoors {
+		if path.Doors[i] != wantDoors[i] {
+			t.Fatalf("cross-floor path = %v, want %v", path.Doors, wantDoors)
+		}
+	}
+
+	// kNN across floors.
+	e.SetObjects([]query.Object{
+		{ID: 1, Loc: indoor.At(3, 8, 0), Part: f.RoomA0},
+		{ID: 2, Loc: indoor.At(2.5, 8, 1), Part: f.RoomA1},
+	})
+	got, err := e.KNN(p, 2, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("cross-floor KNN = %v", got)
+	}
+	if math.Abs(got[1].Dist-want) > tol {
+		t.Fatalf("cross-floor KNN dist = %g, want %g", got[1].Dist, want)
+	}
+}
+
+func concaveHall(t *testing.T, build BuildFunc) {
+	f := testspaces.NewLHall()
+	e := build(f.Space)
+	e.SetObjects(nil)
+
+	var st query.Stats
+	p := indoor.At(1, 9, 0)  // R1
+	q := indoor.At(11, 1, 0) // R2
+	path, err := e.SPD(p, q, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corner := geom.Pt(2, 2)
+	want := 1 + geom.Pt(1, 8).Dist(corner) + corner.Dist(geom.Pt(10, 1)) + 1
+	if math.Abs(path.Dist-want) > tol {
+		t.Fatalf("concave SPD = %g, want %g", path.Dist, want)
+	}
+
+	// Range query whose geodesic matters: object around the corner.
+	e.SetObjects([]query.Object{
+		{ID: 1, Loc: indoor.At(9, 1, 0), Part: f.Hall},
+	})
+	straight := indoor.At(1, 7, 0).XY().Dist(geom.Pt(9, 1))
+	geodesic := geom.Pt(1, 7).Dist(corner) + corner.Dist(geom.Pt(9, 1))
+	got, err := e.Range(indoor.At(1, 7, 0), (straight+geodesic)/2, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("object should be outside geodesic range, got %v", got)
+	}
+	got, err = e.Range(indoor.At(1, 7, 0), geodesic+tol, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eqIDs(got, []int32{1}) {
+		t.Fatalf("object should be inside geodesic range, got %v", got)
+	}
+}
+
+// oneWaySpace has a room X whose only door leads out (X -> Hall), so X is
+// unreachable from the hall.
+func oneWaySpace() (*indoor.Space, indoor.PartitionID, indoor.PartitionID) {
+	b := indoor.NewBuilder("oneway", 1)
+	hall := b.AddHallway(0, geom.RectPoly(geom.R(0, 0, 10, 4)))
+	x := b.AddRoom(0, geom.RectPoly(geom.R(0, 4, 5, 8)))
+	y := b.AddRoom(0, geom.RectPoly(geom.R(5, 4, 10, 8)))
+	dx := b.AddDoor(geom.Pt(2.5, 4), 0)
+	b.ConnectOneWay(dx, x, hall) // exit-only
+	dy := b.AddDoor(geom.Pt(7.5, 4), 0)
+	b.ConnectBoth(dy, hall, y)
+	sp, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return sp, hall, x
+}
+
+func oneWayUnreachable(t *testing.T, build BuildFunc) {
+	sp, hall, x := oneWaySpace()
+	e := build(sp)
+	e.SetObjects([]query.Object{
+		{ID: 1, Loc: indoor.At(2, 6, 0), Part: x},
+		{ID: 2, Loc: indoor.At(7, 6, 0), Part: indoor.PartitionID(2)},
+	})
+	_ = hall
+
+	var st query.Stats
+	pHall := indoor.At(5, 2, 0)
+	pX := indoor.At(2, 6, 0)
+
+	// Hall -> X is impossible.
+	if _, err := e.SPD(pHall, pX, &st); err != query.ErrUnreachable {
+		t.Fatalf("SPD into exit-only room: err = %v, want ErrUnreachable", err)
+	}
+	// X -> Hall works.
+	path, err := e.SPD(pX, pHall, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := geom.Pt(2, 6).Dist(geom.Pt(2.5, 4)) + geom.Pt(2.5, 4).Dist(geom.Pt(5, 2))
+	if math.Abs(path.Dist-want) > tol {
+		t.Fatalf("X->Hall = %g, want %g", path.Dist, want)
+	}
+
+	// Range from the hall must not see the object locked in X.
+	got, err := e.Range(pHall, 1000, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eqIDs(got, []int32{2}) {
+		t.Fatalf("Range sees unreachable object: %v", got)
+	}
+	// kNN likewise returns only the reachable object.
+	nn, err := e.KNN(pHall, 5, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nn) != 1 || nn[0].ID != 2 {
+		t.Fatalf("KNN sees unreachable object: %v", nn)
+	}
+}
+
+func edgeCases(t *testing.T, build BuildFunc) {
+	f := testspaces.NewStrip()
+	e := build(f.Space)
+	e.SetObjects(stripObjects(f))
+
+	var st query.Stats
+	bad := indoor.At(-5, -5, 0)
+	if _, err := e.Range(bad, 10, &st); err != query.ErrNoHost {
+		t.Fatalf("Range from invalid point: err = %v, want ErrNoHost", err)
+	}
+	if _, err := e.KNN(bad, 3, &st); err != query.ErrNoHost {
+		t.Fatalf("KNN from invalid point: err = %v, want ErrNoHost", err)
+	}
+	if _, err := e.SPD(bad, stripP, &st); err != query.ErrNoHost {
+		t.Fatalf("SPD from invalid point: err = %v, want ErrNoHost", err)
+	}
+	if _, err := e.SPD(stripP, bad, &st); err != query.ErrNoHost {
+		t.Fatalf("SPD to invalid point: err = %v, want ErrNoHost", err)
+	}
+
+	// k = 0 yields no results.
+	got, err := e.KNN(stripP, 0, &st)
+	if err != nil {
+		t.Fatalf("KNN(0): %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("KNN(0) = %v", got)
+	}
+
+	// Zero radius finds only co-located objects.
+	ids, err := e.Range(indoor.At(2.5, 9, 0), 0, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eqIDs(ids, []int32{1}) {
+		t.Fatalf("Range(r=0) = %v, want [1]", ids)
+	}
+
+	// Queries with an empty object set.
+	e.SetObjects(nil)
+	ids, err = e.Range(stripP, 100, &st)
+	if err != nil || len(ids) != 0 {
+		t.Fatalf("Range with no objects = %v, %v", ids, err)
+	}
+	nn, err := e.KNN(stripP, 3, &st)
+	if err != nil || len(nn) != 0 {
+		t.Fatalf("KNN with no objects = %v, %v", nn, err)
+	}
+
+	// SPD to self.
+	path, err := e.SPD(stripP, stripP, &st)
+	if err != nil || path.Dist != 0 {
+		t.Fatalf("SPD to self = %v, %v", path, err)
+	}
+}
+
+func sizeBytes(t *testing.T, build BuildFunc) {
+	f := testspaces.NewStrip()
+	e := build(f.Space)
+	if e.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes must be positive")
+	}
+	if e.Name() == "" {
+		t.Fatal("Name must not be empty")
+	}
+}
+
+func eqIDs(got []int32, want []int32) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,107 @@
+package enginetest
+
+import (
+	"math"
+	"testing"
+
+	"indoorsq/internal/cindex"
+	"indoorsq/internal/idindex"
+	"indoorsq/internal/idmodel"
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/iptree"
+	"indoorsq/internal/query"
+	"indoorsq/internal/testspaces"
+)
+
+// TestMovingObjects exercises the Sec. 7 moving-objects extension on all
+// five engines: insert, move across partitions, delete — query answers must
+// track the updates.
+func TestMovingObjects(t *testing.T) {
+	f := testspaces.NewStrip()
+	engines := []query.Engine{
+		idmodel.New(f.Space),
+		idindex.New(f.Space),
+		cindex.New(f.Space),
+		iptree.New(f.Space, iptree.Options{LeafSize: 3, Fanout: 2}),
+		iptree.New(f.Space, iptree.Options{LeafSize: 3, Fanout: 2, VIP: true}),
+	}
+	p := indoor.At(2.5, 8, 0) // in R1
+	var st query.Stats
+
+	for _, e := range engines {
+		up, ok := e.(query.ObjectUpdater)
+		if !ok {
+			t.Fatalf("%s does not support object updates", e.Name())
+		}
+		// Insert without any prior SetObjects.
+		if !up.InsertObject(query.Object{ID: 1, Loc: indoor.At(2.5, 9, 0), Part: f.R1}) {
+			t.Fatalf("%s: insert failed", e.Name())
+		}
+		if up.InsertObject(query.Object{ID: 1, Loc: indoor.At(3, 9, 0), Part: f.R1}) {
+			t.Fatalf("%s: duplicate insert must fail", e.Name())
+		}
+		nn, err := e.KNN(p, 1, &st)
+		if err != nil || len(nn) != 1 || nn[0].ID != 1 || math.Abs(nn[0].Dist-1) > 1e-9 {
+			t.Fatalf("%s: after insert KNN = %v, %v", e.Name(), nn, err)
+		}
+
+		// Move it to R4 across the hall.
+		if !up.MoveObject(1, indoor.At(17.5, 9, 0), f.R4) {
+			t.Fatalf("%s: move failed", e.Name())
+		}
+		nn, err = e.KNN(p, 1, &st)
+		if err != nil || len(nn) != 1 {
+			t.Fatalf("%s: after move KNN = %v, %v", e.Name(), nn, err)
+		}
+		want := 2 + 15 + 3.0 // p -> D1 -> D4 -> object
+		if math.Abs(nn[0].Dist-want) > 1e-9 {
+			t.Fatalf("%s: after move dist = %g, want %g", e.Name(), nn[0].Dist, want)
+		}
+		// Range no longer sees it nearby.
+		ids, err := e.Range(p, 5, &st)
+		if err != nil || len(ids) != 0 {
+			t.Fatalf("%s: after move Range = %v, %v", e.Name(), ids, err)
+		}
+
+		// Delete it.
+		if !up.DeleteObject(1) {
+			t.Fatalf("%s: delete failed", e.Name())
+		}
+		if up.DeleteObject(1) {
+			t.Fatalf("%s: double delete must fail", e.Name())
+		}
+		nn, err = e.KNN(p, 1, &st)
+		if err != nil || len(nn) != 0 {
+			t.Fatalf("%s: after delete KNN = %v, %v", e.Name(), nn, err)
+		}
+	}
+}
+
+// TestMovingObjectsKeepOthersIntact verifies deletions do not disturb
+// other objects' bucket entries.
+func TestMovingObjectsKeepOthersIntact(t *testing.T) {
+	f := testspaces.NewStrip()
+	e := idmodel.New(f.Space)
+	e.SetObjects([]query.Object{
+		{ID: 1, Loc: indoor.At(2, 9, 0), Part: f.R1},
+		{ID: 2, Loc: indoor.At(3, 9, 0), Part: f.R1},
+		{ID: 3, Loc: indoor.At(10, 5, 0), Part: f.Hall},
+	})
+	e.DeleteObject(2)
+	var st query.Stats
+	ids, err := e.Range(indoor.At(2.5, 8, 0), 1000, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 3 {
+		t.Fatalf("Range after delete = %v", ids)
+	}
+	// Re-inserting the deleted id works.
+	if !e.InsertObject(query.Object{ID: 2, Loc: indoor.At(7, 2, 0), Part: f.R6}) {
+		t.Fatal("re-insert failed")
+	}
+	ids, _ = e.Range(indoor.At(2.5, 8, 0), 1000, &st)
+	if len(ids) != 3 {
+		t.Fatalf("Range after re-insert = %v", ids)
+	}
+}

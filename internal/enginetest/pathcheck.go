@@ -1,0 +1,82 @@
+package enginetest
+
+import (
+	"fmt"
+	"math"
+
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/query"
+)
+
+// PathLength recomputes L(φ) of a reported path from its door hops
+// (footnote 2 of the paper): the intra-partition legs p -> d_0,
+// d_i -> d_{i+1}, and d_k -> q, each measured within a partition that the
+// two hop endpoints legitimately share (entered through the first, left
+// through the second). It errors when the hop sequence is not traversable.
+func PathLength(sp *indoor.Space, path query.Path) (float64, error) {
+	vp, ok := sp.HostPartition(path.Source)
+	if !ok {
+		return 0, fmt.Errorf("source not indoors")
+	}
+	vq, ok := sp.HostPartition(path.Target)
+	if !ok {
+		return 0, fmt.Errorf("target not indoors")
+	}
+	if len(path.Doors) == 0 {
+		if vp != vq {
+			return 0, fmt.Errorf("empty door sequence across partitions %d and %d", vp, vq)
+		}
+		return sp.WithinPoints(vp, path.Source, path.Target), nil
+	}
+
+	sum := sp.WithinPointDoor(vp, path.Source, path.Doors[0])
+	if math.IsInf(sum, 1) {
+		return 0, fmt.Errorf("first door %d not reachable from source partition %d", path.Doors[0], vp)
+	}
+	for i := 0; i+1 < len(path.Doors); i++ {
+		w := hopDist(sp, path.Doors[i], path.Doors[i+1])
+		if math.IsInf(w, 1) {
+			return 0, fmt.Errorf("doors %d -> %d not traversable", path.Doors[i], path.Doors[i+1])
+		}
+		sum += w
+	}
+	last := path.Doors[len(path.Doors)-1]
+	w := sp.WithinPointDoor(vq, path.Target, last)
+	if math.IsInf(w, 1) {
+		return 0, fmt.Errorf("last door %d does not reach target partition %d", last, vq)
+	}
+	// The last door must actually permit entering vq.
+	enterOK := false
+	for _, d := range sp.Partition(vq).Enter {
+		if d == last {
+			enterOK = true
+			break
+		}
+	}
+	if !enterOK {
+		return 0, fmt.Errorf("last door %d is not enterable into %d", last, vq)
+	}
+	return sum + w, nil
+}
+
+// hopDist returns the legal distance from door a to door b through any
+// partition entered via a and left via b.
+func hopDist(sp *indoor.Space, a, b indoor.DoorID) float64 {
+	best := math.Inf(1)
+	for _, v := range sp.Door(a).Enterable {
+		leaves := false
+		for _, d := range sp.Partition(v).Leave {
+			if d == b {
+				leaves = true
+				break
+			}
+		}
+		if !leaves {
+			continue
+		}
+		if w := sp.WithinDoors(v, a, b); w < best {
+			best = w
+		}
+	}
+	return best
+}

@@ -1,0 +1,49 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkSegmentInside(b *testing.B) {
+	poly := lShape()
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]Point, 64)
+	for i := range pts {
+		pts[i] = Pt(rng.Float64()*6, rng.Float64()*4)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		poly.SegmentInside(pts[i%64], pts[(i+7)%64])
+	}
+}
+
+func BenchmarkVGraphDist(b *testing.B) {
+	poly := lShape()
+	g := NewVGraph(poly, nil)
+	a, c := Pt(1, 3), Pt(5, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Dist(a, c)
+	}
+}
+
+func BenchmarkSourceDist(b *testing.B) {
+	poly := lShape()
+	g := NewVGraph(poly, nil)
+	src := g.SourceFrom(Pt(1, 3))
+	c := Pt(5, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Dist(c)
+	}
+}
+
+func BenchmarkPolygonContains(b *testing.B) {
+	poly := lShape()
+	p := Pt(1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		poly.Contains(p)
+	}
+}

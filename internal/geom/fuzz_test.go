@@ -1,0 +1,70 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSegmentInside checks metamorphic properties of the visibility
+// predicate on the L-shaped polygon: symmetry, endpoint containment, and
+// consistency with midpoint containment.
+func FuzzSegmentInside(f *testing.F) {
+	f.Add(1.0, 1.0, 5.0, 1.0)
+	f.Add(1.0, 3.0, 5.0, 1.0)
+	f.Add(0.0, 0.0, 6.0, 2.0)
+	f.Add(-1.0, -1.0, 7.0, 7.0)
+	f.Add(2.0, 2.0, 2.0, 2.0)
+	poly := lShape()
+	f.Fuzz(func(t *testing.T, ax, ay, bx, by float64) {
+		for _, v := range []float64{ax, ay, bx, by} {
+			if math.IsNaN(v) || math.Abs(v) > 100 {
+				t.Skip()
+			}
+		}
+		a, b := Pt(ax, ay), Pt(bx, by)
+		in1 := poly.SegmentInside(a, b)
+		in2 := poly.SegmentInside(b, a)
+		if in1 != in2 {
+			t.Fatalf("SegmentInside not symmetric for %v-%v: %v vs %v", a, b, in1, in2)
+		}
+		if in1 {
+			if !poly.Contains(a) || !poly.Contains(b) {
+				t.Fatalf("inside segment %v-%v has an outside endpoint", a, b)
+			}
+			if !poly.Contains(a.Mid(b)) {
+				t.Fatalf("inside segment %v-%v has an outside midpoint", a, b)
+			}
+		}
+	})
+}
+
+// FuzzVGraphDist checks geodesic invariants on the L-shape: symmetry,
+// the Euclidean lower bound, and the boundary-walk upper bound.
+func FuzzVGraphDist(f *testing.F) {
+	f.Add(1.0, 1.0, 5.0, 1.0)
+	f.Add(0.5, 3.5, 5.5, 0.5)
+	f.Add(2.0, 2.0, 0.1, 3.9)
+	poly := lShape()
+	g := NewVGraph(poly, nil)
+	perimeter := 0.0
+	for i := range poly {
+		perimeter += poly.Edge(i).Length()
+	}
+	f.Fuzz(func(t *testing.T, ax, ay, bx, by float64) {
+		a, b := Pt(ax, ay), Pt(bx, by)
+		if !poly.Contains(a) || !poly.Contains(b) {
+			t.Skip()
+		}
+		d1 := g.Dist(a, b)
+		d2 := g.Dist(b, a)
+		if math.Abs(d1-d2) > 1e-6 {
+			t.Fatalf("geodesic asymmetric: %g vs %g", d1, d2)
+		}
+		if d1 < a.Dist(b)-1e-9 {
+			t.Fatalf("geodesic %g below Euclidean %g", d1, a.Dist(b))
+		}
+		if d1 > perimeter {
+			t.Fatalf("geodesic %g exceeds the polygon perimeter %g", d1, perimeter)
+		}
+	})
+}

@@ -1,0 +1,172 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDist(t *testing.T) {
+	if d := Pt(0, 0).Dist(Pt(3, 4)); d != 5 {
+		t.Fatalf("Dist = %g, want 5", d)
+	}
+	if d := Pt(1, 1).Dist(Pt(1, 1)); d != 0 {
+		t.Fatalf("Dist to self = %g, want 0", d)
+	}
+}
+
+func TestPointDist2MatchesDist(t *testing.T) {
+	f := func(ax, ay, bx, by int16) bool {
+		a, b := Pt(float64(ax), float64(ay)), Pt(float64(bx), float64(by))
+		d, d2 := a.Dist(b), a.Dist2(b)
+		return math.Abs(d*d-d2) <= 1e-6*(1+d2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointMid(t *testing.T) {
+	m := Pt(0, 0).Mid(Pt(4, 6))
+	if !m.Eq(Pt(2, 3)) {
+		t.Fatalf("Mid = %v, want (2,3)", m)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := R(0, 0, 4, 3)
+	if r.Width() != 4 || r.Height() != 3 {
+		t.Fatalf("extent = %g x %g, want 4 x 3", r.Width(), r.Height())
+	}
+	if r.Area() != 12 {
+		t.Fatalf("Area = %g, want 12", r.Area())
+	}
+	if r.Margin() != 7 {
+		t.Fatalf("Margin = %g, want 7", r.Margin())
+	}
+	if !r.Center().Eq(Pt(2, 1.5)) {
+		t.Fatalf("Center = %v, want (2,1.5)", r.Center())
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := R(0, 0, 4, 3)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Pt(2, 2), true},
+		{Pt(0, 0), true}, // corner
+		{Pt(4, 3), true}, // corner
+		{Pt(2, 0), true}, // edge
+		{Pt(5, 2), false},
+		{Pt(-1, 2), false},
+		{Pt(2, 3.5), false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRectIntersectsUnion(t *testing.T) {
+	a := R(0, 0, 2, 2)
+	b := R(1, 1, 3, 3)
+	c := R(5, 5, 6, 6)
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Fatal("a and b should intersect")
+	}
+	if a.Intersects(c) {
+		t.Fatal("a and c should not intersect")
+	}
+	// Touching rectangles intersect.
+	d := R(2, 0, 4, 2)
+	if !a.Intersects(d) {
+		t.Fatal("touching rectangles should intersect")
+	}
+	u := a.Union(b)
+	if u != R(0, 0, 3, 3) {
+		t.Fatalf("Union = %v", u)
+	}
+	if e := a.Enlargement(b); e != 9-4 {
+		t.Fatalf("Enlargement = %g, want 5", e)
+	}
+}
+
+func TestRectMinMaxDist(t *testing.T) {
+	r := R(0, 0, 2, 2)
+	if d := r.MinDist(Pt(1, 1)); d != 0 {
+		t.Fatalf("MinDist inside = %g, want 0", d)
+	}
+	if d := r.MinDist(Pt(5, 2)); d != 3 {
+		t.Fatalf("MinDist right = %g, want 3", d)
+	}
+	if d := r.MinDist(Pt(5, 6)); math.Abs(d-5) > Eps {
+		t.Fatalf("MinDist diag = %g, want 5", d)
+	}
+	if d := r.MaxDist(Pt(0, 0)); math.Abs(d-math.Sqrt(8)) > Eps {
+		t.Fatalf("MaxDist = %g, want sqrt(8)", d)
+	}
+}
+
+func TestRectMinDistNeverExceedsMaxDist(t *testing.T) {
+	f := func(px, py float64) bool {
+		r := R(-1, -2, 3, 4)
+		p := Pt(math.Mod(px, 100), math.Mod(py, 100))
+		return r.MinDist(p) <= r.MaxDist(p)+Eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentIntersects(t *testing.T) {
+	cases := []struct {
+		s, u     Segment
+		want     bool
+		properly bool
+	}{
+		{Seg(Pt(0, 0), Pt(2, 2)), Seg(Pt(0, 2), Pt(2, 0)), true, true},
+		{Seg(Pt(0, 0), Pt(2, 0)), Seg(Pt(1, 0), Pt(1, 2)), true, false}, // T touch
+		{Seg(Pt(0, 0), Pt(1, 1)), Seg(Pt(2, 2), Pt(3, 3)), false, false},
+		{Seg(Pt(0, 0), Pt(2, 0)), Seg(Pt(1, 0), Pt(3, 0)), true, false}, // overlap
+		{Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(1, 0), Pt(2, 0)), true, false}, // endpoint
+		{Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(0, 1), Pt(1, 1)), false, false},
+	}
+	for i, c := range cases {
+		if got := c.s.Intersects(c.u); got != c.want {
+			t.Errorf("case %d: Intersects = %v, want %v", i, got, c.want)
+		}
+		if got := c.s.ProperlyCrosses(c.u); got != c.properly {
+			t.Errorf("case %d: ProperlyCrosses = %v, want %v", i, got, c.properly)
+		}
+	}
+}
+
+func TestSegmentContainsPoint(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(4, 0))
+	if !s.ContainsPoint(Pt(2, 0)) {
+		t.Fatal("midpoint should be on segment")
+	}
+	if !s.ContainsPoint(Pt(0, 0)) || !s.ContainsPoint(Pt(4, 0)) {
+		t.Fatal("endpoints should be on segment")
+	}
+	if s.ContainsPoint(Pt(5, 0)) {
+		t.Fatal("(5,0) is beyond the segment")
+	}
+	if s.ContainsPoint(Pt(2, 1)) {
+		t.Fatal("(2,1) is off the segment")
+	}
+}
+
+func TestSegmentIntersectsIsSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy int8) bool {
+		s := Seg(Pt(float64(ax), float64(ay)), Pt(float64(bx), float64(by)))
+		u := Seg(Pt(float64(cx), float64(cy)), Pt(float64(dx), float64(dy)))
+		return s.Intersects(u) == u.Intersects(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// lShape is a concave rectilinear polygon:
+//
+//	(0,4)----(2,4)
+//	  |        |
+//	  |        |(2,2)----(6,2)
+//	  |                    |
+//	(0,0)---------------(6,0)
+func lShape() Polygon {
+	return Polygon{
+		{0, 0}, {6, 0}, {6, 2}, {2, 2}, {2, 4}, {0, 4},
+	}
+}
+
+func TestRectPoly(t *testing.T) {
+	p := RectPoly(R(0, 0, 2, 3))
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Area() != 6 {
+		t.Fatalf("Area = %g, want 6", p.Area())
+	}
+	if !p.IsConvex() || !p.IsRectilinear() {
+		t.Fatal("rectangle should be convex and rectilinear")
+	}
+}
+
+func TestPolygonArea(t *testing.T) {
+	if a := lShape().Area(); math.Abs(a-16) > Eps {
+		t.Fatalf("L-shape area = %g, want 16", a)
+	}
+}
+
+func TestPolygonBounds(t *testing.T) {
+	b := lShape().Bounds()
+	if b != R(0, 0, 6, 4) {
+		t.Fatalf("Bounds = %v", b)
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	p := lShape()
+	cases := []struct {
+		q    Point
+		want bool
+	}{
+		{Pt(1, 1), true},
+		{Pt(5, 1), true},
+		{Pt(1, 3), true},
+		{Pt(4, 3), false}, // in the notch
+		{Pt(7, 1), false},
+		{Pt(0, 0), true}, // vertex
+		{Pt(3, 2), true}, // on edge
+		{Pt(2, 3), true}, // on vertical edge
+		{Pt(-1, -1), false},
+	}
+	for _, c := range cases {
+		if got := p.Contains(c.q); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestPolygonConvexity(t *testing.T) {
+	if lShape().IsConvex() {
+		t.Fatal("L-shape should be concave")
+	}
+	tri := Polygon{{0, 0}, {4, 0}, {2, 3}}
+	if !tri.IsConvex() {
+		t.Fatal("triangle should be convex")
+	}
+	if tri.IsRectilinear() {
+		t.Fatal("triangle is not rectilinear")
+	}
+	if !lShape().IsRectilinear() {
+		t.Fatal("L-shape is rectilinear")
+	}
+}
+
+func TestPolygonValidate(t *testing.T) {
+	if err := lShape().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Polygon{{0, 0}, {1, 0}}).Validate(); err == nil {
+		t.Fatal("2-vertex polygon should fail validation")
+	}
+	// Clockwise orientation has negative area.
+	cw := Polygon{{0, 0}, {0, 4}, {4, 4}, {4, 0}}
+	if err := cw.Validate(); err == nil {
+		t.Fatal("clockwise polygon should fail validation")
+	}
+	dup := Polygon{{0, 0}, {0, 0}, {4, 4}, {0, 4}}
+	if err := dup.Validate(); err == nil {
+		t.Fatal("repeated vertex should fail validation")
+	}
+}
+
+func TestSegmentInside(t *testing.T) {
+	p := lShape()
+	cases := []struct {
+		a, b Point
+		want bool
+	}{
+		{Pt(1, 1), Pt(5, 1), true},  // along the bottom arm
+		{Pt(1, 1), Pt(1, 3), true},  // along the left arm
+		{Pt(1, 3), Pt(5, 1), false}, // cuts through the notch
+		{Pt(1, 3), Pt(2, 2), true},  // to the reflex vertex
+		{Pt(2, 2), Pt(5, 1), true},  // from the reflex vertex
+		{Pt(0, 0), Pt(6, 0), true},  // along the boundary
+		{Pt(1, 3), Pt(1, 3), true},  // degenerate
+		{Pt(1, 3), Pt(7, 3), false}, // exits the polygon
+		{Pt(2, 4), Pt(6, 2), false}, // vertex-to-vertex across the notch
+		{Pt(0, 4), Pt(6, 0), false}, // corner to corner through the notch
+	}
+	for i, c := range cases {
+		if got := p.SegmentInside(c.a, c.b); got != c.want {
+			t.Errorf("case %d: SegmentInside(%v,%v) = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSegmentInsideConvex(t *testing.T) {
+	// In a convex polygon every chord is inside.
+	p := RectPoly(R(0, 0, 10, 10))
+	f := func(ax, ay, bx, by uint8) bool {
+		a := Pt(float64(ax%11), float64(ay%11))
+		b := Pt(float64(bx%11), float64(by%11))
+		return p.SegmentInside(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxDistFrom(t *testing.T) {
+	p := RectPoly(R(0, 0, 3, 4))
+	if d := p.MaxDistFrom(Pt(0, 0)); math.Abs(d-5) > Eps {
+		t.Fatalf("MaxDistFrom corner = %g, want 5", d)
+	}
+	if d := p.MaxDistFrom(Pt(1.5, 2)); math.Abs(d-2.5) > Eps {
+		t.Fatalf("MaxDistFrom center = %g, want 2.5", d)
+	}
+}

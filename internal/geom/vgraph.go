@@ -1,0 +1,252 @@
+package geom
+
+import "math"
+
+// VGraph answers geodesic (shortest-path-inside-a-polygon) distance queries
+// for a concave indoor partition. It exploits the fact that geodesics bend
+// only at polygon vertices: the visibility graph is built over the polygon
+// vertices alone, while anchors (the partition's doors) and free points
+// (objects, query locations) attach to it as endpoints.
+//
+// Construction precomputes, per anchor, the geodesic distance to every
+// vertex and to every other anchor — the per-hallway door-to-door matrices
+// of the paper's Sec. 5.1 (footnote 4). Query-time distances involving free
+// points cost one visibility sweep over the vertices.
+type VGraph struct {
+	poly  Polygon
+	verts []Point
+	// vadj[i][j]: straight-line distance when vertices i and j see each
+	// other, +Inf otherwise.
+	vadj [][]float64
+
+	anchors []Point
+	// anchorVert[i][v]: geodesic distance from anchor i to vertex v.
+	anchorVert [][]float64
+	// anchorD[i][j]: geodesic anchor-to-anchor distances.
+	anchorD [][]float64
+}
+
+// NewVGraph builds the visibility structure of poly with the given anchors.
+// Every anchor must lie inside poly or on its boundary.
+func NewVGraph(poly Polygon, anchors []Point) *VGraph {
+	g := &VGraph{
+		poly:    poly,
+		verts:   []Point(poly),
+		anchors: append([]Point(nil), anchors...),
+	}
+	nv := len(g.verts)
+	g.vadj = make([][]float64, nv)
+	for i := range g.vadj {
+		g.vadj[i] = make([]float64, nv)
+		for j := range g.vadj[i] {
+			g.vadj[i][j] = math.Inf(1)
+		}
+		g.vadj[i][i] = 0
+	}
+	for i := 0; i < nv; i++ {
+		for j := i + 1; j < nv; j++ {
+			if poly.SegmentInside(g.verts[i], g.verts[j]) {
+				d := g.verts[i].Dist(g.verts[j])
+				g.vadj[i][j] = d
+				g.vadj[j][i] = d
+			}
+		}
+	}
+
+	na := len(g.anchors)
+	g.anchorVert = make([][]float64, na)
+	for i := 0; i < na; i++ {
+		g.anchorVert[i] = g.dijkstra(g.attach(g.anchors[i]))
+	}
+	g.anchorD = make([][]float64, na)
+	for i := 0; i < na; i++ {
+		row := make([]float64, na)
+		for j := 0; j < na; j++ {
+			switch {
+			case i == j:
+				row[j] = 0
+			case poly.SegmentInside(g.anchors[i], g.anchors[j]):
+				row[j] = g.anchors[i].Dist(g.anchors[j])
+			default:
+				row[j] = g.combine(g.anchorVert[i], g.attach(g.anchors[j]))
+			}
+		}
+		g.anchorD[i] = row
+	}
+	return g
+}
+
+// NumAnchors returns the number of anchor points registered at construction.
+func (g *VGraph) NumAnchors() int { return len(g.anchorD) }
+
+// AnchorDist returns the precomputed geodesic distance between anchors i
+// and j.
+func (g *VGraph) AnchorDist(i, j int) float64 { return g.anchorD[i][j] }
+
+// attach returns the straight-line distances from p to every vertex visible
+// from p (+Inf for invisible vertices).
+func (g *VGraph) attach(p Point) []float64 {
+	d := make([]float64, len(g.verts))
+	for i, v := range g.verts {
+		if g.poly.SegmentInside(p, v) {
+			d[i] = p.Dist(v)
+		} else {
+			d[i] = math.Inf(1)
+		}
+	}
+	return d
+}
+
+// dijkstra computes geodesic distances to all vertices from the seed vector
+// (distance per vertex, +Inf when unseeded) with a dense O(V^2) scan.
+func (g *VGraph) dijkstra(seed []float64) []float64 {
+	n := len(g.verts)
+	dist := make([]float64, n)
+	copy(dist, seed)
+	done := make([]bool, n)
+	for {
+		u, best := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !done[i] && dist[i] < best {
+				u, best = i, dist[i]
+			}
+		}
+		if u < 0 {
+			return dist
+		}
+		done[u] = true
+		row := g.vadj[u]
+		for v := 0; v < n; v++ {
+			if nd := best + row[v]; nd < dist[v] {
+				dist[v] = nd
+			}
+		}
+	}
+}
+
+// combine returns the best geodesic through any vertex: min over v of
+// fromSrc[v] + toDst[v].
+func (g *VGraph) combine(fromSrc, toDst []float64) float64 {
+	best := math.Inf(1)
+	for v := range fromSrc {
+		if s := fromSrc[v] + toDst[v]; s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+// Dist returns the geodesic distance from a to b inside the polygon, or
+// +Inf when either point lies outside.
+func (g *VGraph) Dist(a, b Point) float64 {
+	if !g.poly.Contains(a) || !g.poly.Contains(b) {
+		return math.Inf(1)
+	}
+	if g.poly.SegmentInside(a, b) {
+		return a.Dist(b)
+	}
+	return g.combine(g.dijkstra(g.attach(a)), g.attach(b))
+}
+
+// DistToAnchor returns the geodesic distance from free point p to anchor i,
+// using the precomputed anchor-to-vertex distances.
+func (g *VGraph) DistToAnchor(p Point, i int) float64 {
+	if !g.poly.Contains(p) {
+		return math.Inf(1)
+	}
+	if g.poly.SegmentInside(p, g.anchors[i]) {
+		return p.Dist(g.anchors[i])
+	}
+	return g.combine(g.anchorVert[i], g.attach(p))
+}
+
+// Source is a reusable origin for repeated distance queries from one fixed
+// point (e.g. scanning an object bucket from a door): the origin's
+// visibility sweep and Dijkstra run once.
+type Source struct {
+	g *VGraph
+	p Point
+	// dist[v]: geodesic distance from p to vertex v.
+	dist []float64
+	ok   bool
+}
+
+// SourceFrom prepares a reusable origin at p.
+func (g *VGraph) SourceFrom(p Point) *Source {
+	s := &Source{g: g, p: p}
+	if !g.poly.Contains(p) {
+		return s
+	}
+	s.ok = true
+	s.dist = g.dijkstra(g.attach(p))
+	return s
+}
+
+// SourceFromAnchor prepares a reusable origin at anchor i without any
+// geometric work.
+func (g *VGraph) SourceFromAnchor(i int) *Source {
+	return &Source{g: g, p: g.anchors[i], dist: g.anchorVert[i], ok: true}
+}
+
+// Dist returns the geodesic distance from the source point to b.
+func (s *Source) Dist(b Point) float64 {
+	if !s.ok || !s.g.poly.Contains(b) {
+		return math.Inf(1)
+	}
+	if s.g.poly.SegmentInside(s.p, b) {
+		return s.p.Dist(b)
+	}
+	return s.g.combine(s.dist, s.g.attach(b))
+}
+
+// MaxDist returns the greatest geodesic distance from the source to any
+// polygon vertex (which bounds the distance to anywhere in the polygon).
+func (s *Source) MaxDist() float64 {
+	var m float64
+	for _, d := range s.dist {
+		if !math.IsInf(d, 1) && d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// MaxDistFrom returns the greatest geodesic distance from point a to any
+// polygon vertex.
+func (g *VGraph) MaxDistFrom(a Point) float64 {
+	return g.SourceFrom(a).MaxDist()
+}
+
+// SizeBytes returns a deep size estimate of the graph's resident
+// structures, used by model-size accounting.
+func (g *VGraph) SizeBytes() int64 {
+	nv := int64(len(g.verts))
+	na := int64(len(g.anchors))
+	return nv*16 + nv*nv*8 + na*nv*8 + na*na*8 + na*16
+}
+
+// DistToAnchor returns the geodesic distance from the source point to
+// anchor i, combining the cached source vector with the precomputed
+// anchor-to-vertex distances.
+func (s *Source) DistToAnchor(i int) float64 {
+	if !s.ok {
+		return math.Inf(1)
+	}
+	if s.g.poly.SegmentInside(s.p, s.g.anchors[i]) {
+		return s.p.Dist(s.g.anchors[i])
+	}
+	return s.g.combine(s.dist, s.g.anchorVert[i])
+}
+
+// DistToSource returns the geodesic distance between two prepared sources
+// of the same graph at the cost of one visibility test plus one O(V)
+// combine — the fast path for static-object bucket scans.
+func (s *Source) DistToSource(o *Source) float64 {
+	if !s.ok || !o.ok {
+		return math.Inf(1)
+	}
+	if s.g.poly.SegmentInside(s.p, o.p) {
+		return s.p.Dist(o.p)
+	}
+	return s.g.combine(s.dist, o.dist)
+}

@@ -1,0 +1,152 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVGraphStraightLineWhenVisible(t *testing.T) {
+	g := NewVGraph(lShape(), nil)
+	a, b := Pt(1, 1), Pt(5, 1)
+	if d := g.Dist(a, b); math.Abs(d-4) > Eps {
+		t.Fatalf("Dist = %g, want 4", d)
+	}
+}
+
+func TestVGraphAroundCorner(t *testing.T) {
+	g := NewVGraph(lShape(), nil)
+	a, b := Pt(1, 3), Pt(5, 1)
+	// Geodesic bends at the reflex vertex (2,2).
+	want := a.Dist(Pt(2, 2)) + Pt(2, 2).Dist(b)
+	if d := g.Dist(a, b); math.Abs(d-want) > 1e-6 {
+		t.Fatalf("Dist = %g, want %g", d, want)
+	}
+}
+
+func TestVGraphAnchorDist(t *testing.T) {
+	anchors := []Point{{1, 3}, {5, 1}, {1, 1}}
+	g := NewVGraph(lShape(), anchors)
+	if g.NumAnchors() != 3 {
+		t.Fatalf("NumAnchors = %d", g.NumAnchors())
+	}
+	want01 := Pt(1, 3).Dist(Pt(2, 2)) + Pt(2, 2).Dist(Pt(5, 1))
+	if d := g.AnchorDist(0, 1); math.Abs(d-want01) > 1e-6 {
+		t.Fatalf("AnchorDist(0,1) = %g, want %g", d, want01)
+	}
+	if d := g.AnchorDist(1, 0); math.Abs(d-want01) > 1e-6 {
+		t.Fatalf("AnchorDist(1,0) = %g, want %g", d, want01)
+	}
+	if d := g.AnchorDist(2, 2); d != 0 {
+		t.Fatalf("AnchorDist(2,2) = %g, want 0", d)
+	}
+	// Anchors 2 and 1 see each other directly.
+	if d := g.AnchorDist(2, 1); math.Abs(d-4) > 1e-6 {
+		t.Fatalf("AnchorDist(2,1) = %g, want 4", d)
+	}
+}
+
+func TestVGraphDistMatchesAnchorDist(t *testing.T) {
+	anchors := []Point{{0.5, 3.5}, {5.5, 0.5}}
+	g := NewVGraph(lShape(), anchors)
+	free := g.Dist(anchors[0], anchors[1])
+	pre := g.AnchorDist(0, 1)
+	if math.Abs(free-pre) > 1e-6 {
+		t.Fatalf("on-the-fly %g != precomputed %g", free, pre)
+	}
+}
+
+func TestVGraphOutsidePointIsInf(t *testing.T) {
+	g := NewVGraph(lShape(), nil)
+	if d := g.Dist(Pt(4, 3), Pt(1, 1)); !math.IsInf(d, 1) {
+		t.Fatalf("Dist from outside point = %g, want +Inf", d)
+	}
+}
+
+func TestVGraphGeodesicAtLeastEuclidean(t *testing.T) {
+	g := NewVGraph(lShape(), nil)
+	pts := []Point{{1, 1}, {5, 1}, {1, 3}, {0.5, 3.9}, {5.9, 0.1}, {2, 2}}
+	for _, a := range pts {
+		for _, b := range pts {
+			d := g.Dist(a, b)
+			if d < a.Dist(b)-1e-6 {
+				t.Fatalf("geodesic %g < Euclidean %g for %v-%v", d, a.Dist(b), a, b)
+			}
+		}
+	}
+}
+
+func TestVGraphSymmetry(t *testing.T) {
+	g := NewVGraph(lShape(), nil)
+	f := func(ax, ay, bx, by uint8) bool {
+		a := Pt(float64(ax%7)*0.9, float64(ay%5)*0.8)
+		b := Pt(float64(bx%7)*0.9, float64(by%5)*0.8)
+		if !lShape().Contains(a) || !lShape().Contains(b) {
+			return true
+		}
+		d1, d2 := g.Dist(a, b), g.Dist(b, a)
+		return math.Abs(d1-d2) <= 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVGraphTriangleInequality(t *testing.T) {
+	g := NewVGraph(lShape(), nil)
+	pts := []Point{{1, 1}, {5, 1}, {1, 3}, {2, 2}, {3, 1}}
+	for _, a := range pts {
+		for _, b := range pts {
+			for _, c := range pts {
+				if g.Dist(a, c) > g.Dist(a, b)+g.Dist(b, c)+1e-6 {
+					t.Fatalf("triangle inequality violated for %v,%v,%v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestVGraphMaxDistFrom(t *testing.T) {
+	g := NewVGraph(lShape(), nil)
+	// From deep in the bottom-right arm, the farthest vertex is (0,4),
+	// reached around the reflex corner (2,2).
+	a := Pt(5.5, 0.5)
+	want := a.Dist(Pt(2, 2)) + Pt(2, 2).Dist(Pt(0, 4))
+	if d := g.MaxDistFrom(a); math.Abs(d-want) > 1e-6 {
+		t.Fatalf("MaxDistFrom = %g, want %g", d, want)
+	}
+}
+
+func TestVGraphComb(t *testing.T) {
+	// A comb with two teeth:
+	//
+	//	 _   _
+	//	| | | |
+	//	| |_| |
+	//	|_____|
+	comb := Polygon{
+		{0, 0}, {5, 0}, {5, 3}, {4, 3}, {4, 1}, {3, 1}, {3, 3}, {2, 3}, {2, 1}, {1, 1}, {1, 3}, {0, 3},
+	}
+	if err := comb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := NewVGraph(comb, []Point{{0.5, 2.5}, {4.5, 2.5}})
+	// Shortest path between the teeth tips must weave under both teeth.
+	d := g.AnchorDist(0, 1)
+	lower := Pt(0.5, 2.5).Dist(Pt(4.5, 2.5))
+	if d <= lower {
+		t.Fatalf("comb geodesic %g should exceed straight line %g", d, lower)
+	}
+	want := Pt(0.5, 2.5).Dist(Pt(1, 1)) + Pt(1, 1).Dist(Pt(2, 1)) + Pt(2, 1).Dist(Pt(3, 1)) +
+		Pt(3, 1).Dist(Pt(4, 1)) + Pt(4, 1).Dist(Pt(4.5, 2.5))
+	if math.Abs(d-want) > 1e-6 {
+		t.Fatalf("comb geodesic = %g, want %g", d, want)
+	}
+}
+
+func TestVGraphSizeBytes(t *testing.T) {
+	g := NewVGraph(lShape(), []Point{{1, 1}})
+	if g.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes should be positive")
+	}
+}

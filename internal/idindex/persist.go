@@ -1,0 +1,92 @@
+package idindex
+
+import (
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+
+	"indoorsq/internal/indoor"
+)
+
+// persisted is the on-disk layout of an IDINDEX: the three matrices plus a
+// fingerprint of the space they were computed for. Infinities are encoded
+// as NaN-free sentinels since gob handles them, but the fingerprint guards
+// against loading matrices over the wrong venue.
+type persisted struct {
+	Fingerprint uint64
+	N           int
+	D2D         []float64
+	D2D32       []float32
+	Idx         []int32
+	FH          []int32
+}
+
+// fingerprint summarizes the door layout of a space: door count, partition
+// count, and a hash of every door's coordinates and floor.
+func fingerprint(sp *indoor.Space) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(sp.NumDoors()))
+	put(uint64(sp.NumPartitions()))
+	for i := 0; i < sp.NumDoors(); i++ {
+		d := sp.Door(indoor.DoorID(i))
+		put(math.Float64bits(d.P.X))
+		put(math.Float64bits(d.P.Y))
+		put(uint64(d.Floor))
+	}
+	return h.Sum64()
+}
+
+// Save writes the precomputed matrices so a later process can skip the
+// expensive construction (Sec. 6.1 reports it as IDINDEX's main cost).
+func (ix *Index) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(persisted{
+		Fingerprint: fingerprint(ix.sp),
+		N:           ix.n,
+		D2D:         ix.d2d,
+		D2D32:       ix.d2d32,
+		Idx:         ix.idx,
+		FH:          ix.fh,
+	})
+}
+
+// Load restores an IDINDEX previously written by Save over the same space.
+// It fails when the stream was produced for a different venue.
+func Load(r io.Reader, sp *indoor.Space) (*Index, error) {
+	var p persisted
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("idindex: load: %w", err)
+	}
+	if p.Fingerprint != fingerprint(sp) {
+		return nil, fmt.Errorf("idindex: load: matrices belong to a different space")
+	}
+	nn := p.N * p.N
+	wide := len(p.D2D) == nn && len(p.D2D32) == 0
+	narrow := len(p.D2D32) == nn && len(p.D2D) == 0
+	if p.N != sp.NumDoors() || (!wide && !narrow) ||
+		len(p.Idx) != nn || len(p.FH) != nn {
+		return nil, fmt.Errorf("idindex: load: corrupt matrix sizes")
+	}
+	ix := &Index{
+		sp:    sp,
+		n:     p.N,
+		d2d:   p.D2D,
+		d2d32: p.D2D32,
+		idx:   p.Idx,
+		fh:    p.FH,
+	}
+	cell := int64(8)
+	if narrow {
+		cell = 4
+	}
+	ix.size = int64(p.N)*int64(p.N)*(cell+4+4) + sp.BaseSizeBytes() + sp.GeomSizeBytes()
+	return ix, nil
+}

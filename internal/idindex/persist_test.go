@@ -1,0 +1,73 @@
+package idindex_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"indoorsq/internal/idindex"
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/query"
+	"indoorsq/internal/testspaces"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	f := testspaces.NewStrip()
+	built := idindex.New(f.Space)
+	var buf bytes.Buffer
+	if err := built.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := idindex.Load(&buf, f.Space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical query behavior.
+	built.SetObjects(nil)
+	loaded.SetObjects(nil)
+	var st query.Stats
+	p, q := indoor.At(2.5, 8, 0), indoor.At(17.5, 8, 0)
+	a, err := built.SPD(p, q, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.SPD(p, q, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Dist-b.Dist) > 1e-12 || len(a.Doors) != len(b.Doors) {
+		t.Fatalf("loaded index answers differ: %v vs %v", a, b)
+	}
+	for di := 0; di < f.Space.NumDoors(); di++ {
+		for dj := 0; dj < f.Space.NumDoors(); dj++ {
+			x := built.DoorDist(indoor.DoorID(di), indoor.DoorID(dj))
+			y := loaded.DoorDist(indoor.DoorID(di), indoor.DoorID(dj))
+			if x != y && !(math.IsInf(x, 1) && math.IsInf(y, 1)) {
+				t.Fatalf("matrix mismatch at (%d,%d): %g vs %g", di, dj, x, y)
+			}
+		}
+	}
+	if loaded.SizeBytes() != built.SizeBytes() {
+		t.Fatalf("size accounting differs: %d vs %d", loaded.SizeBytes(), built.SizeBytes())
+	}
+}
+
+func TestLoadRejectsWrongSpace(t *testing.T) {
+	f := testspaces.NewStrip()
+	built := idindex.New(f.Space)
+	var buf bytes.Buffer
+	if err := built.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := testspaces.NewTwoFloor().Space
+	if _, err := idindex.Load(&buf, other); err == nil {
+		t.Fatal("loading matrices of another venue must fail")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	f := testspaces.NewStrip()
+	if _, err := idindex.Load(bytes.NewBufferString("junk"), f.Space); err == nil {
+		t.Fatal("garbage must fail to load")
+	}
+}

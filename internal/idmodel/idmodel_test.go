@@ -1,0 +1,80 @@
+package idmodel_test
+
+import (
+	"math"
+	"testing"
+
+	"indoorsq/internal/enginetest"
+	"indoorsq/internal/idmodel"
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/query"
+	"indoorsq/internal/testspaces"
+)
+
+func TestConformance(t *testing.T) {
+	enginetest.Run(t, func(sp *indoor.Space) query.Engine {
+		return idmodel.New(sp)
+	})
+}
+
+func TestD2DMapping(t *testing.T) {
+	f := testspaces.NewStrip()
+	m := idmodel.New(f.Space)
+
+	// fd2d within the hall: D1 (enter) to D4 (leave) = 15.
+	if d := m.D2D(f.Hall, f.D1, f.D4); math.Abs(d-15) > 1e-9 {
+		t.Fatalf("D2D(hall, D1, D4) = %g, want 15", d)
+	}
+	// Identity.
+	if d := m.D2D(f.Hall, f.D1, f.D1); d != 0 {
+		t.Fatalf("D2D(hall, D1, D1) = %g, want 0", d)
+	}
+	// Foreign door.
+	if d := m.D2D(f.Hall, f.D8, f.D1); !math.IsInf(d, 1) {
+		t.Fatalf("D2D with foreign door = %g, want +Inf", d)
+	}
+	// Direction: D8 enters R7 but does not leave it, so moving from D7
+	// into R7 and out through D8 is impossible.
+	if d := m.D2D(f.R7, f.D7, f.D8); !math.IsInf(d, 1) {
+		t.Fatalf("D2D through exit-blocked door = %g, want +Inf", d)
+	}
+	// But entering R6 through D6 and leaving through D8 is allowed.
+	if d := m.D2D(f.R6, f.D6, f.D8); math.IsInf(d, 1) {
+		t.Fatal("D2D(R6, D6, D8) should be finite")
+	}
+}
+
+func TestNVDCounting(t *testing.T) {
+	f := testspaces.NewStrip()
+	m := idmodel.New(f.Space)
+	m.SetObjects(nil)
+
+	var st query.Stats
+	if _, err := m.SPD(indoor.At(1, 5, 0), indoor.At(19, 5, 0), &st); err != nil {
+		t.Fatal(err)
+	}
+	// Same-partition query can still settle doors cheaper than the direct
+	// distance; the count must be bounded by the total door count.
+	if st.VisitedDoors < 0 || st.VisitedDoors > f.Space.NumDoors() {
+		t.Fatalf("NVD = %d out of range", st.VisitedDoors)
+	}
+
+	st.Reset()
+	if _, err := m.SPD(indoor.At(2.5, 8, 0), indoor.At(17.5, 8, 0), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.VisitedDoors == 0 {
+		t.Fatal("cross-partition SPD should visit doors")
+	}
+	if st.WorkBytes == 0 {
+		t.Fatal("SPD should account transient memory")
+	}
+}
+
+func TestSizeGrowsWithSpace(t *testing.T) {
+	small := idmodel.New(testspaces.NewStrip().Space)
+	big := idmodel.New(testspaces.RandomGrid(1, 6, 6, 3, 10, 0))
+	if big.SizeBytes() <= small.SizeBytes() {
+		t.Fatalf("size(big)=%d should exceed size(small)=%d", big.SizeBytes(), small.SizeBytes())
+	}
+}

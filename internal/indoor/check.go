@@ -1,0 +1,163 @@
+package indoor
+
+import (
+	"fmt"
+	"math"
+
+	"indoorsq/internal/geom"
+)
+
+// Check performs deep diagnostics on a built space beyond the structural
+// validation of Build: geometric overlap between same-floor partitions,
+// doors lying on the shared boundary of both their partitions, and global
+// reachability of every partition through the door graph. It returns all
+// problems found (nil when the space is clean). Dataset generators run it
+// in their tests.
+func (s *Space) Check() []error {
+	var errs []error
+	errs = append(errs, s.checkOverlaps()...)
+	errs = append(errs, s.checkDoorBoundaries()...)
+	errs = append(errs, s.checkReachability()...)
+	return errs
+}
+
+// checkOverlaps reports pairs of same-floor partitions whose interiors
+// intersect with positive area. Convex pairs are tested exactly on their
+// bounding boxes (the datasets' convex partitions are rectangles); pairs
+// involving a concave polygon are tested by probing the overlap region.
+func (s *Space) checkOverlaps() []error {
+	var errs []error
+	for f := 0; f < s.Floors; f++ {
+		ids := s.OnFloor(int16(f))
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				a, b := &s.parts[ids[i]], &s.parts[ids[j]]
+				if a.Kind == Staircase && b.Kind == Staircase {
+					// Stairwells of different floor pairs may share a shaft
+					// footprint only if they overlap on this floor too.
+				}
+				ov := overlapRect(a.MBR, b.MBR)
+				if ov.Width() <= geom.Eps || ov.Height() <= geom.Eps {
+					continue
+				}
+				if partsOverlap(a, b, ov) {
+					errs = append(errs, fmt.Errorf(
+						"indoor: partitions %d and %d overlap on floor %d (box %v)",
+						a.ID, b.ID, f, ov))
+				}
+			}
+		}
+	}
+	return errs
+}
+
+// overlapRect returns the intersection box of two rectangles (possibly
+// inverted when disjoint).
+func overlapRect(a, b geom.Rect) geom.Rect {
+	return geom.Rect{
+		MinX: math.Max(a.MinX, b.MinX),
+		MinY: math.Max(a.MinY, b.MinY),
+		MaxX: math.Min(a.MaxX, b.MaxX),
+		MaxY: math.Min(a.MaxY, b.MaxY),
+	}
+}
+
+// partsOverlap reports whether the two partitions' interiors share area
+// within the candidate box, probing a grid of interior points.
+func partsOverlap(a, b *Partition, ov geom.Rect) bool {
+	const n = 4
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			p := geom.Pt(
+				ov.MinX+ov.Width()*float64(i)/(n+1),
+				ov.MinY+ov.Height()*float64(j)/(n+1),
+			)
+			if interiorContains(a, p) && interiorContains(b, p) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// interiorContains reports whether p lies strictly inside the partition
+// (boundary points do not count — shared walls are legal).
+func interiorContains(v *Partition, p geom.Point) bool {
+	if !v.Poly.Contains(p) {
+		return false
+	}
+	for i := range v.Poly {
+		if v.Poly.Edge(i).ContainsPoint(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkDoorBoundaries verifies each door's point lies on the boundary of
+// both its partitions (not strictly inside either), except within
+// staircases where the door sits on the footprint edge of the other
+// partition's floor.
+func (s *Space) checkDoorBoundaries() []error {
+	var errs []error
+	for i := range s.doors {
+		d := &s.doors[i]
+		for _, vid := range d.Parts {
+			v := &s.parts[vid]
+			if !v.Poly.Contains(d.P) {
+				errs = append(errs, fmt.Errorf(
+					"indoor: door %d at %v outside partition %d", d.ID, d.P, vid))
+				continue
+			}
+			if v.Kind != Staircase && interiorContains(v, d.P) {
+				errs = append(errs, fmt.Errorf(
+					"indoor: door %d at %v strictly inside partition %d (must be on the wall)",
+					d.ID, d.P, vid))
+			}
+		}
+	}
+	return errs
+}
+
+// checkReachability verifies every partition can be entered from every
+// other (ignoring direction asymmetries: it checks the undirected door
+// graph, then flags partitions with no enterable or no leaveable door).
+func (s *Space) checkReachability() []error {
+	var errs []error
+	if len(s.parts) == 0 {
+		return nil
+	}
+	// Undirected flood fill over partitions.
+	seen := make([]bool, len(s.parts))
+	stack := []PartitionID{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, d := range s.parts[v].Doors {
+			for _, u := range s.doors[d].Parts {
+				if !seen[u] {
+					seen[u] = true
+					count++
+					stack = append(stack, u)
+				}
+			}
+		}
+	}
+	if count != len(s.parts) {
+		errs = append(errs, fmt.Errorf(
+			"indoor: space is disconnected: %d of %d partitions reachable from partition 0",
+			count, len(s.parts)))
+	}
+	for i := range s.parts {
+		v := &s.parts[i]
+		if len(v.Enter) == 0 {
+			errs = append(errs, fmt.Errorf("indoor: partition %d cannot be entered", v.ID))
+		}
+		if len(v.Leave) == 0 {
+			errs = append(errs, fmt.Errorf("indoor: partition %d cannot be left", v.ID))
+		}
+	}
+	return errs
+}

@@ -1,0 +1,104 @@
+package indoor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"indoorsq/internal/geom"
+)
+
+// spaceJSON is the interchange format of a Space: enough to rebuild it
+// through the Builder (derived structures are recomputed on decode).
+type spaceJSON struct {
+	Name       string     `json:"name"`
+	Floors     int        `json:"floors"`
+	Partitions []partJSON `json:"partitions"`
+	Doors      []doorJSON `json:"doors"`
+}
+
+type partJSON struct {
+	Kind        uint8        `json:"kind"`
+	Floor       int16        `json:"floor"`
+	TopFloor    int16        `json:"topFloor"`
+	StairLength float64      `json:"stairLength,omitempty"`
+	Poly        [][2]float64 `json:"poly"`
+}
+
+type doorJSON struct {
+	X       float64    `json:"x"`
+	Y       float64    `json:"y"`
+	Floor   int16      `json:"floor"`
+	Virtual bool       `json:"virtual,omitempty"`
+	Links   []linkJSON `json:"links"`
+}
+
+type linkJSON struct {
+	From int32 `json:"from"`
+	To   int32 `json:"to"`
+}
+
+// EncodeSpace writes a JSON representation of the space.
+func EncodeSpace(w io.Writer, s *Space) error {
+	out := spaceJSON{Name: s.Name, Floors: s.Floors}
+	for i := range s.parts {
+		v := &s.parts[i]
+		pj := partJSON{
+			Kind:        uint8(v.Kind),
+			Floor:       v.Floor,
+			TopFloor:    v.TopFloor,
+			StairLength: v.StairLength,
+		}
+		for _, pt := range v.Poly {
+			pj.Poly = append(pj.Poly, [2]float64{pt.X, pt.Y})
+		}
+		out.Partitions = append(out.Partitions, pj)
+	}
+	for i := range s.doors {
+		d := &s.doors[i]
+		dj := doorJSON{X: d.P.X, Y: d.P.Y, Floor: d.Floor, Virtual: d.Virtual}
+		for _, from := range d.Leaveable {
+			for _, to := range d.Enterable {
+				if from != to {
+					dj.Links = append(dj.Links, linkJSON{From: int32(from), To: int32(to)})
+				}
+			}
+		}
+		out.Doors = append(out.Doors, dj)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// DecodeSpace reads a JSON representation produced by EncodeSpace and
+// rebuilds the space (including all derived structures).
+func DecodeSpace(r io.Reader) (*Space, error) {
+	var in spaceJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("indoor: decode space: %w", err)
+	}
+	b := NewBuilder(in.Name, in.Floors)
+	for _, pj := range in.Partitions {
+		poly := make(geom.Polygon, len(pj.Poly))
+		for i, xy := range pj.Poly {
+			poly[i] = geom.Pt(xy[0], xy[1])
+		}
+		if Kind(pj.Kind) == Staircase {
+			b.AddStair(pj.Floor, pj.TopFloor, poly, pj.StairLength)
+		} else {
+			b.AddPartition(Kind(pj.Kind), pj.Floor, poly)
+		}
+	}
+	for _, dj := range in.Doors {
+		var d DoorID
+		if dj.Virtual {
+			d = b.AddVirtualDoor(geom.Pt(dj.X, dj.Y), dj.Floor)
+		} else {
+			d = b.AddDoor(geom.Pt(dj.X, dj.Y), dj.Floor)
+		}
+		for _, l := range dj.Links {
+			b.ConnectOneWay(d, PartitionID(l.From), PartitionID(l.To))
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,107 @@
+package indoor_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"indoorsq/internal/geom"
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/testspaces"
+)
+
+func rectPoly(x0, y0, x1, y1 float64) geom.Polygon {
+	return geom.RectPoly(geom.R(x0, y0, x1, y1))
+}
+
+func pt(x, y float64) geom.Point { return geom.Pt(x, y) }
+
+func roundTrip(t *testing.T, sp *indoor.Space) *indoor.Space {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := indoor.EncodeSpace(&buf, sp); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := indoor.DecodeSpace(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return got
+}
+
+func TestCodecRoundTripStrip(t *testing.T) {
+	f := testspaces.NewStrip()
+	got := roundTrip(t, f.Space)
+	a := f.Space.SpaceStats(4)
+	b := got.SpaceStats(4)
+	if a.Doors != b.Doors || a.Partitions != b.Partitions ||
+		a.Hallways != b.Hallways || a.Crucial != b.Crucial ||
+		a.Q1 != b.Q1 || a.Q2 != b.Q2 || a.Q3 != b.Q3 || a.Max != b.Max {
+		t.Fatalf("stats changed: %+v vs %+v", a, b)
+	}
+	// Directionality survives: D8 remains one-way.
+	if got.Door(f.D8).Bidirectional() {
+		t.Fatal("one-way door became bidirectional")
+	}
+	// Distances identical.
+	d1 := f.Space.WithinDoors(f.Hall, f.D1, f.D4)
+	d2 := got.WithinDoors(f.Hall, f.D1, f.D4)
+	if math.Abs(d1-d2) > 1e-12 {
+		t.Fatalf("distance changed: %g vs %g", d1, d2)
+	}
+}
+
+func TestCodecRoundTripTwoFloor(t *testing.T) {
+	f := testspaces.NewTwoFloor()
+	got := roundTrip(t, f.Space)
+	if got.Floors != 2 {
+		t.Fatalf("floors = %d", got.Floors)
+	}
+	st := got.SpaceStats(4)
+	if st.Staircases != 1 {
+		t.Fatalf("staircases = %d", st.Staircases)
+	}
+	if d := got.WithinDoors(f.Stair, f.DS0, f.DS1); d != 5 {
+		t.Fatalf("stair length = %g, want 5", d)
+	}
+}
+
+func TestCodecRoundTripConcave(t *testing.T) {
+	f := testspaces.NewLHall()
+	got := roundTrip(t, f.Space)
+	want := f.Space.WithinDoors(f.Hall, f.DV, f.DH)
+	if d := got.WithinDoors(f.Hall, f.DV, f.DH); math.Abs(d-want) > 1e-9 {
+		t.Fatalf("concave geodesic changed: %g vs %g", d, want)
+	}
+	if got.Partition(f.Hall).Convex() {
+		t.Fatal("concavity lost")
+	}
+}
+
+func TestCodecVirtualDoorsPreserved(t *testing.T) {
+	// Any dataset variant with virtual doors round-trips them.
+	b := indoor.NewBuilder("vd", 1)
+	v1 := b.AddHallway(0, rectPoly(0, 0, 5, 2))
+	v2 := b.AddHallway(0, rectPoly(5, 0, 10, 2))
+	d := b.AddVirtualDoor(pt(5, 1), 0)
+	b.ConnectBoth(d, v1, v2)
+	sp, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := roundTrip(t, sp)
+	if !got.Door(0).Virtual {
+		t.Fatal("virtual flag lost")
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	if _, err := indoor.DecodeSpace(bytes.NewBufferString("not json")); err == nil {
+		t.Fatal("garbage must fail to decode")
+	}
+	// Valid JSON, invalid space (no doors).
+	if _, err := indoor.DecodeSpace(bytes.NewBufferString(
+		`{"name":"x","floors":1,"partitions":[{"kind":0,"floor":0,"topFloor":0,"poly":[[0,0],[1,0],[1,1],[0,1]]}],"doors":[]}`)); err == nil {
+		t.Fatal("invalid space must fail validation on decode")
+	}
+}

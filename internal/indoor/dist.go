@@ -1,0 +1,323 @@
+package indoor
+
+import (
+	"math"
+
+	"indoorsq/internal/geom"
+)
+
+// doorIndexIn returns the position of door d in partition v's Doors slice,
+// or -1 when d is not associated with v.
+func (s *Space) doorIndexIn(v PartitionID, d DoorID) int {
+	for i, dd := range s.parts[v].Doors {
+		if dd == d {
+			return i
+		}
+	}
+	return -1
+}
+
+// WithinPoints returns the intra-partition distance ‖a,b‖v between two
+// points hosted by partition v. For convex partitions this is the Euclidean
+// distance; for concave partitions it is the visibility-graph geodesic; for
+// staircases it is the stair length when a and b are on different floors.
+// It returns +Inf when either point is outside v.
+func (s *Space) WithinPoints(v PartitionID, a, b Point) float64 {
+	part := &s.parts[v]
+	if part.Kind == Staircase {
+		if a.Floor != b.Floor {
+			return part.StairLength
+		}
+		return a.XY().Dist(b.XY())
+	}
+	if a.Floor != part.Floor || b.Floor != part.Floor {
+		return math.Inf(1)
+	}
+	if part.convex {
+		if !part.Poly.Contains(a.XY()) || !part.Poly.Contains(b.XY()) {
+			return math.Inf(1)
+		}
+		return a.XY().Dist(b.XY())
+	}
+	return s.vg[v].Dist(a.XY(), b.XY())
+}
+
+// WithinPointDoor returns ‖p,d‖v: the intra-partition distance from point p
+// in partition v to door d of v. It returns +Inf when d is not a door of v
+// or p lies outside v.
+func (s *Space) WithinPointDoor(v PartitionID, p Point, d DoorID) float64 {
+	i := s.doorIndexIn(v, d)
+	if i < 0 {
+		return math.Inf(1)
+	}
+	part := &s.parts[v]
+	door := &s.doors[d]
+	if part.Kind == Staircase {
+		if p.Floor != door.Floor {
+			return part.StairLength
+		}
+		return p.XY().Dist(door.P)
+	}
+	if p.Floor != part.Floor {
+		return math.Inf(1)
+	}
+	if part.convex {
+		if !part.Poly.Contains(p.XY()) {
+			return math.Inf(1)
+		}
+		return p.XY().Dist(door.P)
+	}
+	return s.vg[v].DistToAnchor(p.XY(), int(s.doorAnchor[v][i]))
+}
+
+// WithinDoors returns the geometric distance between doors di and dj through
+// the interior of partition v — the quantity the fd2d mapping materializes
+// (Sec. 3.1). Direction rules (di enterable, dj leaveable) are applied by
+// the engines, not here. It returns +Inf when either door is not a door of v.
+func (s *Space) WithinDoors(v PartitionID, di, dj DoorID) float64 {
+	if di == dj {
+		if s.doorIndexIn(v, di) < 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	ii := s.doorIndexIn(v, di)
+	jj := s.doorIndexIn(v, dj)
+	if ii < 0 || jj < 0 {
+		return math.Inf(1)
+	}
+	part := &s.parts[v]
+	a, b := &s.doors[di], &s.doors[dj]
+	if part.Kind == Staircase {
+		if a.Floor != b.Floor {
+			return part.StairLength
+		}
+		return a.P.Dist(b.P)
+	}
+	if part.convex {
+		return a.P.Dist(b.P)
+	}
+	return s.vg[v].AnchorDist(int(s.doorAnchor[v][ii]), int(s.doorAnchor[v][jj]))
+}
+
+// MaxReach returns fdv(d, v): the longest intra-partition distance one can
+// travel within partition v after entering through door d, or +Inf when d is
+// not an enterable door of v (Sec. 3.1).
+func (s *Space) MaxReach(d DoorID, v PartitionID) float64 {
+	for _, e := range s.parts[v].Enter {
+		if e == d {
+			i := s.doorIndexIn(v, d)
+			return s.maxReach[v][i]
+		}
+	}
+	return math.Inf(1)
+}
+
+// EuclideanLB returns a lower bound on the indoor distance from a to b:
+// the planar Euclidean distance when the points share a floor, and the
+// accumulated minimum floor-to-floor stair length otherwise. Engines use it
+// for pruning only.
+func (s *Space) EuclideanLB(a, b Point) float64 {
+	d := a.XY().Dist(b.XY())
+	if a.Floor != b.Floor {
+		diff := a.Floor - b.Floor
+		if diff < 0 {
+			diff = -diff
+		}
+		d += float64(diff) * s.minStairLength()
+	}
+	return d
+}
+
+func (s *Space) minStairLength() float64 {
+	m := math.Inf(1)
+	for i := range s.parts {
+		if s.parts[i].Kind == Staircase && s.parts[i].StairLength < m {
+			m = s.parts[i].StairLength
+		}
+	}
+	if math.IsInf(m, 1) {
+		return 0
+	}
+	return m
+}
+
+// DoorPoint returns door d's location as an indoor Point.
+func (s *Space) DoorPoint(d DoorID) Point {
+	door := &s.doors[d]
+	return Point{X: door.P.X, Y: door.P.Y, Floor: door.Floor}
+}
+
+// leavesInto reports whether one can go through door d out of partition from
+// and into partition to, honouring door direction.
+func (s *Space) leavesInto(d DoorID, from, to PartitionID) bool {
+	door := &s.doors[d]
+	okFrom, okTo := false, false
+	for _, v := range door.Leaveable {
+		if v == from {
+			okFrom = true
+			break
+		}
+	}
+	for _, v := range door.Enterable {
+		if v == to {
+			okTo = true
+			break
+		}
+	}
+	return okFrom && okTo && from != to
+}
+
+// CanTraverse reports whether door d permits movement from partition `from`
+// to partition `to` (the D2P(d) relation of Sec. 2.1).
+func (s *Space) CanTraverse(d DoorID, from, to PartitionID) bool {
+	return s.leavesInto(d, from, to)
+}
+
+// WithinFrom returns a closure computing ‖center,·‖v for many points with
+// the center-side geometric work done once — the hot path of object-bucket
+// scans. The closure returns +Inf for points outside v.
+func (s *Space) WithinFrom(v PartitionID, center Point) func(Point) float64 {
+	part := &s.parts[v]
+	if part.Kind == Staircase {
+		return func(b Point) float64 {
+			if center.Floor != b.Floor {
+				return part.StairLength
+			}
+			return center.XY().Dist(b.XY())
+		}
+	}
+	if center.Floor != part.Floor {
+		return infWithin
+	}
+	if part.convex {
+		if !part.Poly.Contains(center.XY()) {
+			return infWithin
+		}
+		c := center.XY()
+		return func(b Point) float64 {
+			if b.Floor != part.Floor || !part.Poly.Contains(b.XY()) {
+				return math.Inf(1)
+			}
+			return c.Dist(b.XY())
+		}
+	}
+	src := s.vg[v].SourceFrom(center.XY())
+	return func(b Point) float64 {
+		if b.Floor != part.Floor {
+			return math.Inf(1)
+		}
+		return src.Dist(b.XY())
+	}
+}
+
+// WithinFromDoor is WithinFrom anchored at a door of v; for concave
+// partitions it reuses the precomputed door-to-vertex distances, making it
+// cheaper than WithinFrom at an arbitrary point.
+func (s *Space) WithinFromDoor(v PartitionID, d DoorID) func(Point) float64 {
+	i := s.doorIndexIn(v, d)
+	if i < 0 {
+		return infWithin
+	}
+	part := &s.parts[v]
+	door := &s.doors[d]
+	if part.Kind == Staircase {
+		return func(b Point) float64 {
+			if door.Floor != b.Floor {
+				return part.StairLength
+			}
+			return door.P.Dist(b.XY())
+		}
+	}
+	if part.convex {
+		return func(b Point) float64 {
+			if b.Floor != part.Floor || !part.Poly.Contains(b.XY()) {
+				return math.Inf(1)
+			}
+			return door.P.Dist(b.XY())
+		}
+	}
+	src := s.vg[v].SourceFromAnchor(int(s.doorAnchor[v][i]))
+	return func(b Point) float64 {
+		if b.Floor != part.Floor {
+			return math.Inf(1)
+		}
+		return src.Dist(b.XY())
+	}
+}
+
+func infWithin(Point) float64 { return math.Inf(1) }
+
+// PointRef is a reusable handle to a point inside a known partition: for
+// concave partitions it caches the point's geodesic vertex distances so
+// repeated distance computations (object bucket scans) cost O(vertices)
+// instead of a fresh visibility sweep.
+type PointRef struct {
+	V   PartitionID
+	P   Point
+	src *geom.Source // nil for convex partitions and staircases
+	ok  bool
+}
+
+// Ref prepares a reusable handle for point p hosted by partition v.
+func (s *Space) Ref(v PartitionID, p Point) PointRef {
+	part := &s.parts[v]
+	r := PointRef{V: v, P: p}
+	if part.Kind == Staircase {
+		r.ok = true
+		return r
+	}
+	if p.Floor != part.Floor {
+		return r
+	}
+	if part.convex {
+		r.ok = part.Poly.Contains(p.XY())
+		return r
+	}
+	r.src = s.vg[v].SourceFrom(p.XY())
+	r.ok = true
+	return r
+}
+
+// RefDist returns ‖a,b‖v for two handles of the same partition.
+func (s *Space) RefDist(a, b PointRef) float64 {
+	if a.V != b.V || !a.ok || !b.ok {
+		return math.Inf(1)
+	}
+	part := &s.parts[a.V]
+	if part.Kind == Staircase {
+		if a.P.Floor != b.P.Floor {
+			return part.StairLength
+		}
+		return a.P.XY().Dist(b.P.XY())
+	}
+	if part.convex {
+		return a.P.XY().Dist(b.P.XY())
+	}
+	return a.src.DistToSource(b.src)
+}
+
+// RefToDoor returns ‖a,d‖v for a handle and a door of its partition.
+// Geodesics within a partition are symmetric, so this also serves as the
+// door-to-point distance.
+func (s *Space) RefToDoor(a PointRef, d DoorID) float64 {
+	if !a.ok {
+		return math.Inf(1)
+	}
+	i := s.doorIndexIn(a.V, d)
+	if i < 0 {
+		return math.Inf(1)
+	}
+	part := &s.parts[a.V]
+	door := &s.doors[d]
+	if part.Kind == Staircase {
+		if a.P.Floor != door.Floor {
+			return part.StairLength
+		}
+		return a.P.XY().Dist(door.P)
+	}
+	if part.convex {
+		return a.P.XY().Dist(door.P)
+	}
+	return a.src.DistToAnchor(int(s.doorAnchor[a.V][i]))
+}

@@ -1,0 +1,92 @@
+package indoor
+
+import "sort"
+
+// Stats summarizes a space the way Table 4 of the paper does: scale of
+// space, and quartile statistics of #dv, the number of doors per partition.
+type Stats struct {
+	Floors     int
+	Doors      int
+	Partitions int
+	Rooms      int
+	Hallways   int
+	Staircases int
+	// Crucial is the number of crucial partitions: partitions whose door
+	// count exceeds the gamma threshold passed to SpaceStats.
+	Crucial int
+	// Length and Width are the planar extents of the space footprint.
+	Length, Width float64
+	// Q1, Q2, Q3 and Max summarize the #dv distribution.
+	Q1, Q2, Q3, Max int
+	// Hist maps #dv to the number of partitions with that many doors
+	// (the Figure 7 distribution).
+	Hist map[int]int
+}
+
+// SpaceStats computes dataset statistics with the given crucial-partition
+// threshold gamma (a partition is crucial when #dv > gamma).
+func (s *Space) SpaceStats(gamma int) Stats {
+	st := Stats{
+		Floors: s.Floors,
+		Doors:  len(s.doors),
+		Hist:   make(map[int]int),
+	}
+	counts := make([]int, 0, len(s.parts))
+	var bounds *Partition
+	for i := range s.parts {
+		v := &s.parts[i]
+		st.Partitions++
+		switch v.Kind {
+		case Room:
+			st.Rooms++
+		case Hallway:
+			st.Hallways++
+		case Staircase:
+			st.Staircases++
+		}
+		n := len(v.Doors)
+		counts = append(counts, n)
+		st.Hist[n]++
+		if n > gamma {
+			st.Crucial++
+		}
+		if bounds == nil {
+			bounds = v
+		}
+	}
+	if len(s.parts) > 0 {
+		mbr := s.parts[0].Poly.Bounds()
+		for i := 1; i < len(s.parts); i++ {
+			mbr = mbr.Union(s.parts[i].Poly.Bounds())
+		}
+		st.Length = mbr.Width()
+		st.Width = mbr.Height()
+		if st.Width > st.Length {
+			st.Length, st.Width = st.Width, st.Length
+		}
+	}
+	sort.Ints(counts)
+	st.Q1 = nearestRank(counts, 0.25)
+	st.Q2 = nearestRank(counts, 0.50)
+	st.Q3 = nearestRank(counts, 0.75)
+	if n := len(counts); n > 0 {
+		st.Max = counts[n-1]
+	}
+	return st
+}
+
+// nearestRank returns the q-quantile of sorted xs using the nearest-rank
+// method.
+func nearestRank(xs []int, q float64) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	r := int(q*float64(len(xs)) + 0.5)
+	if r < 1 {
+		r = 1
+	}
+	if r > len(xs) {
+		r = len(xs)
+	}
+	return xs[r-1]
+}

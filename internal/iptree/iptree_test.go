@@ -1,0 +1,152 @@
+package iptree_test
+
+import (
+	"math"
+	"testing"
+
+	"indoorsq/internal/doorgraph"
+	"indoorsq/internal/enginetest"
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/iptree"
+	"indoorsq/internal/query"
+	"indoorsq/internal/testspaces"
+)
+
+func TestConformanceIPDefault(t *testing.T) {
+	enginetest.Run(t, func(sp *indoor.Space) query.Engine {
+		return iptree.New(sp, iptree.Options{})
+	})
+}
+
+func TestConformanceIPDeepTree(t *testing.T) {
+	// Tiny leaves and fan-out force multi-level trees even on the small
+	// fixtures, exercising the lifting machinery.
+	enginetest.Run(t, func(sp *indoor.Space) query.Engine {
+		return iptree.New(sp, iptree.Options{LeafSize: 2, Fanout: 2, Gamma: 3})
+	})
+}
+
+func TestConformanceVIPDefault(t *testing.T) {
+	enginetest.Run(t, func(sp *indoor.Space) query.Engine {
+		return iptree.New(sp, iptree.Options{VIP: true})
+	})
+}
+
+func TestConformanceVIPDeepTree(t *testing.T) {
+	enginetest.Run(t, func(sp *indoor.Space) query.Engine {
+		return iptree.New(sp, iptree.Options{VIP: true, LeafSize: 2, Fanout: 2, Gamma: 3})
+	})
+}
+
+func TestStructure(t *testing.T) {
+	sp := testspaces.RandomGrid(17, 5, 6, 2, 8, 0.1)
+	tr := iptree.New(sp, iptree.Options{LeafSize: 4, Fanout: 3, Gamma: 4})
+	if tr.NumLeaves() < 2 {
+		t.Fatalf("expected multiple leaves, got %d", tr.NumLeaves())
+	}
+	if tr.Depth() < 2 {
+		t.Fatalf("expected depth >= 2, got %d", tr.Depth())
+	}
+}
+
+func TestVIPFasterPrecomputedSize(t *testing.T) {
+	sp := testspaces.RandomGrid(23, 5, 6, 2, 8, 0)
+	ip := iptree.New(sp, iptree.Options{LeafSize: 4, Fanout: 3})
+	vip := iptree.New(sp, iptree.Options{LeafSize: 4, Fanout: 3, VIP: true})
+	if vip.SizeBytes() <= ip.SizeBytes() {
+		t.Fatalf("VIP size %d should exceed IP size %d (extra materialization)",
+			vip.SizeBytes(), ip.SizeBytes())
+	}
+}
+
+// TestSPDMatchesDoorGraph compares IP/VIP SPD answers against plain global
+// Dijkstra door-to-door distances on randomized grids.
+func TestSPDMatchesDoorGraph(t *testing.T) {
+	for _, vip := range []bool{false, true} {
+		for seed := int64(0); seed < 3; seed++ {
+			sp := testspaces.RandomGrid(seed, 4, 5, 2, 6, 0.25)
+			tr := iptree.New(sp, iptree.Options{LeafSize: 3, Fanout: 2, Gamma: 3, VIP: vip})
+			tr.SetObjects(nil)
+			dg := doorgraph.Build(sp)
+			var st query.Stats
+			for d1 := 0; d1 < sp.NumDoors(); d1 += 3 {
+				dist, _ := dg.Dijkstra(int32(d1), false)
+				for d2 := 1; d2 < sp.NumDoors(); d2 += 4 {
+					p := sp.DoorPoint(indoor.DoorID(d1))
+					q := sp.DoorPoint(indoor.DoorID(d2))
+					path, err := tr.SPD(p, q, &st)
+					if err != nil {
+						if math.IsInf(dist[d2], 1) {
+							continue
+						}
+						// Door points host in adjacent partitions; the SPD
+						// may still be feasible only via a different route.
+						continue
+					}
+					// The point-to-point SPD can be shorter than the pure
+					// door-to-door distance (the door graph forces passing
+					// through partitions), but never longer.
+					if path.Dist > dist[d2]+1e-9 {
+						t.Fatalf("vip=%v seed=%d: SPD(%d->%d) = %g exceeds door graph %g",
+							vip, seed, d1, d2, path.Dist, dist[d2])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNVDSmallerThanGraphTraversal(t *testing.T) {
+	sp := testspaces.RandomGrid(5, 6, 6, 3, 10, 0)
+	vip := iptree.New(sp, iptree.Options{VIP: true})
+	vip.SetObjects(nil)
+	var st query.Stats
+	p := indoor.At(2, 2, 0)
+	q := indoor.At(55, 55, 2)
+	if _, err := vip.SPD(p, q, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.VisitedDoors >= sp.NumDoors() {
+		t.Fatalf("VIP NVD %d should be far below total doors %d", st.VisitedDoors, sp.NumDoors())
+	}
+}
+
+func TestPathDoorsFormValidSequence(t *testing.T) {
+	sp := testspaces.RandomGrid(9, 4, 4, 2, 5, 0)
+	for _, vip := range []bool{false, true} {
+		tr := iptree.New(sp, iptree.Options{LeafSize: 3, Fanout: 2, VIP: vip})
+		tr.SetObjects(nil)
+		var st query.Stats
+		p := indoor.At(1, 1, 0)
+		q := indoor.At(35, 35, 1)
+		path, err := tr.SPD(p, q, &st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(path.Doors) == 0 {
+			t.Fatal("cross-floor path must pass doors")
+		}
+		// Consecutive doors share a partition that the walker can traverse.
+		hops := append([]indoor.DoorID{}, path.Doors...)
+		for i := 0; i+1 < len(hops); i++ {
+			if !shareTraversablePartition(sp, hops[i], hops[i+1]) {
+				t.Fatalf("vip=%v: doors %d and %d not connected via a partition", vip, hops[i], hops[i+1])
+			}
+		}
+		// Path length sanity: at least the Euclidean lower bound.
+		if path.Dist < sp.EuclideanLB(p, q)-1e-9 {
+			t.Fatalf("path dist %g below Euclidean bound", path.Dist)
+		}
+	}
+}
+
+func shareTraversablePartition(sp *indoor.Space, d1, d2 indoor.DoorID) bool {
+	for _, v := range sp.Door(d1).Enterable {
+		for _, u := range sp.Door(d2).Leaveable {
+			if v == u {
+				return true
+			}
+		}
+	}
+	return false
+}

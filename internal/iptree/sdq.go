@@ -1,0 +1,417 @@
+package iptree
+
+import (
+	"math"
+
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/query"
+)
+
+// ventry is a vector entry used during access-door lifting: the distance
+// plus the chain of doors chosen so far (provenance for path
+// reconstruction). Chains on the p-side run source -> access door; on the
+// q-side access door -> target.
+type ventry struct {
+	dist  float64
+	chain []indoor.DoorID
+}
+
+func infVec(n int) []ventry {
+	v := make([]ventry, n)
+	for i := range v {
+		v[i].dist = math.Inf(1)
+	}
+	return v
+}
+
+func extend(chain []indoor.DoorID, d indoor.DoorID) []indoor.DoorID {
+	out := make([]indoor.DoorID, len(chain)+1)
+	copy(out, chain)
+	out[len(chain)] = d
+	return out
+}
+
+func prepend(d indoor.DoorID, chain []indoor.DoorID) []indoor.DoorID {
+	out := make([]indoor.DoorID, len(chain)+1)
+	out[0] = d
+	copy(out[1:], chain)
+	return out
+}
+
+// pVecLeaf computes the p-side vector over the access doors of p's leaf.
+func (t *Tree) pVecLeaf(L *node, vp indoor.PartitionID, p indoor.Point, st *query.Stats) []ventry {
+	vec := infVec(len(L.ad))
+	for _, d := range t.sp.Partition(vp).Leave {
+		w := t.sp.WithinPointDoor(vp, p, d)
+		st.Door()
+		for i, a := range L.ad {
+			if cand := w + L.leafD2A(d, a); cand < vec[i].dist {
+				if d == a {
+					vec[i] = ventry{cand, []indoor.DoorID{a}}
+				} else {
+					vec[i] = ventry{cand, []indoor.DoorID{d, a}}
+				}
+			}
+		}
+	}
+	return vec
+}
+
+// qVecLeaf computes the q-side vector (distance from each access door of
+// q's leaf to q).
+func (t *Tree) qVecLeaf(L *node, vq indoor.PartitionID, q indoor.Point, st *query.Stats) []ventry {
+	vec := infVec(len(L.ad))
+	for _, d := range t.sp.Partition(vq).Enter {
+		w := t.sp.WithinPointDoor(vq, q, d)
+		st.Door()
+		for i, a := range L.ad {
+			if cand := L.leafA2D(a, d) + w; cand < vec[i].dist {
+				if d == a {
+					vec[i] = ventry{cand, []indoor.DoorID{a}}
+				} else {
+					vec[i] = ventry{cand, []indoor.DoorID{a, d}}
+				}
+			}
+		}
+	}
+	return vec
+}
+
+// liftP lifts a p-side vector from node cur to its parent.
+func (t *Tree) liftP(vec []ventry, cur, par *node, st *query.Stats) []ventry {
+	out := infVec(len(par.ad))
+	for j, a2 := range par.ad {
+		st.Door()
+		for i, a1 := range cur.ad {
+			if math.IsInf(vec[i].dist, 1) {
+				continue
+			}
+			if cand := vec[i].dist + par.mAt(a1, a2); cand < out[j].dist {
+				if a1 == a2 {
+					out[j] = ventry{cand, vec[i].chain}
+				} else {
+					out[j] = ventry{cand, extend(vec[i].chain, a2)}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// liftQ lifts a q-side vector from node cur to its parent.
+func (t *Tree) liftQ(vec []ventry, cur, par *node, st *query.Stats) []ventry {
+	out := infVec(len(par.ad))
+	for j, b2 := range par.ad {
+		st.Door()
+		for i, b1 := range cur.ad {
+			if math.IsInf(vec[i].dist, 1) {
+				continue
+			}
+			if cand := par.mAt(b2, b1) + vec[i].dist; cand < out[j].dist {
+				if b1 == b2 {
+					out[j] = ventry{cand, vec[i].chain}
+				} else {
+					out[j] = ventry{cand, prepend(b2, vec[i].chain)}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// pVecAt computes the p-side vector over the access doors of `target`,
+// which must be p's leaf or one of its ancestors. IP-TREE ascends level by
+// level; VIP-TREE reads the leaf's materialized ancestor matrices directly.
+func (t *Tree) pVecAt(Lp int32, target int32, vp indoor.PartitionID, p indoor.Point, st *query.Stats) []ventry {
+	if target == Lp {
+		return t.pVecLeaf(&t.nodes[Lp], vp, p, st)
+	}
+	if t.opt.VIP {
+		leaf := &t.nodes[Lp]
+		tn := &t.nodes[target]
+		lvl := t.ancestorLevel(Lp, target)
+		vec := infVec(len(tn.ad))
+		na := len(tn.ad)
+		for _, d := range t.sp.Partition(vp).Leave {
+			w := t.sp.WithinPointDoor(vp, p, d)
+			st.Door()
+			di := leaf.doorIdx[d]
+			for i, a := range tn.ad {
+				if cand := w + leaf.vipD2A[lvl][int(di)*na+i]; cand < vec[i].dist {
+					if d == a {
+						vec[i] = ventry{cand, []indoor.DoorID{a}}
+					} else {
+						vec[i] = ventry{cand, []indoor.DoorID{d, a}}
+					}
+				}
+			}
+		}
+		return vec
+	}
+	vec := t.pVecLeaf(&t.nodes[Lp], vp, p, st)
+	cur := Lp
+	for cur != target {
+		par := t.nodes[cur].parent
+		vec = t.liftP(vec, &t.nodes[cur], &t.nodes[par], st)
+		cur = par
+	}
+	return vec
+}
+
+// qVecAt is the q-side analogue of pVecAt.
+func (t *Tree) qVecAt(Lq int32, target int32, vq indoor.PartitionID, q indoor.Point, st *query.Stats) []ventry {
+	if target == Lq {
+		return t.qVecLeaf(&t.nodes[Lq], vq, q, st)
+	}
+	if t.opt.VIP {
+		leaf := &t.nodes[Lq]
+		tn := &t.nodes[target]
+		lvl := t.ancestorLevel(Lq, target)
+		vec := infVec(len(tn.ad))
+		for _, d := range t.sp.Partition(vq).Enter {
+			w := t.sp.WithinPointDoor(vq, q, d)
+			st.Door()
+			di := leaf.doorIdx[d]
+			for i, a := range tn.ad {
+				if cand := leaf.vipA2D[lvl][i*len(leaf.doors)+int(di)] + w; cand < vec[i].dist {
+					if d == a {
+						vec[i] = ventry{cand, []indoor.DoorID{a}}
+					} else {
+						vec[i] = ventry{cand, []indoor.DoorID{a, d}}
+					}
+				}
+			}
+		}
+		return vec
+	}
+	vec := t.qVecLeaf(&t.nodes[Lq], vq, q, st)
+	cur := Lq
+	for cur != target {
+		par := t.nodes[cur].parent
+		vec = t.liftQ(vec, &t.nodes[cur], &t.nodes[par], st)
+		cur = par
+	}
+	return vec
+}
+
+// ancestorLevel returns the index into vipD2A/vipA2D for ancestor `anc` of
+// leaf `leaf`: 0 for the parent, 1 for the grandparent, and so on.
+func (t *Tree) ancestorLevel(leaf, anc int32) int {
+	lvl := 0
+	for p := t.nodes[leaf].parent; p >= 0; p = t.nodes[p].parent {
+		if p == anc {
+			return lvl
+		}
+		lvl++
+	}
+	panic("iptree: ancestorLevel: not an ancestor")
+}
+
+// leafDijkstra runs a door Dijkstra restricted to the partitions of leaf L,
+// returning the best distance from p to q that never leaves the leaf, plus
+// the door chain realizing it.
+func (t *Tree) leafDijkstra(L int32, vp indoor.PartitionID, p indoor.Point, vq indoor.PartitionID, q indoor.Point, st *query.Stats) (float64, []indoor.DoorID) {
+	leaf := &t.nodes[L]
+	n := len(leaf.doors)
+	dist := make([]float64, n)
+	prev := make([]int32, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	for _, d := range t.sp.Partition(vp).Leave {
+		if i, ok := leaf.doorIdx[d]; ok {
+			if w := t.sp.WithinPointDoor(vp, p, d); w < dist[i] {
+				dist[i] = w
+			}
+		}
+	}
+	st.Alloc(int64(n) * 13)
+
+	// Dense selection: leaves are small.
+	best := math.Inf(1)
+	var bestDoor int32 = -1
+	tailOf := func(di indoor.DoorID) (float64, bool) {
+		for _, d := range t.sp.Partition(vq).Enter {
+			if d == di {
+				return t.sp.WithinPointDoor(vq, q, d), true
+			}
+		}
+		return 0, false
+	}
+	for {
+		u, bu := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !done[i] && dist[i] < bu {
+				u, bu = i, dist[i]
+			}
+		}
+		if u < 0 || bu >= best {
+			break
+		}
+		done[u] = true
+		st.Door()
+		du := leaf.doors[u]
+		if w, ok := tailOf(du); ok {
+			if cand := bu + w; cand < best {
+				best = cand
+				bestDoor = int32(u)
+			}
+		}
+		for _, v := range t.sp.Door(du).Enterable {
+			if t.partLeaf[v] != L {
+				continue
+			}
+			for _, nd := range t.sp.Partition(v).Leave {
+				i, ok := leaf.doorIdx[nd]
+				if !ok || done[i] {
+					continue
+				}
+				if cand := bu + t.sp.WithinDoors(v, du, nd); cand < dist[i] {
+					dist[i] = cand
+					prev[i] = int32(u)
+				}
+			}
+		}
+	}
+	if bestDoor < 0 {
+		return best, nil
+	}
+	var chain []indoor.DoorID
+	for i := bestDoor; i >= 0; i = prev[i] {
+		chain = append(chain, leaf.doors[i])
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return best, chain
+}
+
+// legDoors returns the doors strictly between x and y on the global
+// shortest path x -> y, using the routing table of whichever endpoint is an
+// access door.
+func (t *Tree) legDoors(x, y indoor.DoorID) []indoor.DoorID {
+	if x == y {
+		return nil
+	}
+	if r, ok := t.routes[y]; ok {
+		var out []indoor.DoorID
+		for d := r.next[x]; d >= 0 && indoor.DoorID(d) != y; {
+			out = append(out, indoor.DoorID(d))
+			d = r.next[d]
+		}
+		return out
+	}
+	if r, ok := t.routes[x]; ok {
+		var out []indoor.DoorID
+		for d := r.prev[y]; d >= 0 && indoor.DoorID(d) != x; {
+			out = append(out, indoor.DoorID(d))
+			d = r.prev[d]
+		}
+		for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+			out[i], out[j] = out[j], out[i]
+		}
+		return out
+	}
+	panic("iptree: legDoors: neither endpoint is an access door")
+}
+
+// expandChain turns an access-door chain into the full door sequence.
+func (t *Tree) expandChain(chain []indoor.DoorID) []indoor.DoorID {
+	if len(chain) == 0 {
+		return nil
+	}
+	out := []indoor.DoorID{chain[0]}
+	for i := 1; i < len(chain); i++ {
+		if chain[i] == chain[i-1] {
+			continue
+		}
+		out = append(out, t.legDoors(chain[i-1], chain[i])...)
+		out = append(out, chain[i])
+	}
+	return out
+}
+
+// joinChains concatenates a p-side chain (ending at access door a) with a
+// q-side chain (starting at the same or a different access door).
+func joinChains(pc, qc []indoor.DoorID) []indoor.DoorID {
+	out := make([]indoor.DoorID, 0, len(pc)+len(qc))
+	out = append(out, pc...)
+	out = append(out, qc...)
+	return out
+}
+
+// SPD implements query.Engine.
+func (t *Tree) SPD(p, q indoor.Point, st *query.Stats) (query.Path, error) {
+	vp, ok := t.sp.HostPartition(p)
+	if !ok {
+		return query.Path{}, query.ErrNoHost
+	}
+	vq, ok := t.sp.HostPartition(q)
+	if !ok {
+		return query.Path{}, query.ErrNoHost
+	}
+	Lp, Lq := t.leafOf(vp), t.leafOf(vq)
+
+	best := math.Inf(1)
+	var chain []indoor.DoorID // access-door chain, expanded into legs below
+	var literal []indoor.DoorID
+	isLiteral := false // literal door sequence (direct / within-leaf Dijkstra)
+	if vp == vq {
+		best = t.sp.WithinPoints(vp, p, q)
+		isLiteral = true
+	}
+
+	if Lp == Lq {
+		if d, c := t.leafDijkstra(Lp, vp, p, vq, q, st); d < best {
+			best, literal, isLiteral = d, c, true
+		}
+		// Out-and-back through the leaf's access doors.
+		pvec := t.pVecAt(Lp, Lp, vp, p, st)
+		qvec := t.qVecAt(Lq, Lq, vq, q, st)
+		for i := range pvec {
+			if cand := pvec[i].dist + qvec[i].dist; cand < best {
+				best = cand
+				chain = joinChains(pvec[i].chain, qvec[i].chain[1:])
+				isLiteral = false
+			}
+		}
+	} else {
+		lcaID, cp, cq := t.lca(Lp, Lq)
+		lcaNode := &t.nodes[lcaID]
+		pvec := t.pVecAt(Lp, cp, vp, p, st)
+		qvec := t.qVecAt(Lq, cq, vq, q, st)
+		adP := t.nodes[cp].ad
+		adQ := t.nodes[cq].ad
+		for i, a := range adP {
+			if math.IsInf(pvec[i].dist, 1) {
+				continue
+			}
+			for j, b := range adQ {
+				if math.IsInf(qvec[j].dist, 1) {
+					continue
+				}
+				if cand := pvec[i].dist + lcaNode.mAt(a, b) + qvec[j].dist; cand < best {
+					best = cand
+					isLiteral = false
+					if a == b {
+						chain = joinChains(pvec[i].chain, qvec[j].chain[1:])
+					} else {
+						chain = joinChains(pvec[i].chain, qvec[j].chain)
+					}
+				}
+			}
+		}
+		st.Alloc(int64(len(adP)+len(adQ)) * 24)
+	}
+
+	if math.IsInf(best, 1) {
+		return query.Path{}, query.ErrUnreachable
+	}
+	doors := literal
+	if !isLiteral {
+		doors = t.expandChain(chain)
+	}
+	return query.Path{Source: p, Target: q, Doors: doors, Dist: best}, nil
+}

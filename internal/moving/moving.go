@@ -1,0 +1,212 @@
+// Package moving supports indoor moving objects — the adaptation the
+// paper's Sec. 7 and conclusion name as future work. Objects report
+// timestamped position updates; the package maintains their current
+// positions and evaluates continuous range monitoring queries in the spirit
+// of Yang et al. (CIKM 2009): each registered query caches the door-distance
+// field around its query point once, so every position update is absorbed
+// with a handful of intra-partition distance computations, emitting
+// enter/leave events only when a membership actually changes.
+package moving
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/pq"
+)
+
+// Update is one position report of a moving object.
+type Update struct {
+	ID   int32
+	Loc  indoor.Point
+	Part indoor.PartitionID
+	T    float64 // timestamp, seconds
+}
+
+// Event is an emitted membership change of a continuous query.
+type Event struct {
+	Query  int32
+	Object int32
+	Enter  bool // true: entered the range; false: left it
+	T      float64
+}
+
+// crq is one registered continuous range query.
+type crq struct {
+	id       int32
+	p        indoor.Point
+	pRef     indoor.PointRef
+	vp       indoor.PartitionID
+	r        float64
+	doorDist []float64 // distance field from p, +Inf beyond r
+	inside   map[int32]bool
+}
+
+// Monitor evaluates continuous range queries over a stream of updates.
+type Monitor struct {
+	sp      *indoor.Space
+	queries map[int32]*crq
+	// cur holds each object's latest update.
+	cur map[int32]Update
+}
+
+// NewMonitor returns an empty monitor over a space.
+func NewMonitor(sp *indoor.Space) *Monitor {
+	return &Monitor{
+		sp:      sp,
+		queries: make(map[int32]*crq),
+		cur:     make(map[int32]Update),
+	}
+}
+
+// Register adds a continuous range query around p with radius r. Objects
+// already known to the monitor are evaluated immediately; their enter events
+// are returned.
+func (m *Monitor) Register(qid int32, p indoor.Point, r float64, t float64) ([]Event, error) {
+	if _, dup := m.queries[qid]; dup {
+		return nil, fmt.Errorf("moving: query %d already registered", qid)
+	}
+	vp, ok := m.sp.HostPartition(p)
+	if !ok {
+		return nil, fmt.Errorf("moving: query point %v is not indoors", p)
+	}
+	q := &crq{
+		id:       qid,
+		p:        p,
+		pRef:     m.sp.Ref(vp, p),
+		vp:       vp,
+		r:        r,
+		doorDist: m.distField(p, vp, r),
+		inside:   make(map[int32]bool),
+	}
+	m.queries[qid] = q
+	var events []Event
+	ids := make([]int32, 0, len(m.cur))
+	for id := range m.cur {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		u := m.cur[id]
+		if m.objDist(q, u) <= q.r {
+			q.inside[id] = true
+			events = append(events, Event{Query: qid, Object: id, Enter: true, T: t})
+		}
+	}
+	return events, nil
+}
+
+// Unregister removes a continuous query.
+func (m *Monitor) Unregister(qid int32) { delete(m.queries, qid) }
+
+// NumQueries returns the number of registered queries.
+func (m *Monitor) NumQueries() int { return len(m.queries) }
+
+// Result returns the ids currently inside query qid, ascending.
+func (m *Monitor) Result(qid int32) []int32 {
+	q, ok := m.queries[qid]
+	if !ok {
+		return nil
+	}
+	out := make([]int32, 0, len(q.inside))
+	for id := range q.inside {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Apply absorbs one position update, returning the membership changes it
+// caused across all registered queries (ordered by query id).
+func (m *Monitor) Apply(u Update) []Event {
+	m.cur[u.ID] = u
+	return m.reevaluate(u.ID, &u, u.T)
+}
+
+// Remove drops an object (it left the building), emitting leave events.
+func (m *Monitor) Remove(objID int32, t float64) []Event {
+	delete(m.cur, objID)
+	return m.reevaluate(objID, nil, t)
+}
+
+// reevaluate diffs object objID's membership in every query; u == nil means
+// the object is gone.
+func (m *Monitor) reevaluate(objID int32, u *Update, t float64) []Event {
+	qids := make([]int32, 0, len(m.queries))
+	for id := range m.queries {
+		qids = append(qids, id)
+	}
+	sort.Slice(qids, func(i, j int) bool { return qids[i] < qids[j] })
+	var events []Event
+	for _, qid := range qids {
+		q := m.queries[qid]
+		now := false
+		if u != nil {
+			now = m.objDist(q, *u) <= q.r
+		}
+		was := q.inside[objID]
+		switch {
+		case now && !was:
+			q.inside[objID] = true
+			events = append(events, Event{Query: qid, Object: objID, Enter: true, T: t})
+		case !now && was:
+			delete(q.inside, objID)
+			events = append(events, Event{Query: qid, Object: objID, Enter: false, T: t})
+		}
+	}
+	return events
+}
+
+// objDist computes the indoor distance from the query point to an object
+// position using the cached door field.
+func (m *Monitor) objDist(q *crq, u Update) float64 {
+	best := math.Inf(1)
+	if u.Part == q.vp {
+		best = m.sp.RefDist(q.pRef, m.sp.Ref(q.vp, u.Loc))
+	}
+	for _, d := range m.sp.Partition(u.Part).Enter {
+		dd := q.doorDist[d]
+		if math.IsInf(dd, 1) || dd > q.r {
+			continue
+		}
+		if cand := dd + m.sp.WithinPointDoor(u.Part, u.Loc, d); cand < best {
+			best = cand
+		}
+	}
+	return best
+}
+
+// distField runs the bounded Dijkstra from p once at registration.
+func (m *Monitor) distField(p indoor.Point, vp indoor.PartitionID, limit float64) []float64 {
+	n := m.sp.NumDoors()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	var h pq.Heap[indoor.DoorID]
+	for _, d := range m.sp.Partition(vp).Leave {
+		if w := m.sp.WithinPointDoor(vp, p, d); w < dist[d] {
+			dist[d] = w
+			h.Push(d, w)
+		}
+	}
+	for h.Len() > 0 {
+		d, dd := h.Pop()
+		if dd > dist[d] || dd > limit {
+			continue
+		}
+		for _, v := range m.sp.Door(d).Enterable {
+			for _, nd := range m.sp.Partition(v).Leave {
+				if w := m.sp.WithinDoors(v, d, nd); !math.IsInf(w, 1) {
+					if cand := dd + w; cand < dist[nd] {
+						dist[nd] = cand
+						h.Push(nd, cand)
+					}
+				}
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,125 @@
+package moving_test
+
+import (
+	"testing"
+
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/moving"
+	"indoorsq/internal/testspaces"
+)
+
+func TestRegisterAndApply(t *testing.T) {
+	f := testspaces.NewStrip()
+	m := moving.NewMonitor(f.Space)
+
+	// Object 1 starts in R1 near the door.
+	m.Apply(moving.Update{ID: 1, Loc: indoor.At(2.5, 7, 0), Part: f.R1, T: 0})
+
+	// Query around (2.5, 5) in the hall with r = 4: object 1 is at
+	// 1 + 1 = 2m away through D1 -> inside immediately.
+	evs, err := m.Register(7, indoor.At(2.5, 5, 0), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || !evs[0].Enter || evs[0].Object != 1 || evs[0].Query != 7 {
+		t.Fatalf("register events = %v", evs)
+	}
+	if got := m.Result(7); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Result = %v", got)
+	}
+
+	// The object walks deep into R1: leaves the range.
+	evs = m.Apply(moving.Update{ID: 1, Loc: indoor.At(2.5, 10, 0), Part: f.R1, T: 2})
+	if len(evs) != 1 || evs[0].Enter {
+		t.Fatalf("leave events = %v", evs)
+	}
+	if len(m.Result(7)) != 0 {
+		t.Fatalf("Result after leave = %v", m.Result(7))
+	}
+
+	// Walks back: re-enters.
+	evs = m.Apply(moving.Update{ID: 1, Loc: indoor.At(2.5, 6.5, 0), Part: f.R1, T: 3})
+	if len(evs) != 1 || !evs[0].Enter {
+		t.Fatalf("re-enter events = %v", evs)
+	}
+
+	// No movement relevant to the query: no events.
+	evs = m.Apply(moving.Update{ID: 2, Loc: indoor.At(18, 2, 0), Part: f.R7, T: 4})
+	if len(evs) != 0 {
+		t.Fatalf("far object events = %v", evs)
+	}
+}
+
+func TestRemoveEmitsLeave(t *testing.T) {
+	f := testspaces.NewStrip()
+	m := moving.NewMonitor(f.Space)
+	if _, err := m.Register(1, indoor.At(10, 5, 0), 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	m.Apply(moving.Update{ID: 5, Loc: indoor.At(10, 5, 0), Part: f.Hall, T: 1})
+	evs := m.Remove(5, 2)
+	if len(evs) != 1 || evs[0].Enter || evs[0].Object != 5 {
+		t.Fatalf("remove events = %v", evs)
+	}
+	if m.NumQueries() != 1 {
+		t.Fatalf("NumQueries = %d", m.NumQueries())
+	}
+}
+
+func TestDirectionalityRespected(t *testing.T) {
+	// D8 is one-way R6 -> R7: a query in R6 cannot reach objects in R7
+	// through D8 directly; the distance runs around through the hall.
+	f := testspaces.NewStrip()
+	m := moving.NewMonitor(f.Space)
+	// Query at (9,2) in R6, r = 7: through D8 the distance to (11,2) in R7
+	// would be 1+2 = 3... but direction matters for the REVERSE case below.
+	if _, err := m.Register(1, indoor.At(9, 2, 0), 7, 0); err != nil {
+		t.Fatal(err)
+	}
+	evs := m.Apply(moving.Update{ID: 1, Loc: indoor.At(11, 2, 0), Part: f.R7, T: 1})
+	if len(evs) != 1 || !evs[0].Enter {
+		t.Fatalf("R6->R7 should be within range via one-way D8: %v", evs)
+	}
+	// Reverse: a query in R7 must NOT see a nearby object in R6 through D8.
+	if _, err := m.Register(2, indoor.At(11, 2, 0), 7, 2); err != nil {
+		t.Fatal(err)
+	}
+	evs = m.Apply(moving.Update{ID: 2, Loc: indoor.At(9, 2, 0), Part: f.R6, T: 3})
+	for _, e := range evs {
+		if e.Query == 2 && e.Enter {
+			t.Fatalf("query in R7 reached R6 through one-way D8: %v", evs)
+		}
+	}
+}
+
+func TestMultipleQueries(t *testing.T) {
+	f := testspaces.NewStrip()
+	m := moving.NewMonitor(f.Space)
+	m.Register(1, indoor.At(2.5, 5, 0), 3, 0)
+	m.Register(2, indoor.At(17.5, 5, 0), 3, 0)
+	evs := m.Apply(moving.Update{ID: 9, Loc: indoor.At(17, 5, 0), Part: f.Hall, T: 1})
+	if len(evs) != 1 || evs[0].Query != 2 {
+		t.Fatalf("events = %v", evs)
+	}
+	m.Unregister(2)
+	if m.NumQueries() != 1 {
+		t.Fatalf("NumQueries = %d", m.NumQueries())
+	}
+	if got := m.Result(2); got != nil {
+		t.Fatalf("Result of unregistered query = %v", got)
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	f := testspaces.NewStrip()
+	m := moving.NewMonitor(f.Space)
+	if _, err := m.Register(1, indoor.At(-5, -5, 0), 3, 0); err == nil {
+		t.Fatal("outdoor query point must fail")
+	}
+	if _, err := m.Register(1, indoor.At(10, 5, 0), 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Register(1, indoor.At(10, 5, 0), 3, 0); err == nil {
+		t.Fatal("duplicate registration must fail")
+	}
+}

@@ -1,0 +1,22 @@
+package pq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkPushPop(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ps := make([]float64, 1024)
+	for i := range ps {
+		ps[i] = rng.Float64()
+	}
+	var h Heap[int32]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Push(int32(i), ps[i%1024])
+		if h.Len() > 512 {
+			h.Pop()
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Package pq provides a small generic binary min-heap keyed by float64
+// priorities. It replaces the per-package container/heap boilerplate in the
+// query processors and avoids interface boxing on the hot paths.
+package pq
+
+// Heap is a min-heap of values with float64 priorities. The zero value is
+// an empty heap ready for use.
+type Heap[T any] struct {
+	vs []T
+	ps []float64
+}
+
+// Len returns the number of queued items.
+func (h *Heap[T]) Len() int { return len(h.vs) }
+
+// Reset empties the heap, retaining capacity.
+func (h *Heap[T]) Reset() {
+	h.vs = h.vs[:0]
+	h.ps = h.ps[:0]
+}
+
+// Cap returns the heap's current capacity (for memory accounting).
+func (h *Heap[T]) Cap() int { return cap(h.vs) }
+
+// Push queues v with priority p.
+func (h *Heap[T]) Push(v T, p float64) {
+	h.vs = append(h.vs, v)
+	h.ps = append(h.ps, p)
+	i := len(h.vs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.ps[parent] <= h.ps[i] {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+// Pop removes and returns the item with the smallest priority.
+// It must not be called on an empty heap.
+func (h *Heap[T]) Pop() (T, float64) {
+	v, p := h.vs[0], h.ps[0]
+	last := len(h.vs) - 1
+	h.vs[0], h.ps[0] = h.vs[last], h.ps[last]
+	var zero T
+	h.vs[last] = zero
+	h.vs = h.vs[:last]
+	h.ps = h.ps[:last]
+	h.siftDown(0)
+	return v, p
+}
+
+// Peek returns the smallest priority without removing its item.
+// It must not be called on an empty heap.
+func (h *Heap[T]) Peek() float64 { return h.ps[0] }
+
+func (h *Heap[T]) siftDown(i int) {
+	n := len(h.vs)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.ps[l] < h.ps[small] {
+			small = l
+		}
+		if r < n && h.ps[r] < h.ps[small] {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}
+
+func (h *Heap[T]) swap(i, j int) {
+	h.vs[i], h.vs[j] = h.vs[j], h.vs[i]
+	h.ps[i], h.ps[j] = h.ps[j], h.ps[i]
+}

@@ -1,0 +1,77 @@
+package pq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeapOrdersByPriority(t *testing.T) {
+	var h Heap[string]
+	h.Push("c", 3)
+	h.Push("a", 1)
+	h.Push("b", 2)
+	for _, want := range []string{"a", "b", "c"} {
+		v, _ := h.Pop()
+		if v != want {
+			t.Fatalf("got %q, want %q", v, want)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+}
+
+func TestHeapMatchesSort(t *testing.T) {
+	f := func(ps []float64) bool {
+		var h Heap[int]
+		for i, p := range ps {
+			h.Push(i, p)
+		}
+		sorted := append([]float64(nil), ps...)
+		sort.Float64s(sorted)
+		for _, want := range sorted {
+			_, p := h.Pop()
+			if p != want {
+				return false
+			}
+		}
+		return h.Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapPeekAndReset(t *testing.T) {
+	var h Heap[int]
+	h.Push(1, 5)
+	h.Push(2, 3)
+	if h.Peek() != 3 {
+		t.Fatalf("Peek = %g", h.Peek())
+	}
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatal("Reset failed")
+	}
+	if h.Cap() == 0 {
+		t.Fatal("Reset should keep capacity")
+	}
+}
+
+func TestHeapDuplicatePriorities(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var h Heap[int]
+	for i := 0; i < 1000; i++ {
+		h.Push(i, float64(rng.Intn(10)))
+	}
+	prev := -1.0
+	for h.Len() > 0 {
+		_, p := h.Pop()
+		if p < prev {
+			t.Fatalf("pop order violated: %g after %g", p, prev)
+		}
+		prev = p
+	}
+}

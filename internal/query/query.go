@@ -1,0 +1,116 @@
+// Package query defines the common query framework shared by all five
+// model/indexes: the Engine interface for the four indoor spatial query
+// types (RQ, kNNQ, SPQ, SDQ — the latter two fused into SPD as in the
+// paper's SPDQ), static-object storage, per-query statistics, and small
+// shared helpers such as a bounded top-k collector.
+package query
+
+import (
+	"errors"
+	"fmt"
+
+	"indoorsq/internal/indoor"
+)
+
+// Errors returned by query processing.
+var (
+	// ErrNoHost indicates a query point that lies in no indoor partition
+	// (inside a wall or outside the space).
+	ErrNoHost = errors.New("query: point is not a valid indoor location")
+	// ErrUnreachable indicates that no indoor path connects source and
+	// target (for instance due to unidirectional doors).
+	ErrUnreachable = errors.New("query: target unreachable from source")
+)
+
+// Object is a static indoor object (a POI or facility).
+type Object struct {
+	ID   int32
+	Loc  indoor.Point
+	Part indoor.PartitionID // host partition of Loc
+}
+
+// Stats accumulates per-query cost counters. The harness resets it before
+// each query and reads it afterwards.
+type Stats struct {
+	// VisitedDoors is the number of door expansions (NVD, metric b3).
+	VisitedDoors int
+	// WorkBytes estimates the transient working-set of the query: distance
+	// arrays, priority queues, candidate sets (part of metric b2; the
+	// resident index size is added by the harness).
+	WorkBytes int64
+}
+
+// Reset zeroes the counters.
+func (st *Stats) Reset() { *st = Stats{} }
+
+// Alloc records b transient bytes. A nil receiver is allowed so engines can
+// run without instrumentation.
+func (st *Stats) Alloc(b int64) {
+	if st != nil {
+		st.WorkBytes += b
+	}
+}
+
+// Door records one door expansion.
+func (st *Stats) Door() {
+	if st != nil {
+		st.VisitedDoors++
+	}
+}
+
+// Path is the answer of a shortest path/distance query: the door sequence
+// from source to target and the total indoor distance (Definition 3).
+type Path struct {
+	Source, Target indoor.Point
+	Doors          []indoor.DoorID
+	Dist           float64
+}
+
+// String implements fmt.Stringer.
+func (p Path) String() string {
+	return fmt.Sprintf("path(%d doors, %.2fm)", len(p.Doors), p.Dist)
+}
+
+// Neighbor is one kNN answer entry.
+type Neighbor struct {
+	ID   int32
+	Dist float64
+}
+
+// Engine is the uniform query interface implemented by all five
+// model/indexes. Engines are safe for sequential reuse across queries;
+// SetObjects may be called again to swap the object workload.
+type Engine interface {
+	// Name returns the engine's display name (IDModel, IDIndex, CIndex,
+	// IPTree, VIPTree).
+	Name() string
+	// SetObjects installs the static object workload.
+	SetObjects(objs []Object)
+	// Range returns the ids of all objects within indoor distance r of p,
+	// in ascending id order (Definition 1).
+	Range(p indoor.Point, r float64, st *Stats) ([]int32, error)
+	// KNN returns the k objects nearest to p in ascending distance order
+	// (Definition 2). Fewer than k neighbors are returned when the object
+	// set is smaller or partly unreachable.
+	KNN(p indoor.Point, k int, st *Stats) ([]Neighbor, error)
+	// SPD returns the shortest path and distance from p to q
+	// (Definitions 3 and 4, fused as in the paper's SPDQ).
+	SPD(p, q indoor.Point, st *Stats) (Path, error)
+	// SizeBytes returns the resident size of the model/index, excluding the
+	// object store (whose cost is identical across engines, Sec. 6.1).
+	SizeBytes() int64
+}
+
+// ObjectUpdater is implemented by engines whose object layer supports
+// incremental updates — the moving-objects extension of Sec. 7. All five
+// engines qualify, since objects live in dynamic per-partition buckets
+// detached from the distance structures.
+type ObjectUpdater interface {
+	// InsertObject adds one object; false when the id already exists or the
+	// partition is invalid.
+	InsertObject(o Object) bool
+	// DeleteObject removes one object by id; false when absent.
+	DeleteObject(id int32) bool
+	// MoveObject relocates one object; false when absent.
+	MoveObject(id int32, loc indoor.Point, part indoor.PartitionID) bool
+}

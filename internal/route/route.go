@@ -1,0 +1,164 @@
+// Package route plans multi-stop indoor walks on top of any query engine's
+// shortest-path primitive: deliveries, patrols, or errand runs visiting a
+// set of waypoints. Ordered walks concatenate SPDQ legs; Optimized solves
+// the order exactly with Held–Karp dynamic programming over the pairwise
+// indoor-distance matrix (asymmetric distances — unidirectional doors — are
+// handled naturally).
+package route
+
+import (
+	"fmt"
+	"math"
+
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/query"
+)
+
+// MaxStops bounds Optimized's waypoint count (Held–Karp is O(2^n · n^2)).
+const MaxStops = 12
+
+// Planner builds multi-stop routes over one engine.
+type Planner struct {
+	eng query.Engine
+}
+
+// New returns a planner over the engine.
+func New(eng query.Engine) *Planner { return &Planner{eng: eng} }
+
+// concat appends leg to walk: doors are joined and the distance summed.
+func concat(walk *query.Path, leg query.Path) {
+	walk.Doors = append(walk.Doors, leg.Doors...)
+	walk.Dist += leg.Dist
+}
+
+// Via returns the walk p -> stops[0] -> ... -> stops[n-1] -> q visiting the
+// stops in the given order.
+func (pl *Planner) Via(p indoor.Point, stops []indoor.Point, q indoor.Point, st *query.Stats) (query.Path, error) {
+	walk := query.Path{Source: p, Target: q}
+	cur := p
+	for i, s := range stops {
+		leg, err := pl.eng.SPD(cur, s, st)
+		if err != nil {
+			return query.Path{}, fmt.Errorf("route: leg %d: %w", i, err)
+		}
+		concat(&walk, leg)
+		cur = s
+	}
+	leg, err := pl.eng.SPD(cur, q, st)
+	if err != nil {
+		return query.Path{}, fmt.Errorf("route: final leg: %w", err)
+	}
+	concat(&walk, leg)
+	return walk, nil
+}
+
+// Optimized returns the shortest walk p -> (all stops, any order) -> q
+// together with the visiting order (indexes into stops). It errors when
+// more than MaxStops waypoints are given or any leg is unreachable.
+func (pl *Planner) Optimized(p indoor.Point, stops []indoor.Point, q indoor.Point, st *query.Stats) (query.Path, []int, error) {
+	n := len(stops)
+	if n == 0 {
+		walk, err := pl.eng.SPD(p, q, st)
+		return walk, nil, err
+	}
+	if n > MaxStops {
+		return query.Path{}, nil, fmt.Errorf("route: at most %d stops, got %d", MaxStops, n)
+	}
+
+	// Pairwise legs: from p to each stop, between stops (both directions),
+	// and from each stop to q.
+	fromP := make([]query.Path, n)
+	toQ := make([]query.Path, n)
+	between := make([][]query.Path, n)
+	for i := range stops {
+		leg, err := pl.eng.SPD(p, stops[i], st)
+		if err != nil {
+			return query.Path{}, nil, fmt.Errorf("route: p->stop %d: %w", i, err)
+		}
+		fromP[i] = leg
+		leg, err = pl.eng.SPD(stops[i], q, st)
+		if err != nil {
+			return query.Path{}, nil, fmt.Errorf("route: stop %d->q: %w", i, err)
+		}
+		toQ[i] = leg
+		between[i] = make([]query.Path, n)
+		for j := range stops {
+			if i == j {
+				continue
+			}
+			leg, err := pl.eng.SPD(stops[i], stops[j], st)
+			if err != nil {
+				return query.Path{}, nil, fmt.Errorf("route: stop %d->%d: %w", i, j, err)
+			}
+			between[i][j] = leg
+		}
+	}
+
+	// Held–Karp: dp[mask][i] = best cost from p visiting exactly `mask`,
+	// ending at stop i (i in mask).
+	size := 1 << n
+	dp := make([][]float64, size)
+	par := make([][]int8, size)
+	for m := range dp {
+		dp[m] = make([]float64, n)
+		par[m] = make([]int8, n)
+		for i := range dp[m] {
+			dp[m][i] = math.Inf(1)
+			par[m][i] = -1
+		}
+	}
+	for i := 0; i < n; i++ {
+		dp[1<<i][i] = fromP[i].Dist
+	}
+	for mask := 1; mask < size; mask++ {
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 || math.IsInf(dp[mask][i], 1) {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if mask&(1<<j) != 0 {
+					continue
+				}
+				nm := mask | 1<<j
+				if cand := dp[mask][i] + between[i][j].Dist; cand < dp[nm][j] {
+					dp[nm][j] = cand
+					par[nm][j] = int8(i)
+				}
+			}
+		}
+	}
+	full := size - 1
+	best, last := math.Inf(1), -1
+	for i := 0; i < n; i++ {
+		if cand := dp[full][i] + toQ[i].Dist; cand < best {
+			best, last = cand, i
+		}
+	}
+	if last < 0 {
+		return query.Path{}, nil, query.ErrUnreachable
+	}
+
+	// Recover the visiting order.
+	order := make([]int, 0, n)
+	for mask, i := full, last; i >= 0; {
+		order = append(order, i)
+		pi := par[mask][i]
+		mask &^= 1 << i
+		i = int(pi)
+	}
+	for a, b := 0, len(order)-1; a < b; a, b = a+1, b-1 {
+		order[a], order[b] = order[b], order[a]
+	}
+
+	// Assemble the walk from the stored legs.
+	walk := query.Path{Source: p, Target: q}
+	concat(&walk, fromP[order[0]])
+	for k := 0; k+1 < len(order); k++ {
+		concat(&walk, between[order[k]][order[k+1]])
+	}
+	concat(&walk, toQ[order[len(order)-1]])
+	if math.Abs(walk.Dist-best) > 1e-6 {
+		return query.Path{}, nil, fmt.Errorf("route: internal: assembled %g != dp %g", walk.Dist, best)
+	}
+	return walk, order, nil
+}

@@ -1,0 +1,43 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"indoorsq/internal/geom"
+)
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	items := randRects(rng, 10000)
+	b.ResetTimer()
+	t := New(DefaultFanout)
+	for i := 0; i < b.N; i++ {
+		it := items[i%len(items)]
+		t.Insert(it.Rect, it.Ref)
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	t := build(randRects(rng, 5000), DefaultFanout)
+	var dst []int32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := float64(i%900) + 50
+		dst = t.Search(geom.R(x, x, x+30, x+30), dst[:0])
+	}
+}
+
+func BenchmarkVisitNearest(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	t := build(randRects(rng, 5000), DefaultFanout)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		t.Visit(geom.Pt(500, 500), func(int32, float64) bool {
+			count++
+			return count < 10
+		})
+	}
+}

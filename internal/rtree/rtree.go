@@ -1,0 +1,288 @@
+// Package rtree implements an in-memory R-tree over 2D rectangles with
+// quadratic-split insertion, rectangle range search, point search, and
+// best-first nearest-neighbor traversal. It is the geometric layer of
+// CINDEX (the paper uses an R-tree with fan-out 20 instead of an R*-tree,
+// Sec. 5.3, since indoor partitions rarely overlap).
+package rtree
+
+import (
+	"math"
+
+	"indoorsq/internal/geom"
+	"indoorsq/internal/pq"
+)
+
+// DefaultFanout is the node capacity suggested by the paper (Sec. 5.3).
+const DefaultFanout = 20
+
+// Item is a stored entry: a rectangle and an opaque reference.
+type Item struct {
+	Rect geom.Rect
+	Ref  int32
+}
+
+type node struct {
+	leaf     bool
+	rects    []geom.Rect
+	children []*node // non-leaf
+	items    []int32 // leaf: refs parallel to rects
+}
+
+// Tree is an R-tree. The zero value is not usable; create trees with New.
+type Tree struct {
+	root    *node
+	max     int
+	min     int
+	size    int
+	height  int
+	nodeCnt int
+	path    []pathEntry // insertion scratch
+}
+
+// New returns an empty R-tree with the given node fan-out (capacity).
+// Fan-outs below 4 are raised to 4.
+func New(fanout int) *Tree {
+	if fanout < 4 {
+		fanout = 4
+	}
+	return &Tree{
+		root:   &node{leaf: true},
+		max:    fanout,
+		min:    fanout * 2 / 5, // 40% minimum fill, as in R*-tree practice
+		height: 1,
+	}
+}
+
+// Len returns the number of stored items.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the tree height (1 for a single leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Insert adds an item to the tree.
+func (t *Tree) Insert(r geom.Rect, ref int32) {
+	t.size++
+	leaf := t.chooseLeaf(t.root, r)
+	leaf.rects = append(leaf.rects, r)
+	leaf.items = append(leaf.items, ref)
+	t.adjust(leaf)
+}
+
+// pathEntry remembers a parent visited by chooseLeaf so adjust can walk up.
+type pathEntry struct {
+	n   *node
+	idx int
+}
+
+func (t *Tree) chooseLeaf(n *node, r geom.Rect) *node {
+	t.path = t.path[:0]
+	for !n.leaf {
+		best, bestGrowth, bestArea := -1, math.Inf(1), math.Inf(1)
+		for i, cr := range n.rects {
+			g := cr.Enlargement(r)
+			a := cr.Area()
+			if g < bestGrowth || (g == bestGrowth && a < bestArea) {
+				best, bestGrowth, bestArea = i, g, a
+			}
+		}
+		t.path = append(t.path, pathEntry{n, best})
+		n.rects[best] = n.rects[best].Union(r)
+		n = n.children[best]
+	}
+	return n
+}
+
+// adjust splits overfull nodes from the leaf upward.
+func (t *Tree) adjust(n *node) {
+	for {
+		if len(n.rects) <= t.max {
+			return
+		}
+		left, right := t.split(n)
+		if n == t.root {
+			t.root = &node{
+				leaf:     false,
+				rects:    []geom.Rect{bound(left), bound(right)},
+				children: []*node{left, right},
+			}
+			t.height++
+			t.nodeCnt += 2
+			return
+		}
+		// Replace n in its parent with left, append right.
+		pe := t.path[len(t.path)-1]
+		t.path = t.path[:len(t.path)-1]
+		parent := pe.n
+		parent.children[pe.idx] = left
+		parent.rects[pe.idx] = bound(left)
+		parent.children = append(parent.children, right)
+		parent.rects = append(parent.rects, bound(right))
+		t.nodeCnt++
+		n = parent
+	}
+}
+
+func bound(n *node) geom.Rect {
+	r := n.rects[0]
+	for _, x := range n.rects[1:] {
+		r = r.Union(x)
+	}
+	return r
+}
+
+// split performs a quadratic split of an overfull node into two nodes.
+func (t *Tree) split(n *node) (*node, *node) {
+	// Pick the pair of seeds wasting the most area.
+	s1, s2, worst := 0, 1, math.Inf(-1)
+	for i := 0; i < len(n.rects); i++ {
+		for j := i + 1; j < len(n.rects); j++ {
+			waste := n.rects[i].Union(n.rects[j]).Area() - n.rects[i].Area() - n.rects[j].Area()
+			if waste > worst {
+				s1, s2, worst = i, j, waste
+			}
+		}
+	}
+	left := &node{leaf: n.leaf}
+	right := &node{leaf: n.leaf}
+	assign := func(dst *node, i int) {
+		dst.rects = append(dst.rects, n.rects[i])
+		if n.leaf {
+			dst.items = append(dst.items, n.items[i])
+		} else {
+			dst.children = append(dst.children, n.children[i])
+		}
+	}
+	assign(left, s1)
+	assign(right, s2)
+	lb, rb := n.rects[s1], n.rects[s2]
+
+	remaining := make([]int, 0, len(n.rects)-2)
+	for i := range n.rects {
+		if i != s1 && i != s2 {
+			remaining = append(remaining, i)
+		}
+	}
+	for len(remaining) > 0 {
+		// Force assignment when one side must take all remaining entries to
+		// reach the minimum fill.
+		if len(left.rects)+len(remaining) == t.min {
+			for _, i := range remaining {
+				assign(left, i)
+				lb = lb.Union(n.rects[i])
+			}
+			break
+		}
+		if len(right.rects)+len(remaining) == t.min {
+			for _, i := range remaining {
+				assign(right, i)
+				rb = rb.Union(n.rects[i])
+			}
+			break
+		}
+		// Pick the entry with the greatest preference for one side.
+		bestK, bestDiff := 0, -1.0
+		for k, i := range remaining {
+			d1 := lb.Enlargement(n.rects[i])
+			d2 := rb.Enlargement(n.rects[i])
+			if diff := math.Abs(d1 - d2); diff > bestDiff {
+				bestK, bestDiff = k, diff
+			}
+		}
+		i := remaining[bestK]
+		remaining = append(remaining[:bestK], remaining[bestK+1:]...)
+		d1 := lb.Enlargement(n.rects[i])
+		d2 := rb.Enlargement(n.rects[i])
+		toLeft := d1 < d2 ||
+			(d1 == d2 && lb.Area() < rb.Area()) ||
+			(d1 == d2 && lb.Area() == rb.Area() && len(left.rects) <= len(right.rects))
+		if toLeft {
+			assign(left, i)
+			lb = lb.Union(n.rects[i])
+		} else {
+			assign(right, i)
+			rb = rb.Union(n.rects[i])
+		}
+	}
+	return left, right
+}
+
+// Search appends to dst the refs of all items whose rectangles intersect q
+// and returns the extended slice.
+func (t *Tree) Search(q geom.Rect, dst []int32) []int32 {
+	return t.search(t.root, q, dst)
+}
+
+func (t *Tree) search(n *node, q geom.Rect, dst []int32) []int32 {
+	for i, r := range n.rects {
+		if !r.Intersects(q) {
+			continue
+		}
+		if n.leaf {
+			dst = append(dst, n.items[i])
+		} else {
+			dst = t.search(n.children[i], q, dst)
+		}
+	}
+	return dst
+}
+
+// SearchPoint appends the refs of all items whose rectangles contain p.
+func (t *Tree) SearchPoint(p geom.Point, dst []int32) []int32 {
+	return t.Search(geom.RectAround(p), dst)
+}
+
+// Visit walks items in best-first order of MinDist from p, calling fn with
+// each item's ref and its rectangle's MinDist. fn returns false to stop the
+// traversal early (the standard distance-browsing kNN pattern).
+// Visit also reports the number of heap operations performed, a proxy for
+// pruning effort.
+func (t *Tree) Visit(p geom.Point, fn func(ref int32, minDist float64) bool) int {
+	var q pq.Heap[bfEntry]
+	q.Push(bfEntry{n: t.root}, 0)
+	ops := 1
+	for q.Len() > 0 {
+		e, dist := q.Pop()
+		ops++
+		if e.isItem {
+			if !fn(e.ref, dist) {
+				return ops
+			}
+			continue
+		}
+		n := e.n
+		for i, r := range n.rects {
+			d := r.MinDist(p)
+			if n.leaf {
+				q.Push(bfEntry{ref: n.items[i], isItem: true}, d)
+			} else {
+				q.Push(bfEntry{n: n.children[i]}, d)
+			}
+			ops++
+		}
+	}
+	return ops
+}
+
+// bfEntry is a best-first traversal entry: either a node or a stored item.
+type bfEntry struct {
+	n      *node
+	ref    int32
+	isItem bool
+}
+
+// SizeBytes returns a deep size estimate of the tree.
+func (t *Tree) SizeBytes() int64 {
+	var sz int64
+	var walk func(n *node)
+	walk = func(n *node) {
+		sz += 48 // node header
+		sz += int64(len(n.rects)) * 32
+		sz += int64(len(n.items)) * 4
+		sz += int64(len(n.children)) * 8
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return sz
+}

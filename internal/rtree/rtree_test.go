@@ -1,0 +1,171 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"indoorsq/internal/geom"
+)
+
+func randRects(rng *rand.Rand, n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		x := rng.Float64() * 1000
+		y := rng.Float64() * 1000
+		w := rng.Float64() * 20
+		h := rng.Float64() * 20
+		items[i] = Item{Rect: geom.R(x, y, x+w, y+h), Ref: int32(i)}
+	}
+	return items
+}
+
+func build(items []Item, fanout int) *Tree {
+	t := New(fanout)
+	for _, it := range items {
+		t.Insert(it.Rect, it.Ref)
+	}
+	return t
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(8)
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("empty tree Len=%d Height=%d", tr.Len(), tr.Height())
+	}
+	if got := tr.Search(geom.R(0, 0, 10, 10), nil); len(got) != 0 {
+		t.Fatalf("search on empty tree returned %v", got)
+	}
+	calls := 0
+	tr.Visit(geom.Pt(0, 0), func(int32, float64) bool { calls++; return true })
+	if calls != 0 {
+		t.Fatalf("Visit on empty tree made %d calls", calls)
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	items := randRects(rng, 500)
+	tr := build(items, DefaultFanout)
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for trial := 0; trial < 50; trial++ {
+		x := rng.Float64() * 1000
+		y := rng.Float64() * 1000
+		q := geom.R(x, y, x+rng.Float64()*100, y+rng.Float64()*100)
+		got := tr.Search(q, nil)
+		var want []int32
+		for _, it := range items {
+			if it.Rect.Intersects(q) {
+				want = append(want, it.Ref)
+			}
+		}
+		sortInt32(got)
+		sortInt32(want)
+		if !eqInt32(got, want) {
+			t.Fatalf("trial %d: Search = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestSearchPoint(t *testing.T) {
+	tr := New(4)
+	tr.Insert(geom.R(0, 0, 10, 10), 1)
+	tr.Insert(geom.R(5, 5, 15, 15), 2)
+	tr.Insert(geom.R(20, 20, 30, 30), 3)
+	got := tr.SearchPoint(geom.Pt(7, 7), nil)
+	sortInt32(got)
+	if !eqInt32(got, []int32{1, 2}) {
+		t.Fatalf("SearchPoint = %v, want [1 2]", got)
+	}
+}
+
+func TestVisitOrdersByMinDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	items := randRects(rng, 300)
+	tr := build(items, 8)
+	p := geom.Pt(500, 500)
+	var dists []float64
+	tr.Visit(p, func(ref int32, d float64) bool {
+		dists = append(dists, d)
+		return true
+	})
+	if len(dists) != 300 {
+		t.Fatalf("Visit reported %d items, want 300", len(dists))
+	}
+	if !sort.Float64sAreSorted(dists) {
+		t.Fatal("Visit distances are not non-decreasing")
+	}
+	// Distances must equal the true MinDist per item.
+	want := make([]float64, len(items))
+	for i, it := range items {
+		want[i] = it.Rect.MinDist(p)
+	}
+	sort.Float64s(want)
+	for i := range dists {
+		if math.Abs(dists[i]-want[i]) > 1e-9 {
+			t.Fatalf("dist[%d] = %g, want %g", i, dists[i], want[i])
+		}
+	}
+}
+
+func TestVisitEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	items := randRects(rng, 300)
+	tr := build(items, 8)
+	calls := 0
+	tr.Visit(geom.Pt(0, 0), func(int32, float64) bool {
+		calls++
+		return calls < 10
+	})
+	if calls != 10 {
+		t.Fatalf("early stop made %d calls, want 10", calls)
+	}
+}
+
+func TestHeightGrowsLogarithmically(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	items := randRects(rng, 2000)
+	tr := build(items, DefaultFanout)
+	if tr.Height() < 2 || tr.Height() > 6 {
+		t.Fatalf("height = %d, expected a shallow tree", tr.Height())
+	}
+}
+
+func TestInsertDuplicateRects(t *testing.T) {
+	tr := New(4)
+	r := geom.R(1, 1, 2, 2)
+	for i := 0; i < 50; i++ {
+		tr.Insert(r, int32(i))
+	}
+	got := tr.Search(r, nil)
+	if len(got) != 50 {
+		t.Fatalf("Search found %d of 50 duplicates", len(got))
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tr := build(randRects(rng, 100), 8)
+	if tr.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes should be positive")
+	}
+}
+
+func sortInt32(s []int32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+func eqInt32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

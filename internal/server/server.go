@@ -1,0 +1,260 @@
+// Package server exposes indoor spatial queries over HTTP/JSON — the thin
+// LBS backend the paper's introduction motivates (POI search and routing
+// services built on top of the four query types). One server wraps a single
+// venue with any subset of the five engines; engines answer concurrent
+// requests safely since query processing is read-only.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/query"
+)
+
+// Server serves indoor spatial queries for one venue.
+type Server struct {
+	sp      *indoor.Space
+	name    string
+	engines map[string]query.Engine
+	def     string
+	gamma   int
+}
+
+// New wires a server around pre-built engines keyed by name; def is the
+// engine used when a request omits ?engine=.
+func New(name string, sp *indoor.Space, engines map[string]query.Engine, def string, gamma int) (*Server, error) {
+	if len(engines) == 0 {
+		return nil, errors.New("server: no engines")
+	}
+	if _, ok := engines[def]; !ok {
+		return nil, fmt.Errorf("server: default engine %q not provided", def)
+	}
+	return &Server{sp: sp, name: name, engines: engines, def: def, gamma: gamma}, nil
+}
+
+// Handler returns the HTTP handler with all endpoints mounted.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/info", s.handleInfo)
+	mux.HandleFunc("GET /v1/range", s.handleRange)
+	mux.HandleFunc("GET /v1/knn", s.handleKNN)
+	mux.HandleFunc("GET /v1/route", s.handleRoute)
+	mux.HandleFunc("GET /v1/partitions", s.handlePartitions)
+	return mux
+}
+
+// httpError is the uniform error payload.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func fail(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, httpError{Error: fmt.Sprintf(format, args...)})
+}
+
+// engineFor resolves the ?engine= parameter.
+func (s *Server) engineFor(w http.ResponseWriter, r *http.Request) (query.Engine, bool) {
+	name := r.URL.Query().Get("engine")
+	if name == "" {
+		name = s.def
+	}
+	eng, ok := s.engines[name]
+	if !ok {
+		fail(w, http.StatusNotFound, "unknown engine %q", name)
+		return nil, false
+	}
+	return eng, true
+}
+
+// floatParam parses a required float query parameter.
+func floatParam(r *http.Request, key string) (float64, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return 0, fmt.Errorf("missing parameter %q", key)
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad parameter %q: %v", key, err)
+	}
+	return v, nil
+}
+
+// pointParam parses x/y/floor (floor optional, default 0) with a suffix
+// ("" or "2").
+func pointParam(r *http.Request, suffix string) (indoor.Point, error) {
+	x, err := floatParam(r, "x"+suffix)
+	if err != nil {
+		return indoor.Point{}, err
+	}
+	y, err := floatParam(r, "y"+suffix)
+	if err != nil {
+		return indoor.Point{}, err
+	}
+	floor := 0
+	if raw := r.URL.Query().Get("floor" + suffix); raw != "" {
+		floor, err = strconv.Atoi(raw)
+		if err != nil {
+			return indoor.Point{}, fmt.Errorf("bad parameter floor%s: %v", suffix, err)
+		}
+	}
+	return indoor.At(x, y, int16(floor)), nil
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	st := s.sp.SpaceStats(s.gamma)
+	engines := make([]string, 0, len(s.engines))
+	for name := range s.engines {
+		engines = append(engines, name)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"venue":      s.name,
+		"floors":     st.Floors,
+		"partitions": st.Partitions,
+		"doors":      st.Doors,
+		"engines":    engines,
+		"default":    s.def,
+	})
+}
+
+type rangeResponse struct {
+	Objects      []int32 `json:"objects"`
+	VisitedDoors int     `json:"visitedDoors"`
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	eng, ok := s.engineFor(w, r)
+	if !ok {
+		return
+	}
+	p, err := pointParam(r, "")
+	if err != nil {
+		fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	radius, err := floatParam(r, "r")
+	if err != nil || radius < 0 {
+		fail(w, http.StatusBadRequest, "bad radius")
+		return
+	}
+	var st query.Stats
+	ids, err := eng.Range(p, radius, &st)
+	if err != nil {
+		fail(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	if ids == nil {
+		ids = []int32{}
+	}
+	writeJSON(w, http.StatusOK, rangeResponse{Objects: ids, VisitedDoors: st.VisitedDoors})
+}
+
+type knnResponse struct {
+	Neighbors []query.Neighbor `json:"neighbors"`
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	eng, ok := s.engineFor(w, r)
+	if !ok {
+		return
+	}
+	p, err := pointParam(r, "")
+	if err != nil {
+		fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	k := 5
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		k, err = strconv.Atoi(raw)
+		if err != nil || k < 0 {
+			fail(w, http.StatusBadRequest, "bad k")
+			return
+		}
+	}
+	nn, err := eng.KNN(p, k, nil)
+	if err != nil {
+		fail(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	if nn == nil {
+		nn = []query.Neighbor{}
+	}
+	writeJSON(w, http.StatusOK, knnResponse{Neighbors: nn})
+}
+
+type routeResponse struct {
+	Dist  float64      `json:"dist"`
+	Doors []int32      `json:"doors"`
+	Geom  [][3]float64 `json:"geometry"` // (x, y, floor) polyline via door points
+}
+
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	eng, ok := s.engineFor(w, r)
+	if !ok {
+		return
+	}
+	p, err := pointParam(r, "")
+	if err != nil {
+		fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	q, err := pointParam(r, "2")
+	if err != nil {
+		fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	path, err := eng.SPD(p, q, nil)
+	if err != nil {
+		fail(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	resp := routeResponse{Dist: path.Dist, Doors: make([]int32, 0, len(path.Doors))}
+	resp.Geom = append(resp.Geom, [3]float64{p.X, p.Y, float64(p.Floor)})
+	for _, d := range path.Doors {
+		resp.Doors = append(resp.Doors, int32(d))
+		dp := s.sp.DoorPoint(d)
+		resp.Geom = append(resp.Geom, [3]float64{dp.X, dp.Y, float64(dp.Floor)})
+	}
+	resp.Geom = append(resp.Geom, [3]float64{q.X, q.Y, float64(q.Floor)})
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type partitionJSON struct {
+	ID    int32        `json:"id"`
+	Kind  string       `json:"kind"`
+	Floor int16        `json:"floor"`
+	Poly  [][2]float64 `json:"poly"`
+}
+
+func (s *Server) handlePartitions(w http.ResponseWriter, r *http.Request) {
+	floor := 0
+	if raw := r.URL.Query().Get("floor"); raw != "" {
+		var err error
+		floor, err = strconv.Atoi(raw)
+		if err != nil {
+			fail(w, http.StatusBadRequest, "bad floor")
+			return
+		}
+	}
+	ids := s.sp.OnFloor(int16(floor))
+	out := make([]partitionJSON, 0, len(ids))
+	for _, id := range ids {
+		v := s.sp.Partition(id)
+		pj := partitionJSON{ID: int32(id), Kind: v.Kind.String(), Floor: v.Floor}
+		for _, pt := range v.Poly {
+			pj.Poly = append(pj.Poly, [2]float64{pt.X, pt.Y})
+		}
+		out = append(out, pj)
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,185 @@
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"indoorsq/internal/idmodel"
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/iptree"
+	"indoorsq/internal/query"
+	"indoorsq/internal/server"
+	"indoorsq/internal/testspaces"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *testspaces.Strip) {
+	t.Helper()
+	f := testspaces.NewStrip()
+	objs := []query.Object{
+		{ID: 1, Loc: indoor.At(2.5, 9, 0), Part: f.R1},
+		{ID: 2, Loc: indoor.At(7.5, 9, 0), Part: f.R2},
+		{ID: 3, Loc: indoor.At(1, 5, 0), Part: f.Hall},
+	}
+	engines := map[string]query.Engine{
+		"IDModel": idmodel.New(f.Space),
+		"VIPTree": iptree.New(f.Space, iptree.Options{VIP: true}),
+	}
+	for _, e := range engines {
+		e.SetObjects(objs)
+	}
+	srv, err := server.New("strip", f.Space, engines, "IDModel", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, f
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func TestInfo(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var info map[string]any
+	if code := getJSON(t, ts.URL+"/v1/info", &info); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if info["venue"] != "strip" || info["default"] != "IDModel" {
+		t.Fatalf("info = %v", info)
+	}
+	if int(info["partitions"].(float64)) != 8 {
+		t.Fatalf("partitions = %v", info["partitions"])
+	}
+}
+
+func TestRangeEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var resp struct {
+		Objects      []int32 `json:"objects"`
+		VisitedDoors int     `json:"visitedDoors"`
+	}
+	url := ts.URL + "/v1/range?x=2.5&y=8&r=4"
+	if code := getJSON(t, url, &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(resp.Objects) != 2 || resp.Objects[0] != 1 || resp.Objects[1] != 3 {
+		t.Fatalf("objects = %v", resp.Objects)
+	}
+
+	// Both engines agree.
+	var resp2 struct {
+		Objects []int32 `json:"objects"`
+	}
+	if code := getJSON(t, url+"&engine=VIPTree", &resp2); code != 200 {
+		t.Fatal("VIPTree request failed")
+	}
+	if fmt.Sprint(resp2.Objects) != fmt.Sprint(resp.Objects) {
+		t.Fatalf("engines disagree: %v vs %v", resp2.Objects, resp.Objects)
+	}
+}
+
+func TestKNNEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var resp struct {
+		Neighbors []struct {
+			ID   int32   `json:"ID"`
+			Dist float64 `json:"Dist"`
+		} `json:"neighbors"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/knn?x=2.5&y=8&k=2", &resp); code != 200 {
+		t.Fatal("knn failed")
+	}
+	if len(resp.Neighbors) != 2 || resp.Neighbors[0].ID != 1 {
+		t.Fatalf("neighbors = %v", resp.Neighbors)
+	}
+}
+
+func TestRouteEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var resp struct {
+		Dist  float64      `json:"dist"`
+		Doors []int32      `json:"doors"`
+		Geom  [][3]float64 `json:"geometry"`
+	}
+	url := ts.URL + "/v1/route?x=2.5&y=8&x2=7.5&y2=9"
+	if code := getJSON(t, url, &resp); code != 200 {
+		t.Fatal("route failed")
+	}
+	if resp.Dist != 10 || len(resp.Doors) != 2 {
+		t.Fatalf("route = %+v", resp)
+	}
+	if len(resp.Geom) != 4 { // p, two doors, q
+		t.Fatalf("geometry = %v", resp.Geom)
+	}
+}
+
+func TestPartitionsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var parts []struct {
+		ID   int32  `json:"id"`
+		Kind string `json:"kind"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/partitions?floor=0", &parts); code != 200 {
+		t.Fatal("partitions failed")
+	}
+	if len(parts) != 8 {
+		t.Fatalf("got %d partitions", len(parts))
+	}
+	halls := 0
+	for _, p := range parts {
+		if p.Kind == "hallway" {
+			halls++
+		}
+	}
+	if halls != 1 {
+		t.Fatalf("halls = %d", halls)
+	}
+}
+
+func TestErrorStatuses(t *testing.T) {
+	ts, _ := newTestServer(t)
+	cases := []struct {
+		url  string
+		want int
+	}{
+		{"/v1/range?x=2.5&y=8&r=4&engine=Nope", 404},
+		{"/v1/range?y=8&r=4", 400},
+		{"/v1/range?x=2.5&y=8", 400},
+		{"/v1/range?x=-99&y=-99&r=4", 422}, // outdoors
+		{"/v1/knn?x=2.5&y=8&k=-1", 400},
+		{"/v1/route?x=2.5&y=8", 400},
+		{"/v1/route?x=2.5&y=8&x2=-99&y2=-99", 422},
+		{"/v1/partitions?floor=zzz", 400},
+	}
+	for _, c := range cases {
+		var e map[string]any
+		if code := getJSON(t, ts.URL+c.url, &e); code != c.want {
+			t.Errorf("%s: status %d, want %d (%v)", c.url, code, c.want, e)
+		}
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	f := testspaces.NewStrip()
+	if _, err := server.New("x", f.Space, nil, "IDModel", 4); err == nil {
+		t.Fatal("no engines must fail")
+	}
+	engines := map[string]query.Engine{"A": idmodel.New(f.Space)}
+	if _, err := server.New("x", f.Space, engines, "B", 4); err == nil {
+		t.Fatal("bad default must fail")
+	}
+}

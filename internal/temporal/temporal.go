@@ -1,0 +1,122 @@
+// Package temporal implements the temporal-variation extension of the
+// paper's Sec. 7: doors may have open/close hours, and queries evaluated at
+// a given time of day only traverse doors that are open then. As Table 6
+// notes, this extension fits the engines without distance precomputation —
+// IDMODEL (schedule table attached to the accessibility base graph) and
+// CINDEX (attached to the topological layer) — whereas IDINDEX and
+// IP/VIP-TREE would have to invalidate their precomputed matrices on every
+// schedule change.
+package temporal
+
+import (
+	"sort"
+
+	"indoorsq/internal/cindex"
+	"indoorsq/internal/idmodel"
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/query"
+)
+
+// Interval is a daily open period [Open, Close) in hours of day.
+// Intervals with Close <= Open are empty.
+type Interval struct {
+	Open, Close float64
+}
+
+// Contains reports whether hour falls inside the interval.
+func (iv Interval) Contains(hour float64) bool {
+	return hour >= iv.Open && hour < iv.Close
+}
+
+// Schedule maps doors to their daily open intervals. Doors without an entry
+// are always open — matching how a venue's schedule table only lists doors
+// with restrictions.
+type Schedule struct {
+	byDoor map[indoor.DoorID][]Interval
+}
+
+// NewSchedule returns an empty schedule.
+func NewSchedule() *Schedule {
+	return &Schedule{byDoor: make(map[indoor.DoorID][]Interval)}
+}
+
+// Set assigns the daily open intervals of door d, replacing any previous
+// entry. Setting no intervals makes the door permanently closed.
+func (s *Schedule) Set(d indoor.DoorID, ivs ...Interval) {
+	sorted := append([]Interval(nil), ivs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Open < sorted[j].Open })
+	s.byDoor[d] = sorted
+}
+
+// Clear removes door d's entry, making it always open again.
+func (s *Schedule) Clear(d indoor.DoorID) { delete(s.byDoor, d) }
+
+// OpenAt reports whether door d is open at the given hour of day.
+func (s *Schedule) OpenAt(d indoor.DoorID, hour float64) bool {
+	ivs, ok := s.byDoor[d]
+	if !ok {
+		return true
+	}
+	for _, iv := range ivs {
+		if iv.Contains(hour) {
+			return true
+		}
+	}
+	return false
+}
+
+// At returns the door filter for one hour of day.
+func (s *Schedule) At(hour float64) func(indoor.DoorID) bool {
+	return func(d indoor.DoorID) bool { return s.OpenAt(d, hour) }
+}
+
+// Len returns the number of doors with schedule entries.
+func (s *Schedule) Len() int { return len(s.byDoor) }
+
+// Engine answers the four indoor spatial query types at a given time of
+// day over a schedule-aware base engine (IDMODEL or CINDEX).
+type Engine struct {
+	base query.Engine
+	sch  *Schedule
+	hour float64
+}
+
+// NewIDModel wraps an IDMODEL with a door schedule evaluated at hour.
+func NewIDModel(m *idmodel.Model, sch *Schedule, hour float64) *Engine {
+	return &Engine{base: m.WithOpen(sch.At(hour)), sch: sch, hour: hour}
+}
+
+// NewCIndex wraps a CINDEX with a door schedule evaluated at hour.
+func NewCIndex(ix *cindex.Index, sch *Schedule, hour float64) *Engine {
+	return &Engine{base: ix.WithOpen(sch.At(hour)), sch: sch, hour: hour}
+}
+
+// Hour returns the evaluation time of day.
+func (e *Engine) Hour() float64 { return e.hour }
+
+// Name implements query.Engine.
+func (e *Engine) Name() string { return e.base.Name() + "@t" }
+
+// SetObjects implements query.Engine.
+func (e *Engine) SetObjects(objs []query.Object) { e.base.SetObjects(objs) }
+
+// Range implements query.Engine, ignoring doors closed at the engine hour.
+func (e *Engine) Range(p indoor.Point, r float64, st *query.Stats) ([]int32, error) {
+	return e.base.Range(p, r, st)
+}
+
+// KNN implements query.Engine, ignoring doors closed at the engine hour.
+func (e *Engine) KNN(p indoor.Point, k int, st *query.Stats) ([]query.Neighbor, error) {
+	return e.base.KNN(p, k, st)
+}
+
+// SPD implements query.Engine, routing only through doors open at the
+// engine hour.
+func (e *Engine) SPD(p, q indoor.Point, st *query.Stats) (query.Path, error) {
+	return e.base.SPD(p, q, st)
+}
+
+// SizeBytes implements query.Engine; the schedule table is tiny.
+func (e *Engine) SizeBytes() int64 {
+	return e.base.SizeBytes() + int64(e.sch.Len())*40
+}

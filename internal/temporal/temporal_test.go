@@ -1,0 +1,226 @@
+package temporal_test
+
+import (
+	"math"
+	"testing"
+
+	"indoorsq/internal/cindex"
+	"indoorsq/internal/idmodel"
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/query"
+	"indoorsq/internal/temporal"
+	"indoorsq/internal/testspaces"
+)
+
+func TestScheduleBasics(t *testing.T) {
+	sch := temporal.NewSchedule()
+	d := indoor.DoorID(3)
+	if !sch.OpenAt(d, 12) {
+		t.Fatal("unscheduled door must be open")
+	}
+	sch.Set(d, temporal.Interval{Open: 9, Close: 17})
+	if !sch.OpenAt(d, 9) || !sch.OpenAt(d, 16.99) {
+		t.Fatal("door should be open during business hours")
+	}
+	if sch.OpenAt(d, 8.99) || sch.OpenAt(d, 17) || sch.OpenAt(d, 23) {
+		t.Fatal("door should be closed outside business hours")
+	}
+	// Two intervals.
+	sch.Set(d, temporal.Interval{Open: 8, Close: 12}, temporal.Interval{Open: 14, Close: 18})
+	if !sch.OpenAt(d, 10) || sch.OpenAt(d, 13) || !sch.OpenAt(d, 15) {
+		t.Fatal("split schedule misbehaves")
+	}
+	// No intervals = permanently closed.
+	sch.Set(d)
+	if sch.OpenAt(d, 10) {
+		t.Fatal("door with empty schedule must be closed")
+	}
+	sch.Clear(d)
+	if !sch.OpenAt(d, 3) {
+		t.Fatal("cleared door must be open again")
+	}
+	if sch.Len() != 0 {
+		t.Fatalf("Len = %d", sch.Len())
+	}
+}
+
+// stripEngines builds the two temporal-capable engines over the strip.
+func stripEngines(f *testspaces.Strip, sch *temporal.Schedule, hour float64) []query.Engine {
+	return []query.Engine{
+		temporal.NewIDModel(idmodel.New(f.Space), sch, hour),
+		temporal.NewCIndex(cindex.New(f.Space), sch, hour),
+	}
+}
+
+func TestClosedDoorForcesDetour(t *testing.T) {
+	f := testspaces.NewStrip()
+	sch := temporal.NewSchedule()
+	// The one-way shortcut D8 (R6 -> R7) is only open 9:00-17:00.
+	sch.Set(f.D8, temporal.Interval{Open: 9, Close: 17})
+
+	p6 := indoor.At(7, 2, 0)  // R6
+	p7 := indoor.At(15, 2, 0) // R7
+	direct := 8.0
+	detour := math.Sqrt(0.25+4) + 7.5 + 2 // via D6, hall, D7
+
+	for _, hour := range []float64{12, 22} {
+		for _, e := range stripEngines(f, sch, hour) {
+			e.SetObjects(nil)
+			var st query.Stats
+			path, err := e.SPD(p6, p7, &st)
+			if err != nil {
+				t.Fatalf("%s @%g: %v", e.Name(), hour, err)
+			}
+			want := direct
+			if hour == 22 {
+				want = detour
+			}
+			if math.Abs(path.Dist-want) > 1e-9 {
+				t.Fatalf("%s @%g: dist = %g, want %g", e.Name(), hour, path.Dist, want)
+			}
+		}
+	}
+}
+
+func TestClosedDoorsIsolateRoom(t *testing.T) {
+	f := testspaces.NewStrip()
+	sch := temporal.NewSchedule()
+	// R1's only door D1 is closed at night.
+	sch.Set(f.D1, temporal.Interval{Open: 6, Close: 22})
+
+	objs := []query.Object{
+		{ID: 1, Loc: indoor.At(2.5, 9, 0), Part: f.R1},
+		{ID: 2, Loc: indoor.At(10, 5, 0), Part: f.Hall},
+	}
+	pHall := indoor.At(2.5, 5, 0)
+	for _, e := range stripEngines(f, sch, 23) { // closed
+		e.SetObjects(objs)
+		var st query.Stats
+		ids, err := e.Range(pHall, 1000, &st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) != 1 || ids[0] != 2 {
+			t.Fatalf("%s: Range through closed door = %v", e.Name(), ids)
+		}
+		nn, err := e.KNN(pHall, 5, &st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(nn) != 1 || nn[0].ID != 2 {
+			t.Fatalf("%s: KNN through closed door = %v", e.Name(), nn)
+		}
+		if _, err := e.SPD(pHall, indoor.At(2.5, 9, 0), &st); err != query.ErrUnreachable {
+			t.Fatalf("%s: SPD into closed room err = %v", e.Name(), err)
+		}
+	}
+	// During the day everything is reachable again.
+	for _, e := range stripEngines(f, sch, 12) {
+		e.SetObjects(objs)
+		var st query.Stats
+		ids, err := e.Range(pHall, 1000, &st)
+		if err != nil || len(ids) != 2 {
+			t.Fatalf("%s: daytime Range = %v, %v", e.Name(), ids, err)
+		}
+	}
+}
+
+func TestTemporalViewSharesObjects(t *testing.T) {
+	f := testspaces.NewStrip()
+	base := idmodel.New(f.Space)
+	base.SetObjects([]query.Object{{ID: 1, Loc: indoor.At(10, 5, 0), Part: f.Hall}})
+	sch := temporal.NewSchedule()
+	e := temporal.NewIDModel(base, sch, 12)
+	var st query.Stats
+	nn, err := e.KNN(indoor.At(1, 5, 0), 1, &st)
+	if err != nil || len(nn) != 1 {
+		t.Fatalf("temporal view does not see base objects: %v, %v", nn, err)
+	}
+	if e.Hour() != 12 {
+		t.Fatalf("Hour = %g", e.Hour())
+	}
+	if e.Name() != "IDModel@t" {
+		t.Fatalf("Name = %q", e.Name())
+	}
+	if e.SizeBytes() < base.SizeBytes() {
+		t.Fatal("temporal view size must include the base")
+	}
+}
+
+// TestTemporalCrossEngine checks that both temporal-capable engines agree
+// under randomized schedules on randomized spaces.
+func TestTemporalCrossEngine(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		sp := testspaces.RandomGrid(seed, 4, 4, 2, 6, 0.2)
+		sch := temporal.NewSchedule()
+		// Close every third door at night.
+		for d := 0; d < sp.NumDoors(); d += 3 {
+			sch.Set(indoor.DoorID(d), temporal.Interval{Open: 8, Close: 20})
+		}
+		base1 := idmodel.New(sp)
+		base2 := cindex.New(sp)
+		var objs []query.Object
+		for i := 0; i < sp.NumPartitions(); i += 2 {
+			v := sp.Partition(indoor.PartitionID(i))
+			if v.Kind == indoor.Staircase {
+				continue
+			}
+			c := v.MBR.Center()
+			objs = append(objs, query.Object{
+				ID: int32(len(objs)), Loc: indoor.At(c.X, c.Y, v.Floor), Part: v.ID,
+			})
+		}
+		for _, hour := range []float64{12, 23} {
+			a := temporal.NewIDModel(base1, sch, hour)
+			b := temporal.NewCIndex(base2, sch, hour)
+			a.SetObjects(objs)
+			b.SetObjects(objs)
+			var st query.Stats
+			pts := []indoor.Point{indoor.At(5, 5, 0), indoor.At(25, 25, 0), indoor.At(15, 5, 1)}
+			for _, p := range pts {
+				ra, err1 := a.Range(p, 50, &st)
+				rb, err2 := b.Range(p, 50, &st)
+				if (err1 == nil) != (err2 == nil) || len(ra) != len(rb) {
+					t.Fatalf("seed %d hour %g: Range disagree at %v: %v/%v vs %v/%v",
+						seed, hour, p, ra, err1, rb, err2)
+				}
+				for i := range ra {
+					if ra[i] != rb[i] {
+						t.Fatalf("seed %d hour %g: Range ids differ at %v", seed, hour, p)
+					}
+				}
+				for _, q := range pts {
+					pa, err1 := a.SPD(p, q, &st)
+					pb, err2 := b.SPD(p, q, &st)
+					if (err1 == nil) != (err2 == nil) {
+						t.Fatalf("seed %d hour %g: SPD err disagree %v->%v: %v vs %v",
+							seed, hour, p, q, err1, err2)
+					}
+					if err1 == nil && math.Abs(pa.Dist-pb.Dist) > 1e-6 {
+						t.Fatalf("seed %d hour %g: SPD %v->%v: %g vs %g",
+							seed, hour, p, q, pa.Dist, pb.Dist)
+					}
+				}
+			}
+			// Night must be no better than day for any pair (closing doors
+			// cannot shorten paths).
+			if hour == 23 {
+				day := temporal.NewIDModel(base1, sch, 12)
+				day.SetObjects(objs)
+				for _, p := range pts {
+					for _, q := range pts {
+						nightPath, err1 := a.SPD(p, q, &st)
+						dayPath, err2 := day.SPD(p, q, &st)
+						if err2 != nil {
+							continue
+						}
+						if err1 == nil && nightPath.Dist < dayPath.Dist-1e-9 {
+							t.Fatalf("closing doors shortened %v->%v: %g < %g",
+								p, q, nightPath.Dist, dayPath.Dist)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,306 @@
+// Package traverse implements the Dijkstra-style door-graph expansion shared
+// by the graph-based engines (IDMODEL and CINDEX): range query and kNN query
+// per Algorithms 1–2 of the paper's Appendix, and the fused shortest
+// path/distance query. The two engines differ only in how they locate the
+// host partition (sequential scan vs. R-tree) and how they obtain
+// door-to-door distances within a partition (precomputed fd2d arrays vs.
+// on-the-fly computation over inter-partition links); both are injected.
+package traverse
+
+import (
+	"math"
+	"sort"
+
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/pq"
+	"indoorsq/internal/query"
+)
+
+// D2DFunc returns the distance from door di to door dj through partition v,
+// honouring direction (di must be enterable into v, dj leaveable from v),
+// or +Inf when the move is impossible.
+type D2DFunc func(v indoor.PartitionID, di, dj indoor.DoorID) float64
+
+// HostFunc locates the partition hosting a point.
+type HostFunc func(p indoor.Point) (indoor.PartitionID, bool)
+
+// Graph drives door-graph query processing over a space.
+type Graph struct {
+	sp   *indoor.Space
+	host HostFunc
+	d2d  D2DFunc
+	// euclidPrune enables the R-tree style Euclidean lower-bound check on
+	// partitions before their object buckets are scanned (CINDEX only; the
+	// paper observes it rarely helps under indoor topology, Sec. 6.2 B5).
+	euclidPrune bool
+	// open filters doors for temporal-variation queries (Sec. 7); nil means
+	// every door is traversable.
+	open func(indoor.DoorID) bool
+	// filter restricts kNN candidates by object id (keyword extension);
+	// nil accepts everything.
+	filter func(id int32) bool
+}
+
+// New returns a traversal graph. host and d2d must not be nil.
+func New(sp *indoor.Space, host HostFunc, d2d D2DFunc, euclidPrune bool) *Graph {
+	return &Graph{sp: sp, host: host, d2d: d2d, euclidPrune: euclidPrune}
+}
+
+// WithOpen returns a copy of g that only traverses doors for which open
+// reports true — the temporal-variation extension of Sec. 7: closed doors
+// are filtered from the base graph at query time, with no precomputed state
+// to invalidate (which is why only the graph-based engines support it).
+func (g *Graph) WithOpen(open func(indoor.DoorID) bool) *Graph {
+	c := *g
+	c.open = open
+	return &c
+}
+
+// usable reports whether door d may be traversed under the current filter.
+func (g *Graph) usable(d indoor.DoorID) bool {
+	return g.open == nil || g.open(d)
+}
+
+// accept reports whether object id passes the current candidate filter.
+func (g *Graph) accept(id int32) bool {
+	return g.filter == nil || g.filter(id)
+}
+
+// WithFilter returns a copy of g whose kNN only considers objects accepted
+// by the predicate — the building block of boolean keyword queries
+// (Sec. 7).
+func (g *Graph) WithFilter(accept func(id int32) bool) *Graph {
+	c := *g
+	c.filter = accept
+	return &c
+}
+
+// state is the per-query Dijkstra working set.
+type state struct {
+	dist    []float64
+	settled []bool
+	prev    []indoor.DoorID
+	h       pq.Heap[indoor.DoorID]
+}
+
+func (g *Graph) newState() *state {
+	n := g.sp.NumDoors()
+	s := &state{
+		dist:    make([]float64, n),
+		settled: make([]bool, n),
+		prev:    make([]indoor.DoorID, n),
+	}
+	for i := range s.dist {
+		s.dist[i] = math.Inf(1)
+		s.prev[i] = indoor.NoDoor
+	}
+	return s
+}
+
+func (s *state) bytes() int64 {
+	return int64(len(s.dist))*(8+1+4) + int64(s.h.Cap())*16
+}
+
+// seed initializes the frontier with the leaveable doors of the source
+// partition.
+func (g *Graph) seed(s *state, v indoor.PartitionID, p indoor.Point) {
+	for _, d := range g.sp.Partition(v).Leave {
+		if !g.usable(d) {
+			continue
+		}
+		w := g.sp.WithinPointDoor(v, p, d)
+		if w < s.dist[d] {
+			s.dist[d] = w
+			s.h.Push(d, w)
+		}
+	}
+}
+
+// relax expands settled door d at distance dd into its enterable partitions,
+// optionally invoking visit for each (door, partition) pair before the
+// door-to-door relaxation.
+func (g *Graph) relax(s *state, d indoor.DoorID, dd float64, visit func(v indoor.PartitionID, dd float64)) {
+	for _, v := range g.sp.Door(d).Enterable {
+		if visit != nil {
+			visit(v, dd)
+		}
+		for _, nd := range g.sp.Partition(v).Leave {
+			if s.settled[nd] || !g.usable(nd) {
+				continue
+			}
+			w := g.d2d(v, d, nd)
+			if cand := dd + w; cand < s.dist[nd] {
+				s.dist[nd] = cand
+				s.prev[nd] = d
+				s.h.Push(nd, cand)
+			}
+		}
+	}
+}
+
+// pruneByEuclid reports whether partition v can be skipped because every
+// point of it is Euclidean-farther than radius from p (same floor only; a
+// conservative check).
+func (g *Graph) pruneByEuclid(v indoor.PartitionID, p indoor.Point, radius float64) bool {
+	if !g.euclidPrune {
+		return false
+	}
+	part := g.sp.Partition(v)
+	if part.Floor != p.Floor || part.TopFloor != p.Floor {
+		return false
+	}
+	return part.MBR.MinDist(p.XY()) > radius
+}
+
+// Range answers RQ(p, r) over the given object store.
+func (g *Graph) Range(store *query.ObjectStore, p indoor.Point, r float64, st *query.Stats) ([]int32, error) {
+	v0, ok := g.host(p)
+	if !ok {
+		return nil, query.ErrNoHost
+	}
+	res := make(map[int32]struct{})
+	for _, n := range store.RangeScan(g.sp, v0, p, 0, r, nil) {
+		res[n.ID] = struct{}{}
+	}
+
+	s := g.newState()
+	g.seed(s, v0, p)
+	for s.h.Len() > 0 {
+		d, dd := s.h.Pop()
+		if s.settled[d] || dd > s.dist[d] {
+			continue
+		}
+		if dd > r {
+			break
+		}
+		s.settled[d] = true
+		st.Door()
+		door := d
+		g.relax(s, d, dd, func(v indoor.PartitionID, base float64) {
+			if g.pruneByEuclid(v, p, r) {
+				return
+			}
+			for _, n := range store.RangeScanDoor(g.sp, v, door, base, r-base, nil) {
+				res[n.ID] = struct{}{}
+			}
+		})
+	}
+	st.Alloc(s.bytes() + int64(len(res))*8)
+
+	out := make([]int32, 0, len(res))
+	for id := range res {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// KNN answers kNNQ(p, k) over the given object store.
+func (g *Graph) KNN(store *query.ObjectStore, p indoor.Point, k int, st *query.Stats) ([]query.Neighbor, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	v0, ok := g.host(p)
+	if !ok {
+		return nil, query.ErrNoHost
+	}
+	tk := query.NewTopK(k)
+	for _, i := range store.Bucket(v0) {
+		o := store.At(i)
+		if !g.accept(o.ID) {
+			continue
+		}
+		tk.Offer(o.ID, g.sp.WithinPoints(v0, p, o.Loc))
+	}
+
+	s := g.newState()
+	g.seed(s, v0, p)
+	for s.h.Len() > 0 {
+		d, dd := s.h.Pop()
+		if s.settled[d] || dd > s.dist[d] {
+			continue
+		}
+		if dd > tk.Bound() {
+			break
+		}
+		s.settled[d] = true
+		st.Door()
+		door := d
+		g.relax(s, d, dd, func(v indoor.PartitionID, base float64) {
+			// Objects Euclidean-farther than the current k-th distance can
+			// never enter the top-k (the bound only shrinks).
+			if g.pruneByEuclid(v, p, tk.Bound()) {
+				return
+			}
+			for _, i := range store.Bucket(v) {
+				if !g.accept(store.At(i).ID) {
+					continue
+				}
+				tk.Offer(store.At(i).ID, base+store.DistToDoor(g.sp, i, door))
+			}
+		})
+	}
+	st.Alloc(s.bytes() + tk.SizeBytes())
+	return tk.Results(), nil
+}
+
+// SPD answers the fused shortest path + distance query SPDQ(p, q).
+func (g *Graph) SPD(p, q indoor.Point, st *query.Stats) (query.Path, error) {
+	vp, ok := g.host(p)
+	if !ok {
+		return query.Path{}, query.ErrNoHost
+	}
+	vq, ok := g.host(q)
+	if !ok {
+		return query.Path{}, query.ErrNoHost
+	}
+
+	best := math.Inf(1)
+	bestDoor := indoor.NoDoor
+	if vp == vq {
+		best = g.sp.WithinPoints(vp, p, q)
+	}
+	// Distances from each enterable door of vq to q within vq.
+	tail := make(map[indoor.DoorID]float64, len(g.sp.Partition(vq).Enter))
+	for _, d := range g.sp.Partition(vq).Enter {
+		if !g.usable(d) {
+			continue
+		}
+		tail[d] = g.sp.WithinPointDoor(vq, q, d)
+	}
+
+	s := g.newState()
+	g.seed(s, vp, p)
+	for s.h.Len() > 0 {
+		d, dd := s.h.Pop()
+		if s.settled[d] || dd > s.dist[d] {
+			continue
+		}
+		if dd >= best {
+			break
+		}
+		s.settled[d] = true
+		st.Door()
+		if w, ok := tail[d]; ok {
+			if cand := dd + w; cand < best {
+				best = cand
+				bestDoor = d
+			}
+		}
+		g.relax(s, d, dd, nil)
+	}
+	st.Alloc(s.bytes() + int64(len(tail))*16)
+
+	if math.IsInf(best, 1) {
+		return query.Path{}, query.ErrUnreachable
+	}
+	var doors []indoor.DoorID
+	for d := bestDoor; d != indoor.NoDoor; d = s.prev[d] {
+		doors = append(doors, d)
+	}
+	// Reverse into source-to-target order.
+	for i, j := 0, len(doors)-1; i < j; i, j = i+1, j-1 {
+		doors[i], doors[j] = doors[j], doors[i]
+	}
+	return query.Path{Source: p, Target: q, Doors: doors, Dist: best}, nil
+}

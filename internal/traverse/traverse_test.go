@@ -1,0 +1,151 @@
+package traverse_test
+
+import (
+	"math"
+	"testing"
+
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/query"
+	"indoorsq/internal/testspaces"
+	"indoorsq/internal/traverse"
+)
+
+// newGraph builds a traversal graph with sequential-scan host lookup and
+// on-the-fly distances (direction-checked).
+func newGraph(sp *indoor.Space, prune bool) *traverse.Graph {
+	d2d := func(v indoor.PartitionID, di, dj indoor.DoorID) float64 {
+		// Honour direction like the engines do.
+		enterOK, leaveOK := false, false
+		for _, d := range sp.Partition(v).Enter {
+			if d == di {
+				enterOK = true
+				break
+			}
+		}
+		for _, d := range sp.Partition(v).Leave {
+			if d == dj {
+				leaveOK = true
+				break
+			}
+		}
+		if di == dj {
+			return 0
+		}
+		if !enterOK || !leaveOK {
+			return math.Inf(1)
+		}
+		return sp.WithinDoors(v, di, dj)
+	}
+	return traverse.New(sp, sp.HostPartition, d2d, prune)
+}
+
+func TestSPDDirect(t *testing.T) {
+	f := testspaces.NewStrip()
+	g := newGraph(f.Space, false)
+	var st query.Stats
+	path, err := g.SPD(indoor.At(1, 5, 0), indoor.At(19, 5, 0), &st)
+	if err != nil || math.Abs(path.Dist-18) > 1e-9 {
+		t.Fatalf("SPD = %v, %v", path, err)
+	}
+}
+
+func TestPruneOnOffSameAnswers(t *testing.T) {
+	f := testspaces.NewStrip()
+	plain := newGraph(f.Space, false)
+	pruned := newGraph(f.Space, true)
+	store := query.NewObjectStore(f.Space, []query.Object{
+		{ID: 1, Loc: indoor.At(2.5, 9, 0), Part: f.R1},
+		{ID: 2, Loc: indoor.At(17.5, 9, 0), Part: f.R4},
+		{ID: 3, Loc: indoor.At(10, 5, 0), Part: f.Hall},
+	})
+	var st query.Stats
+	p := indoor.At(2.5, 8, 0)
+	for _, r := range []float64{1, 5, 12, 100} {
+		a, err1 := plain.Range(store, p, r, &st)
+		b, err2 := pruned.Range(store, p, r, &st)
+		if err1 != nil || err2 != nil || len(a) != len(b) {
+			t.Fatalf("r=%g: %v/%v vs %v/%v", r, a, err1, b, err2)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("r=%g: prune changed answers: %v vs %v", r, a, b)
+			}
+		}
+	}
+	for _, k := range []int{1, 2, 3} {
+		a, _ := plain.KNN(store, p, k, &st)
+		b, _ := pruned.KNN(store, p, k, &st)
+		if len(a) != len(b) {
+			t.Fatalf("k=%d: %v vs %v", k, a, b)
+		}
+		for i := range a {
+			if math.Abs(a[i].Dist-b[i].Dist) > 1e-9 {
+				t.Fatalf("k=%d: prune changed distances", k)
+			}
+		}
+	}
+}
+
+func TestWithFilterRestrictsKNN(t *testing.T) {
+	f := testspaces.NewStrip()
+	g := newGraph(f.Space, false)
+	store := query.NewObjectStore(f.Space, []query.Object{
+		{ID: 1, Loc: indoor.At(2.5, 9, 0), Part: f.R1},
+		{ID: 2, Loc: indoor.At(7.5, 9, 0), Part: f.R2},
+	})
+	var st query.Stats
+	p := indoor.At(2.5, 8, 0)
+	// Unfiltered: nearest is 1.
+	nn, err := g.KNN(store, p, 1, &st)
+	if err != nil || nn[0].ID != 1 {
+		t.Fatalf("base KNN = %v, %v", nn, err)
+	}
+	// Filter out object 1: nearest becomes 2.
+	fg := g.WithFilter(func(id int32) bool { return id != 1 })
+	nn, err = fg.KNN(store, p, 1, &st)
+	if err != nil || len(nn) != 1 || nn[0].ID != 2 {
+		t.Fatalf("filtered KNN = %v, %v", nn, err)
+	}
+	// Original graph unaffected (WithFilter copies).
+	nn, _ = g.KNN(store, p, 1, &st)
+	if nn[0].ID != 1 {
+		t.Fatal("WithFilter mutated the base graph")
+	}
+}
+
+func TestWithOpenBlocksSeedsAndTails(t *testing.T) {
+	f := testspaces.NewStrip()
+	g := newGraph(f.Space, false)
+	var st query.Stats
+	p := indoor.At(2.5, 8, 0) // R1, only door D1
+	q := indoor.At(10, 5, 0)  // hall
+
+	closed := g.WithOpen(func(d indoor.DoorID) bool { return d != f.D1 })
+	if _, err := closed.SPD(p, q, &st); err != query.ErrUnreachable {
+		t.Fatalf("closed seed door: err = %v", err)
+	}
+	if _, err := closed.SPD(q, p, &st); err != query.ErrUnreachable {
+		t.Fatalf("closed tail door: err = %v", err)
+	}
+	// Same-partition queries survive closed doors.
+	path, err := closed.SPD(p, indoor.At(4, 9, 0), &st)
+	if err != nil || path.Dist <= 0 {
+		t.Fatalf("same-partition with closed doors: %v, %v", path, err)
+	}
+}
+
+func TestNVDBoundedByDoors(t *testing.T) {
+	sp := testspaces.RandomGrid(4, 5, 5, 2, 8, 0.1)
+	g := newGraph(sp, false)
+	store := query.NewObjectStore(sp, nil)
+	var st query.Stats
+	if _, err := g.Range(store, indoor.At(5, 5, 0), 1e9, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.VisitedDoors > sp.NumDoors() {
+		t.Fatalf("NVD %d exceeds total doors %d", st.VisitedDoors, sp.NumDoors())
+	}
+	if st.VisitedDoors == 0 {
+		t.Fatal("unbounded range should visit doors")
+	}
+}
