@@ -4,7 +4,7 @@
 // Usage:
 //
 //	isqbench [-task A|B1..B7|all] [-datasets SYN5,MZB,...] [-engines ...]
-//	         [-objects 1000] [-queries 10] [-k 10] [-seed 1] [-csv]
+//	         [-objects 1000] [-queries 10] [-k 10] [-seed 1] [-workers 1] [-csv]
 //
 // Examples:
 //
@@ -32,6 +32,7 @@ func main() {
 		queries  = flag.Int("queries", 10, "query instances per setting")
 		k        = flag.Int("k", 10, "default k for kNNQ")
 		seed     = flag.Int64("seed", 1, "workload seed")
+		workers  = flag.Int("workers", 1, "concurrent query workers per setting (0 = all CPUs)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of text tables")
 	)
 	flag.Parse()
@@ -41,6 +42,7 @@ func main() {
 	s.Queries = *queries
 	s.K = *k
 	s.Seed = *seed
+	s.Workers = *workers
 	if *engines != "" {
 		s.Engines = strings.Split(*engines, ",")
 	}

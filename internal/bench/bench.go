@@ -10,6 +10,7 @@ import (
 
 	"indoorsq/internal/cindex"
 	"indoorsq/internal/dataset"
+	"indoorsq/internal/exec"
 	"indoorsq/internal/idindex"
 	"indoorsq/internal/idmodel"
 	"indoorsq/internal/indoor"
@@ -51,6 +52,10 @@ type Suite struct {
 	Seed int64
 	// Engines selects the model/indexes to evaluate.
 	Engines []string
+	// Workers bounds the concurrent query executor: the per-setting query
+	// instances of every measurement run through an exec.Pool of this size
+	// (1 = sequential, the paper's procedure; 0 = GOMAXPROCS).
+	Workers int
 
 	engines map[string]query.Engine
 	objSets map[string][]query.Object
@@ -63,6 +68,7 @@ func NewSuite() *Suite {
 		Queries: 10,
 		K:       10,
 		Seed:    1,
+		Workers: 1,
 		Engines: append([]string(nil), EngineNames...),
 		engines: make(map[string]query.Engine),
 		objSets: make(map[string][]query.Object),
@@ -97,35 +103,45 @@ func (s *Suite) objects(info *dataset.Info, n int) []query.Object {
 
 // Measure is one averaged observation.
 type Measure struct {
-	TimeUS float64 // average running time per query, microseconds
+	TimeUS float64 // average per-query running time, microseconds
+	WallUS float64 // average wall-clock time per query across the batch
 	MemMB  float64 // resident index + average transient working set, MB
 	NVD    float64 // average number of visited doors
 }
 
-// measure runs n queries through fn and averages the metrics.
-func measure(eng query.Engine, n int, fn func(i int, st *query.Stats) error) (Measure, error) {
+// measure runs n queries through fn — concurrently when the suite's Workers
+// allows — and averages the metrics. Per-query time is measured inside the
+// worker; the wall clock spans the whole batch, so TimeUS ≈ WallUS when
+// sequential and TimeUS > WallUS under effective parallelism.
+func (s *Suite) measure(eng query.Engine, n int, fn func(i int, st *query.Stats) error) (Measure, error) {
+	pool := exec.Pool{Workers: s.Workers}
+	times := make([]float64, n)
+	start := time.Now()
+	merged, err := pool.Map(n, func(i int, st *query.Stats) error {
+		t0 := time.Now()
+		err := fn(i, st)
+		times[i] = float64(time.Since(t0).Microseconds())
+		return err
+	})
+	wall := time.Since(start)
+	if err != nil {
+		return Measure{}, err
+	}
 	var m Measure
-	var st query.Stats
-	for i := 0; i < n; i++ {
-		st.Reset()
-		start := time.Now()
-		if err := fn(i, &st); err != nil {
-			return Measure{}, err
-		}
-		m.TimeUS += float64(time.Since(start).Microseconds())
-		m.MemMB += float64(st.WorkBytes)
-		m.NVD += float64(st.VisitedDoors)
+	for _, t := range times {
+		m.TimeUS += t
 	}
 	f := float64(n)
 	m.TimeUS /= f
-	m.MemMB = (m.MemMB/f + float64(eng.SizeBytes())) / 1e6
-	m.NVD /= f
+	m.WallUS = float64(wall.Microseconds()) / f
+	m.MemMB = (float64(merged.WorkBytes)/f + float64(eng.SizeBytes())) / 1e6
+	m.NVD = float64(merged.VisitedDoors) / f
 	return m, nil
 }
 
 // MeasureRQ runs the range query over all points.
 func (s *Suite) MeasureRQ(eng query.Engine, pts []indoor.Point, r float64) (Measure, error) {
-	return measure(eng, len(pts), func(i int, st *query.Stats) error {
+	return s.measure(eng, len(pts), func(i int, st *query.Stats) error {
 		_, err := eng.Range(pts[i], r, st)
 		return err
 	})
@@ -133,7 +149,7 @@ func (s *Suite) MeasureRQ(eng query.Engine, pts []indoor.Point, r float64) (Meas
 
 // MeasureKNN runs the kNN query over all points.
 func (s *Suite) MeasureKNN(eng query.Engine, pts []indoor.Point, k int) (Measure, error) {
-	return measure(eng, len(pts), func(i int, st *query.Stats) error {
+	return s.measure(eng, len(pts), func(i int, st *query.Stats) error {
 		_, err := eng.KNN(pts[i], k, st)
 		return err
 	})
@@ -141,7 +157,7 @@ func (s *Suite) MeasureKNN(eng query.Engine, pts []indoor.Point, k int) (Measure
 
 // MeasureSPD runs the fused shortest path/distance query over all pairs.
 func (s *Suite) MeasureSPD(eng query.Engine, pairs []workload.Pair) (Measure, error) {
-	return measure(eng, len(pairs), func(i int, st *query.Stats) error {
+	return s.measure(eng, len(pairs), func(i int, st *query.Stats) error {
 		_, err := eng.SPD(pairs[i].P, pairs[i].Q, st)
 		return err
 	})

@@ -3,13 +3,20 @@
 // fd2d(v, d, d') exists when one can enter partition v through d and leave
 // it through d' — and runs single-source Dijkstra in either direction.
 // It is the construction-time substrate of IDINDEX and IP/VIP-TREE.
+//
+// Dijkstra state (distance, predecessor and first-hop arrays plus the
+// frontier heap) lives in a reusable Scratch managed by a per-graph
+// sync.Pool, so repeated sweeps — one per door during index construction —
+// allocate nothing and reset in O(doors touched) rather than O(N).
 package doorgraph
 
 import (
 	"math"
+	"runtime"
+	"sync"
+	"unsafe"
 
 	"indoorsq/internal/indoor"
-	"indoorsq/internal/pq"
 )
 
 // Edge is a weighted directed connection between doors.
@@ -23,26 +30,78 @@ type Graph struct {
 	N   int
 	Fwd [][]Edge // Fwd[d]: edges leaving door d
 	Rev [][]Edge // Rev[d]: reversed edges (for distances *to* a door)
+
+	scratch sync.Pool // *Scratch sized for N
 }
 
-// Build derives the door graph of a space.
-func Build(sp *indoor.Space) *Graph {
+// Build derives the door graph of a space using one worker per available
+// CPU. The result is identical to a sequential build.
+func Build(sp *indoor.Space) *Graph { return BuildWorkers(sp, 0) }
+
+// BuildWorkers derives the door graph with an explicit worker count
+// (workers <= 0 means GOMAXPROCS). The forward rows are computed in
+// parallel — each worker owns disjoint Fwd rows — and the reverse adjacency
+// is then derived from them in source-door order, so the adjacency lists
+// are byte-identical regardless of the worker count.
+func BuildWorkers(sp *indoor.Space, workers int) *Graph {
 	n := sp.NumDoors()
 	g := &Graph{N: n, Fwd: make([][]Edge, n), Rev: make([][]Edge, n)}
-	for di := 0; di < n; di++ {
-		d := indoor.DoorID(di)
-		for _, v := range sp.Door(d).Enterable {
-			for _, nd := range sp.Partition(v).Leave {
-				if nd == d {
-					continue
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	var wg sync.WaitGroup
+	next := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for di := range next {
+				d := indoor.DoorID(di)
+				for _, v := range sp.Door(d).Enterable {
+					for _, nd := range sp.Partition(v).Leave {
+						if nd == d {
+							continue
+						}
+						w := sp.WithinDoors(v, d, nd)
+						if math.IsInf(w, 1) {
+							continue
+						}
+						g.Fwd[di] = append(g.Fwd[di], Edge{To: int32(nd), W: w})
+					}
 				}
-				w := sp.WithinDoors(v, d, nd)
-				if math.IsInf(w, 1) {
-					continue
-				}
-				g.Fwd[di] = append(g.Fwd[di], Edge{To: int32(nd), W: w})
-				g.Rev[nd] = append(g.Rev[nd], Edge{To: int32(di), W: w})
 			}
+		}()
+	}
+	for di := 0; di < n; di++ {
+		next <- di
+	}
+	close(next)
+	wg.Wait()
+
+	// Reverse adjacency, derived deterministically: scanning sources in
+	// ascending order appends Rev entries in exactly the order the old
+	// sequential build produced.
+	cnt := make([]int32, n)
+	for di := 0; di < n; di++ {
+		for _, e := range g.Fwd[di] {
+			cnt[e.To]++
+		}
+	}
+	for di := 0; di < n; di++ {
+		if cnt[di] > 0 {
+			g.Rev[di] = make([]Edge, 0, cnt[di])
+		}
+	}
+	for di := 0; di < n; di++ {
+		for _, e := range g.Fwd[di] {
+			g.Rev[e.To] = append(g.Rev[e.To], Edge{To: int32(di), W: e.W})
 		}
 	}
 	return g
@@ -50,11 +109,15 @@ func Build(sp *indoor.Space) *Graph {
 
 // SizeBytes returns a deep size estimate of the adjacency lists.
 func (g *Graph) SizeBytes() int64 {
+	const (
+		edgeSize   = int64(unsafe.Sizeof(Edge{}))
+		headerSize = int64(unsafe.Sizeof([]Edge(nil))) * 2 // Fwd[i] + Rev[i]
+	)
 	var sz int64
 	for i := range g.Fwd {
-		sz += int64(len(g.Fwd[i])+len(g.Rev[i])) * 16
+		sz += int64(len(g.Fwd[i])+len(g.Rev[i])) * edgeSize
 	}
-	return sz + int64(g.N)*48
+	return sz + int64(g.N)*headerSize
 }
 
 // Dijkstra computes single-source shortest distances over the door graph.
@@ -62,32 +125,16 @@ func (g *Graph) SizeBytes() int64 {
 // is t's predecessor on that path. With reverse = true, dist[t] is the
 // distance from t to src and prev[t] is t's successor on that path.
 // Unreachable doors have dist +Inf and prev -1.
+//
+// The returned slices are freshly allocated; construction loops that sweep
+// many sources should use AcquireScratch and Scratch.Run instead.
 func (g *Graph) Dijkstra(src int32, reverse bool) (dist []float64, prev []int32) {
-	adj := g.Fwd
-	if reverse {
-		adj = g.Rev
-	}
+	s := g.AcquireScratch()
+	defer g.ReleaseScratch(s)
+	s.Run(g, src, reverse)
 	dist = make([]float64, g.N)
 	prev = make([]int32, g.N)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		prev[i] = -1
-	}
-	dist[src] = 0
-	var h pq.Heap[int32]
-	h.Push(src, 0)
-	for h.Len() > 0 {
-		d, dd := h.Pop()
-		if dd > dist[d] {
-			continue
-		}
-		for _, e := range adj[d] {
-			if nd := dd + e.W; nd < dist[e.To] {
-				dist[e.To] = nd
-				prev[e.To] = d
-				h.Push(e.To, nd)
-			}
-		}
-	}
+	s.CopyDist(dist)
+	s.CopyPrev(prev)
 	return dist, prev
 }

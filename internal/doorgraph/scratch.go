@@ -1,0 +1,202 @@
+package doorgraph
+
+import (
+	"math"
+
+	"indoorsq/internal/pq"
+)
+
+// Scratch is a reusable single-source Dijkstra working set. Distance,
+// predecessor and first-hop entries are epoch-stamped: a run bumps the
+// epoch instead of clearing the arrays, so resetting costs O(doors touched
+// by the previous run), not O(N). Accessors treat unstamped entries as
+// unreached (+Inf distance, -1 predecessor).
+//
+// A Scratch is not safe for concurrent use; acquire one per goroutine.
+type Scratch struct {
+	dist  []float64
+	prev  []int32
+	first []int32 // first door after src on the shortest path src -> t
+	stamp []uint32
+	epoch uint32
+
+	// Early-exit target marks (RunTargets), stamped independently so the
+	// target set of one run never leaks into the next.
+	tmark  []uint32
+	tepoch uint32
+
+	h pq.Heap[int32]
+}
+
+// NewScratch returns a Scratch for graphs with n doors.
+func NewScratch(n int) *Scratch {
+	return &Scratch{
+		dist:  make([]float64, n),
+		prev:  make([]int32, n),
+		first: make([]int32, n),
+		stamp: make([]uint32, n),
+		tmark: make([]uint32, n),
+	}
+}
+
+// AcquireScratch returns a pooled Scratch sized for the graph. Release it
+// with ReleaseScratch when the sweep is done so other goroutines can reuse
+// its buffers.
+func (g *Graph) AcquireScratch() *Scratch {
+	if s, ok := g.scratch.Get().(*Scratch); ok {
+		return s
+	}
+	return NewScratch(g.N)
+}
+
+// ReleaseScratch returns a Scratch to the graph's pool.
+func (g *Graph) ReleaseScratch(s *Scratch) {
+	if s != nil && len(s.stamp) == g.N {
+		g.scratch.Put(s)
+	}
+}
+
+// reset starts a new epoch, clearing the stamp arrays only on wraparound.
+func (s *Scratch) reset() {
+	s.epoch++
+	if s.epoch == 0 {
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.epoch = 1
+	}
+	s.h.Reset()
+}
+
+// touch stamps door d for the current epoch with unreached defaults.
+func (s *Scratch) touch(d int32) {
+	if s.stamp[d] != s.epoch {
+		s.stamp[d] = s.epoch
+		s.dist[d] = math.Inf(1)
+		s.prev[d] = -1
+		s.first[d] = -1
+	}
+}
+
+// DistAt returns the shortest distance of door d from the last run's
+// source (+Inf when unreached).
+func (s *Scratch) DistAt(d int) float64 {
+	if s.stamp[d] != s.epoch {
+		return math.Inf(1)
+	}
+	return s.dist[d]
+}
+
+// PrevAt returns door d's predecessor (successor for reverse runs) on the
+// shortest path, or -1 when unreached (and for the source itself).
+func (s *Scratch) PrevAt(d int) int32 {
+	if s.stamp[d] != s.epoch {
+		return -1
+	}
+	return s.prev[d]
+}
+
+// FirstAt returns the first door after the source on the shortest path to
+// d (d itself for the source's direct neighbors, the source for d == src),
+// or -1 when unreached.
+func (s *Scratch) FirstAt(d int) int32 {
+	if s.stamp[d] != s.epoch {
+		return -1
+	}
+	return s.first[d]
+}
+
+// CopyDist fills dst (length >= N) with the per-door distances.
+func (s *Scratch) CopyDist(dst []float64) {
+	for i := range s.stamp {
+		dst[i] = s.DistAt(i)
+	}
+}
+
+// CopyPrev fills dst (length >= N) with the per-door predecessors.
+func (s *Scratch) CopyPrev(dst []int32) {
+	for i := range s.stamp {
+		dst[i] = s.PrevAt(i)
+	}
+}
+
+// CopyFirst fills dst (length >= N) with the per-door first hops.
+func (s *Scratch) CopyFirst(dst []int32) {
+	for i := range s.stamp {
+		dst[i] = s.FirstAt(i)
+	}
+}
+
+// Run executes a full single-source Dijkstra from src (see Graph.Dijkstra
+// for the forward/reverse semantics), leaving the results readable through
+// the accessors until the next run.
+func (s *Scratch) Run(g *Graph, src int32, reverse bool) {
+	s.run(g, src, reverse, 0)
+}
+
+// RunTargets is Run with an early exit: the sweep stops as soon as every
+// door in targets has been settled (popped with its final distance), which
+// for a single target turns an all-pairs sweep into a goal-directed one.
+// Unreachable targets cannot settle; the sweep then ends when the frontier
+// empties, exactly like Run.
+func (s *Scratch) RunTargets(g *Graph, src int32, reverse bool, targets []int32) {
+	if len(targets) == 0 {
+		s.run(g, src, reverse, 0)
+		return
+	}
+	s.tepoch++
+	if s.tepoch == 0 {
+		for i := range s.tmark {
+			s.tmark[i] = 0
+		}
+		s.tepoch = 1
+	}
+	remaining := 0
+	for _, t := range targets {
+		if s.tmark[t] != s.tepoch {
+			s.tmark[t] = s.tepoch
+			remaining++
+		}
+	}
+	s.run(g, src, reverse, remaining)
+}
+
+// run is the shared sweep; remainingTargets > 0 enables the early exit
+// against the tmark set.
+func (s *Scratch) run(g *Graph, src int32, reverse bool, remainingTargets int) {
+	adj := g.Fwd
+	if reverse {
+		adj = g.Rev
+	}
+	s.reset()
+	s.touch(src)
+	s.dist[src] = 0
+	s.first[src] = src
+	s.h.Push(src, 0)
+	for s.h.Len() > 0 {
+		d, dd := s.h.Pop()
+		if dd > s.dist[d] {
+			continue
+		}
+		if remainingTargets > 0 && s.tmark[d] == s.tepoch {
+			s.tmark[d] = s.tepoch - 1 // settle each target once
+			if remainingTargets--; remainingTargets == 0 {
+				return
+			}
+		}
+		for _, e := range adj[d] {
+			nd := dd + e.W
+			s.touch(e.To)
+			if nd < s.dist[e.To] {
+				s.dist[e.To] = nd
+				s.prev[e.To] = d
+				if d == src {
+					s.first[e.To] = e.To
+				} else {
+					s.first[e.To] = s.first[d]
+				}
+				s.h.Push(e.To, nd)
+			}
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package doorgraph
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"indoorsq/internal/testspaces"
+)
+
+// TestBuildWorkersDeterministic asserts the parallel edge derivation yields
+// byte-identical adjacency regardless of the worker count.
+func TestBuildWorkersDeterministic(t *testing.T) {
+	sp := testspaces.RandomGrid(7, 4, 5, 2, 7, 0.25)
+	ref := BuildWorkers(sp, 1)
+	for _, w := range []int{2, 4, 8} {
+		g := BuildWorkers(sp, w)
+		if !reflect.DeepEqual(ref.Fwd, g.Fwd) {
+			t.Fatalf("Fwd adjacency differs at workers=%d", w)
+		}
+		if !reflect.DeepEqual(ref.Rev, g.Rev) {
+			t.Fatalf("Rev adjacency differs at workers=%d", w)
+		}
+	}
+}
+
+// TestScratchReuseMatchesFresh asserts a reused scratch (epoch reset)
+// produces the same sweep as a fresh one.
+func TestScratchReuseMatchesFresh(t *testing.T) {
+	sp := testspaces.RandomGrid(5, 4, 4, 2, 6, 0.3)
+	g := Build(sp)
+	reused := g.AcquireScratch()
+	defer g.ReleaseScratch(reused)
+	for src := int32(0); src < int32(g.N); src += 2 {
+		for _, reverse := range []bool{false, true} {
+			reused.Run(g, src, reverse)
+			fresh := NewScratch(g.N)
+			fresh.Run(g, src, reverse)
+			for d := 0; d < g.N; d++ {
+				if rd, fd := reused.DistAt(d), fresh.DistAt(d); rd != fd &&
+					!(math.IsInf(rd, 1) && math.IsInf(fd, 1)) {
+					t.Fatalf("src %d rev %v: dist[%d] reused %g fresh %g", src, reverse, d, rd, fd)
+				}
+				if reused.PrevAt(d) != fresh.PrevAt(d) {
+					t.Fatalf("src %d rev %v: prev[%d] reused %d fresh %d",
+						src, reverse, d, reused.PrevAt(d), fresh.PrevAt(d))
+				}
+				if reused.FirstAt(d) != fresh.FirstAt(d) {
+					t.Fatalf("src %d rev %v: first[%d] reused %d fresh %d",
+						src, reverse, d, reused.FirstAt(d), fresh.FirstAt(d))
+				}
+			}
+		}
+	}
+}
+
+// TestFirstHopConsistent asserts FirstAt matches the first step of the prev
+// chain walked back from each reachable door.
+func TestFirstHopConsistent(t *testing.T) {
+	sp := testspaces.RandomGrid(4, 4, 4, 2, 6, 0.3)
+	g := Build(sp)
+	s := g.AcquireScratch()
+	defer g.ReleaseScratch(s)
+	src := int32(0)
+	s.Run(g, src, false)
+	for d := 0; d < g.N; d++ {
+		if math.IsInf(s.DistAt(d), 1) {
+			if s.FirstAt(d) != -1 {
+				t.Fatalf("unreachable door %d has first hop %d", d, s.FirstAt(d))
+			}
+			continue
+		}
+		// Walk prev pointers from d back to the door right after src.
+		cur := int32(d)
+		for cur != src && s.PrevAt(int(cur)) != src {
+			cur = s.PrevAt(int(cur))
+		}
+		want := cur // src itself when d == src
+		if got := s.FirstAt(d); got != want {
+			t.Fatalf("door %d: first hop %d, prev chain says %d", d, got, want)
+		}
+	}
+}
+
+// TestRunTargetsEarlyExit asserts the goal-directed sweep settles every
+// requested target with its full-run distance.
+func TestRunTargetsEarlyExit(t *testing.T) {
+	sp := testspaces.RandomGrid(6, 4, 4, 2, 6, 0.3)
+	g := Build(sp)
+	full := NewScratch(g.N)
+	full.Run(g, 0, false)
+	s := g.AcquireScratch()
+	defer g.ReleaseScratch(s)
+	targets := []int32{int32(g.N - 1), int32(g.N / 2), 3}
+	s.RunTargets(g, 0, false, targets)
+	for _, tgt := range targets {
+		got, want := s.DistAt(int(tgt)), full.DistAt(int(tgt))
+		if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+			t.Fatalf("target %d: early-exit dist %g, full %g", tgt, got, want)
+		}
+	}
+	// A second run with a different target set must not inherit marks.
+	s.RunTargets(g, 0, false, []int32{1})
+	if got, want := s.DistAt(1), full.DistAt(1); got != want {
+		t.Fatalf("second RunTargets: dist[1] = %g, want %g", got, want)
+	}
+}
+
+// TestSizeBytesPositive sanity-checks the unsafe.Sizeof-derived accounting.
+func TestSizeBytesPositive(t *testing.T) {
+	f := testspaces.NewStrip()
+	g := Build(f.Space)
+	edges := 0
+	for i := range g.Fwd {
+		edges += len(g.Fwd[i]) + len(g.Rev[i])
+	}
+	if got := g.SizeBytes(); got < int64(edges)*16 {
+		t.Fatalf("SizeBytes %d smaller than edge payload %d", got, edges*16)
+	}
+}
+
+// BenchmarkDijkstraAlloc measures the legacy copy-out API.
+func BenchmarkDijkstraAlloc(b *testing.B) {
+	sp := testspaces.RandomGrid(9, 4, 5, 2, 7, 0.25)
+	g := Build(sp)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Dijkstra(int32(i%g.N), false)
+	}
+}
+
+// BenchmarkScratchRun measures the pooled zero-alloc sweep.
+func BenchmarkScratchRun(b *testing.B) {
+	sp := testspaces.RandomGrid(9, 4, 5, 2, 7, 0.25)
+	g := Build(sp)
+	s := g.AcquireScratch()
+	defer g.ReleaseScratch(s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run(g, int32(i%g.N), false)
+	}
+}

@@ -1,0 +1,156 @@
+// Package exec is the concurrent batch query executor: it fans a slice of
+// queries (RQ / kNNQ / SPDQ) over one engine across a bounded worker pool.
+// Engines are read-only at query time (verified by the race-detector suite
+// in internal/enginetest), so the only shared mutable state is the cost
+// accounting — each worker accumulates into its own query.Stats shard, and
+// the shards are merged once the batch drains, keeping the hot path free of
+// locks and the merged counters equal to a sequential run's.
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/query"
+)
+
+// Kind selects the query type of an Op.
+type Kind int
+
+// The three query types the executor understands.
+const (
+	RangeQ Kind = iota // Range(P, R)
+	KNNQ               // KNN(P, K)
+	SPDQ               // SPD(P, Q)
+)
+
+// Op is one query of a batch.
+type Op struct {
+	Kind Kind
+	P, Q indoor.Point // Q is the SPDQ target; unused otherwise
+	R    float64      // RangeQ radius
+	K    int          // KNNQ k
+}
+
+// Result is the outcome of one Op; exactly one of IDs / Neighbors / Path is
+// populated according to the Op's Kind (unless Err is set).
+type Result struct {
+	IDs       []int32
+	Neighbors []query.Neighbor
+	Path      query.Path
+	Err       error
+	Stats     query.Stats   // this query's own counters
+	Elapsed   time.Duration // this query's own latency
+}
+
+// Batch aggregates one executed batch.
+type Batch struct {
+	Stats     query.Stats   // merged worker shards (== sequential sums)
+	Wall      time.Duration // wall-clock time of the whole batch
+	QueryTime time.Duration // summed per-query latencies across workers
+}
+
+// Pool runs batches with at most Workers concurrent queries (<= 0 means
+// GOMAXPROCS). The zero value is ready to use.
+type Pool struct {
+	Workers int
+}
+
+// workers resolves the effective worker count for a batch of n items.
+func (p *Pool) workers(n int) int {
+	w := p.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes ops against eng. Results are indexed like ops regardless of
+// scheduling, so the output is deterministic for deterministic engines.
+func (p *Pool) Run(eng query.Engine, ops []Op) ([]Result, Batch) {
+	results := make([]Result, len(ops))
+	start := time.Now()
+	merged, _ := p.Map(len(ops), func(i int, st *query.Stats) error {
+		r := &results[i]
+		var own query.Stats
+		t0 := time.Now()
+		switch ops[i].Kind {
+		case RangeQ:
+			r.IDs, r.Err = eng.Range(ops[i].P, ops[i].R, &own)
+		case KNNQ:
+			r.Neighbors, r.Err = eng.KNN(ops[i].P, ops[i].K, &own)
+		case SPDQ:
+			r.Path, r.Err = eng.SPD(ops[i].P, ops[i].Q, &own)
+		}
+		r.Elapsed = time.Since(t0)
+		r.Stats = own
+		st.Add(own)
+		return nil // per-op errors live in the Result, not the batch
+	})
+	b := Batch{Stats: merged, Wall: time.Since(start)}
+	for i := range results {
+		b.QueryTime += results[i].Elapsed
+	}
+	return results, b
+}
+
+// Map runs fn(0) … fn(n-1) across the pool. Each invocation receives its
+// worker's private Stats shard; the shards are merged into the returned
+// Stats after all workers finish, so the totals match a sequential run.
+// The returned error is the lowest-index non-nil error, independent of
+// scheduling; later indexes still run (no cancellation).
+func (p *Pool) Map(n int, fn func(i int, st *query.Stats) error) (query.Stats, error) {
+	if n <= 0 {
+		return query.Stats{}, nil
+	}
+	w := p.workers(n)
+	if w == 1 {
+		// Sequential fast path: no goroutines, same contract.
+		var st query.Stats
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i, &st); err != nil && first == nil {
+				first = err
+			}
+		}
+		return st, first
+	}
+
+	shards := make([]query.Stats, w)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	next := make(chan int, w)
+	for wi := 0; wi < w; wi++ {
+		wg.Add(1)
+		go func(shard *query.Stats) {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(i, shard)
+			}
+		}(&shards[wi])
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	var st query.Stats
+	for i := range shards {
+		st.Add(shards[i])
+	}
+	for _, err := range errs {
+		if err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,170 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"indoorsq/internal/idmodel"
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/query"
+	"indoorsq/internal/testspaces"
+)
+
+func testEngineAndOps() (query.Engine, []Op) {
+	sp := testspaces.RandomGrid(6, 4, 4, 2, 6, 0.25)
+	eng := idmodel.New(sp)
+	var objs []query.Object
+	id := int32(0)
+	for i := 0; i < sp.NumPartitions(); i++ {
+		v := sp.Partition(indoor.PartitionID(i))
+		if v.Kind == indoor.Staircase {
+			continue
+		}
+		c := v.MBR.Center()
+		objs = append(objs, query.Object{ID: id, Loc: indoor.At(c.X, c.Y, v.Floor), Part: v.ID})
+		id++
+	}
+	eng.SetObjects(objs)
+
+	pts := []indoor.Point{
+		indoor.At(5, 5, 0), indoor.At(15, 25, 0), indoor.At(25, 15, 1),
+		indoor.At(35, 5, 1), indoor.At(5, 35, 0),
+	}
+	var ops []Op
+	for i, p := range pts {
+		ops = append(ops,
+			Op{Kind: RangeQ, P: p, R: 30},
+			Op{Kind: KNNQ, P: p, K: 4},
+			Op{Kind: SPDQ, P: p, Q: pts[(i+1)%len(pts)]})
+	}
+	return eng, ops
+}
+
+// TestRunMatchesSequential asserts the concurrent batch returns the same
+// answers and the same merged Stats as running the ops one by one.
+func TestRunMatchesSequential(t *testing.T) {
+	eng, ops := testEngineAndOps()
+
+	// Sequential reference.
+	var seqStats query.Stats
+	type ref struct {
+		ids  []int32
+		nn   []query.Neighbor
+		dist float64
+		err  error
+	}
+	refs := make([]ref, len(ops))
+	for i, op := range ops {
+		var st query.Stats
+		switch op.Kind {
+		case RangeQ:
+			refs[i].ids, refs[i].err = eng.Range(op.P, op.R, &st)
+		case KNNQ:
+			refs[i].nn, refs[i].err = eng.KNN(op.P, op.K, &st)
+		case SPDQ:
+			var path query.Path
+			path, refs[i].err = eng.SPD(op.P, op.Q, &st)
+			refs[i].dist = path.Dist
+		}
+		seqStats.Add(st)
+	}
+
+	for _, workers := range []int{1, 4} {
+		p := Pool{Workers: workers}
+		results, batch := p.Run(eng, ops)
+		if len(results) != len(ops) {
+			t.Fatalf("workers=%d: %d results for %d ops", workers, len(results), len(ops))
+		}
+		for i, r := range results {
+			if (r.Err == nil) != (refs[i].err == nil) {
+				t.Fatalf("workers=%d op %d: err %v vs reference %v", workers, i, r.Err, refs[i].err)
+			}
+			switch ops[i].Kind {
+			case RangeQ:
+				if fmt.Sprint(r.IDs) != fmt.Sprint(refs[i].ids) {
+					t.Fatalf("workers=%d op %d: Range %v != %v", workers, i, r.IDs, refs[i].ids)
+				}
+			case KNNQ:
+				if len(r.Neighbors) != len(refs[i].nn) {
+					t.Fatalf("workers=%d op %d: KNN size mismatch", workers, i)
+				}
+				for j := range r.Neighbors {
+					if math.Abs(r.Neighbors[j].Dist-refs[i].nn[j].Dist) > 1e-9 {
+						t.Fatalf("workers=%d op %d: KNN dist mismatch", workers, i)
+					}
+				}
+			case SPDQ:
+				if r.Err == nil && math.Abs(r.Path.Dist-refs[i].dist) > 1e-9 {
+					t.Fatalf("workers=%d op %d: SPD %g != %g", workers, i, r.Path.Dist, refs[i].dist)
+				}
+			}
+		}
+		// Merged shards must equal the sequential sums exactly.
+		if batch.Stats != seqStats {
+			t.Fatalf("workers=%d: merged stats %+v != sequential %+v", workers, batch.Stats, seqStats)
+		}
+		// And the merged counters must equal the sum of per-op stats.
+		var fromOps query.Stats
+		for _, r := range results {
+			fromOps.Add(r.Stats)
+		}
+		if batch.Stats != fromOps {
+			t.Fatalf("workers=%d: merged stats %+v != per-op sum %+v", workers, batch.Stats, fromOps)
+		}
+		if batch.QueryTime <= 0 || batch.Wall <= 0 {
+			t.Fatalf("workers=%d: non-positive timings %+v", workers, batch)
+		}
+	}
+}
+
+// TestMapShardsMergeExactly asserts worker-sharded Stats fold to the exact
+// sequential totals.
+func TestMapShardsMergeExactly(t *testing.T) {
+	const n = 137
+	for _, workers := range []int{1, 3, 16} {
+		p := Pool{Workers: workers}
+		st, err := p.Map(n, func(i int, st *query.Stats) error {
+			st.Door()
+			st.Alloc(int64(i))
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.VisitedDoors != n || st.WorkBytes != int64(n*(n-1)/2) {
+			t.Fatalf("workers=%d: merged %+v, want %d doors / %d bytes",
+				workers, st, n, n*(n-1)/2)
+		}
+	}
+}
+
+// TestMapFirstErrorDeterministic asserts the reported error is the
+// lowest-index failure regardless of scheduling, and that later items
+// still run.
+func TestMapFirstErrorDeterministic(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, workers := range []int{1, 8} {
+		var ran atomic.Int32
+		p := Pool{Workers: workers}
+		_, err := p.Map(50, func(i int, st *query.Stats) error {
+			ran.Add(1)
+			switch i {
+			case 7:
+				return errA
+			case 31:
+				return errB
+			}
+			return nil
+		})
+		if !errors.Is(err, errA) {
+			t.Fatalf("workers=%d: err %v, want lowest-index error %v", workers, err, errA)
+		}
+		if got := ran.Load(); got != 50 {
+			t.Fatalf("workers=%d: ran %d of 50 items", workers, got)
+		}
+	}
+}

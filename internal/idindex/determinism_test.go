@@ -1,0 +1,28 @@
+package idindex
+
+import (
+	"reflect"
+	"testing"
+
+	"indoorsq/internal/testspaces"
+)
+
+// TestParallelBuildDeterministic asserts parallel construction produces
+// distance, order and first-hop matrices byte-identical to a sequential
+// (one-worker) build.
+func TestParallelBuildDeterministic(t *testing.T) {
+	sp := testspaces.RandomGrid(9, 4, 5, 2, 7, 0.25)
+	seq := NewWorkers(sp, 1)
+	for _, w := range []int{2, 4, 8} {
+		par := NewWorkers(sp, w)
+		if !reflect.DeepEqual(seq.d2d, par.d2d) {
+			t.Fatalf("d2d differs at workers=%d", w)
+		}
+		if !reflect.DeepEqual(seq.idx, par.idx) {
+			t.Fatalf("idx differs at workers=%d", w)
+		}
+		if !reflect.DeepEqual(seq.fh, par.fh) {
+			t.Fatalf("fh differs at workers=%d", w)
+		}
+	}
+}

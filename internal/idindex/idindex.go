@@ -16,6 +16,7 @@ import (
 	"sort"
 	"sync"
 
+	"indoorsq/internal/doorgraph"
 	"indoorsq/internal/indoor"
 	"indoorsq/internal/pq"
 	"indoorsq/internal/query"
@@ -36,14 +37,19 @@ type Index struct {
 
 // New builds the IDINDEX over a space, precomputing all global door-to-door
 // distances (the paper's costliest construction, Sec. 6.1).
-func New(sp *indoor.Space) *Index { return build(sp, false) }
+func New(sp *indoor.Space) *Index { return build(sp, false, 0) }
+
+// NewWorkers builds the IDINDEX with an explicit construction worker count
+// (workers <= 0 means GOMAXPROCS). The distance, order and first-hop
+// matrices are identical for every worker count.
+func NewWorkers(sp *indoor.Space, workers int) *Index { return build(sp, false, workers) }
 
 // NewCompact builds the IDINDEX with float32 distance matrices, halving the
 // dominant memory term (Sec. 6.1 flags the matrices as hard to fit in
 // memory at scale) at the cost of ~1e-7 relative distance error.
-func NewCompact(sp *indoor.Space) *Index { return build(sp, true) }
+func NewCompact(sp *indoor.Space) *Index { return build(sp, true, 0) }
 
-func build(sp *indoor.Space, compact bool) *Index {
+func build(sp *indoor.Space, compact bool, workers int) *Index {
 	n := sp.NumDoors()
 	ix := &Index{
 		sp:  sp,
@@ -57,31 +63,18 @@ func build(sp *indoor.Space, compact bool) *Index {
 		ix.d2d = make([]float64, n*n)
 	}
 
-	// Door-graph adjacency, shared by the n Dijkstra runs.
-	type edge struct {
-		to int32
-		w  float64
-	}
-	adj := make([][]edge, n)
-	for di := 0; di < n; di++ {
-		d := indoor.DoorID(di)
-		for _, v := range sp.Door(d).Enterable {
-			for _, nd := range sp.Partition(v).Leave {
-				if nd == d {
-					continue
-				}
-				w := sp.WithinDoors(v, d, nd)
-				if !math.IsInf(w, 1) {
-					adj[di] = append(adj[di], edge{to: int32(nd), w: w})
-				}
-			}
-		}
-	}
+	// Door graph shared by the n Dijkstra sweeps, built with the same
+	// worker budget.
+	dg := doorgraph.BuildWorkers(sp, workers)
 
 	// One Dijkstra per source door, parallel across workers: every worker
 	// writes disjoint matrix rows, so no synchronization is needed beyond
-	// the work queue.
-	workers := runtime.GOMAXPROCS(0)
+	// the work queue; the merge is deterministic because row src depends
+	// only on src. Each worker reuses one pooled scratch across all its
+	// sources, so the sweep allocates nothing per source.
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > n {
 		workers = n
 	}
@@ -94,35 +87,12 @@ func build(sp *indoor.Space, compact bool) *Index {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			s := dg.AcquireScratch()
+			defer dg.ReleaseScratch(s)
 			dist := make([]float64, n)
-			first := make([]int32, n)
-			var h pq.Heap[int32]
 			for src := range next {
-				for i := range dist {
-					dist[i] = math.Inf(1)
-					first[i] = -1
-				}
-				dist[src] = 0
-				first[src] = int32(src)
-				h.Reset()
-				h.Push(int32(src), 0)
-				for h.Len() > 0 {
-					d, dd := h.Pop()
-					if dd > dist[d] {
-						continue
-					}
-					for _, e := range adj[d] {
-						if nd := dd + e.w; nd < dist[e.to] {
-							dist[e.to] = nd
-							if int(d) == src {
-								first[e.to] = e.to
-							} else {
-								first[e.to] = first[d]
-							}
-							h.Push(e.to, nd)
-						}
-					}
-				}
+				s.Run(dg, int32(src), false)
+				s.CopyDist(dist)
 				if compact {
 					row := ix.d2d32[src*n : (src+1)*n]
 					for i, v := range dist {
@@ -131,7 +101,7 @@ func build(sp *indoor.Space, compact bool) *Index {
 				} else {
 					copy(ix.d2d[src*n:(src+1)*n], dist)
 				}
-				copy(ix.fh[src*n:(src+1)*n], first)
+				s.CopyFirst(ix.fh[src*n : (src+1)*n])
 
 				order := ix.idx[src*n : (src+1)*n]
 				for i := range order {

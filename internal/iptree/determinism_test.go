@@ -1,0 +1,50 @@
+package iptree
+
+import (
+	"reflect"
+	"testing"
+
+	"indoorsq/internal/testspaces"
+)
+
+// TestParallelBuildDeterministic asserts parallel construction fills every
+// node matrix, the VIP materialization, and the routing tables identically
+// to a sequential (one-worker) build.
+func TestParallelBuildDeterministic(t *testing.T) {
+	sp := testspaces.RandomGrid(9, 4, 5, 2, 7, 0.25)
+	for _, vip := range []bool{false, true} {
+		opt := Options{LeafSize: 3, Fanout: 2, Gamma: 4, VIP: vip}
+		optSeq := opt
+		optSeq.Workers = 1
+		seq := New(sp, optSeq)
+		for _, w := range []int{2, 4, 8} {
+			optPar := opt
+			optPar.Workers = w
+			par := New(sp, optPar)
+			if len(seq.nodes) != len(par.nodes) {
+				t.Fatalf("vip=%v workers=%d: node count %d != %d", vip, w, len(par.nodes), len(seq.nodes))
+			}
+			for i := range seq.nodes {
+				a, b := &seq.nodes[i], &par.nodes[i]
+				if !reflect.DeepEqual(a.md2a, b.md2a) || !reflect.DeepEqual(a.ma2d, b.ma2d) {
+					t.Fatalf("vip=%v workers=%d: leaf matrices differ at node %d", vip, w, i)
+				}
+				if !reflect.DeepEqual(a.m, b.m) {
+					t.Fatalf("vip=%v workers=%d: non-leaf matrix differs at node %d", vip, w, i)
+				}
+				if !reflect.DeepEqual(a.vipD2A, b.vipD2A) || !reflect.DeepEqual(a.vipA2D, b.vipA2D) {
+					t.Fatalf("vip=%v workers=%d: VIP matrices differ at node %d", vip, w, i)
+				}
+			}
+			if len(seq.routes) != len(par.routes) {
+				t.Fatalf("vip=%v workers=%d: route count differs", vip, w)
+			}
+			for d, ra := range seq.routes {
+				rb, ok := par.routes[d]
+				if !ok || !reflect.DeepEqual(ra.next, rb.next) || !reflect.DeepEqual(ra.prev, rb.prev) {
+					t.Fatalf("vip=%v workers=%d: routes differ at door %d", vip, w, d)
+				}
+			}
+		}
+	}
+}

@@ -42,6 +42,9 @@ type Options struct {
 	Fanout int
 	// VIP enables the VIP-TREE leaf materialization.
 	VIP bool
+	// Workers bounds the construction worker pool (<= 0: GOMAXPROCS). The
+	// resulting matrices are identical for every worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -274,6 +277,19 @@ func (t *Tree) buildHierarchy() {
 			adj[b][a] = true
 		}
 
+		// Sorted neighbor lists: iterating the adjacency maps directly
+		// would make the tree shape depend on Go's randomized map order,
+		// i.e. differ between two builds of the same space.
+		nbs := make(map[int32][]int32, len(adj))
+		for id, set := range adj {
+			l := make([]int32, 0, len(set))
+			for nb := range set {
+				l = append(l, nb)
+			}
+			sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+			nbs[id] = l
+		}
+
 		assigned := make(map[int32]int32, len(current)) // node -> parent
 		var parents []int32
 		for _, seed := range current {
@@ -284,7 +300,7 @@ func (t *Tree) buildHierarchy() {
 			group := []int32{seed}
 			assigned[seed] = pid
 			for qi := 0; qi < len(group) && len(group) < t.opt.Fanout; qi++ {
-				for nb := range adj[group[qi]] {
+				for _, nb := range nbs[group[qi]] {
 					if len(group) >= t.opt.Fanout {
 						break
 					}
@@ -299,7 +315,7 @@ func (t *Tree) buildHierarchy() {
 				// A singleton cannot form a parent: attach it to an
 				// adjacent, already-formed parent to keep degree >= 2.
 				attached := false
-				for nb := range adj[seed] {
+				for _, nb := range nbs[seed] {
 					if ppid, ok := assigned[nb]; ok && ppid != pid {
 						assigned[seed] = ppid
 						t.nodes[seed].parent = ppid
@@ -416,7 +432,7 @@ func (t *Tree) ancestors(id int32) []int32 {
 // graph and populates every node matrix, the VIP materialization, and the
 // path-reconstruction routing tables.
 func (t *Tree) fillMatrices() {
-	dg := doorgraph.Build(t.sp)
+	dg := doorgraph.BuildWorkers(t.sp, t.opt.Workers)
 
 	// Every door that appears as an access door anywhere.
 	need := make(map[indoor.DoorID]bool)
@@ -458,7 +474,10 @@ func (t *Tree) fillMatrices() {
 	sort.Slice(doors, func(i, j int) bool { return doors[i] < doors[j] })
 	routesArr := make([]*route, len(doors))
 
-	workers := runtime.GOMAXPROCS(0)
+	workers := t.opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(doors) {
 		workers = len(doors)
 	}
@@ -471,11 +490,22 @@ func (t *Tree) fillMatrices() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Two pooled scratches per worker: the forward and reverse
+			// sweeps of one door must be readable at the same time while
+			// the matrices are filled.
+			sFwd := dg.AcquireScratch()
+			defer dg.ReleaseScratch(sFwd)
+			sRev := dg.AcquireScratch()
+			defer dg.ReleaseScratch(sRev)
 			for ji := range jobs {
 				a := doors[ji]
-				fwdDist, fwdPrev := dg.Dijkstra(int32(a), false) // a -> d
-				revDist, revNext := dg.Dijkstra(int32(a), true)  // d -> a
-				routesArr[ji] = &route{next: revNext, prev: fwdPrev}
+				sFwd.Run(dg, int32(a), false) // a -> d
+				sRev.Run(dg, int32(a), true)  // d -> a
+				// The routing tables outlive the scratch; copy them out.
+				r := &route{next: make([]int32, dg.N), prev: make([]int32, dg.N)}
+				sRev.CopyPrev(r.next)
+				sFwd.CopyPrev(r.prev)
+				routesArr[ji] = r
 
 				for i := range t.nodes {
 					n := &t.nodes[i]
@@ -483,8 +513,8 @@ func (t *Tree) fillMatrices() {
 						if ai, ok := n.adIdx[a]; ok {
 							na := len(n.ad)
 							for dIdx, d := range n.doors {
-								n.md2a[dIdx*na+int(ai)] = revDist[d]
-								n.ma2d[int(ai)*len(n.doors)+dIdx] = fwdDist[d]
+								n.md2a[dIdx*na+int(ai)] = sRev.DistAt(int(d))
+								n.ma2d[int(ai)*len(n.doors)+dIdx] = sFwd.DistAt(int(d))
 							}
 						}
 						if t.opt.VIP {
@@ -493,8 +523,8 @@ func (t *Tree) fillMatrices() {
 								if ai, ok := anc.adIdx[a]; ok {
 									na := len(anc.ad)
 									for dIdx, d := range n.doors {
-										n.vipD2A[li][dIdx*na+int(ai)] = revDist[d]
-										n.vipA2D[li][int(ai)*len(n.doors)+dIdx] = fwdDist[d]
+										n.vipD2A[li][dIdx*na+int(ai)] = sRev.DistAt(int(d))
+										n.vipA2D[li][int(ai)*len(n.doors)+dIdx] = sFwd.DistAt(int(d))
 									}
 								}
 							}
@@ -504,7 +534,7 @@ func (t *Tree) fillMatrices() {
 						// covered by that door's own worker writing its row.
 						nu := len(n.uad)
 						for ci, c := range n.uad {
-							n.m[int(ri)*nu+ci] = fwdDist[c]
+							n.m[int(ri)*nu+ci] = sFwd.DistAt(int(c))
 						}
 					}
 				}

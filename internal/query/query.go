@@ -58,6 +58,15 @@ func (st *Stats) Door() {
 	}
 }
 
+// Add merges another accumulator into st — used to fold per-worker Stats
+// shards back together after a concurrent batch.
+func (st *Stats) Add(o Stats) {
+	if st != nil {
+		st.VisitedDoors += o.VisitedDoors
+		st.WorkBytes += o.WorkBytes
+	}
+}
+
 // Path is the answer of a shortest path/distance query: the door sequence
 // from source to target and the total indoor distance (Definition 3).
 type Path struct {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"indoorsq/internal/exec"
 	"indoorsq/internal/indoor"
 	"indoorsq/internal/query"
 )
@@ -17,9 +18,13 @@ import (
 // MaxStops bounds Optimized's waypoint count (Held–Karp is O(2^n · n^2)).
 const MaxStops = 12
 
-// Planner builds multi-stop routes over one engine.
+// Planner builds multi-stop routes over one engine. Optimized's O(n²)
+// pairwise legs run through a concurrent batch executor — engines are
+// read-only at query time — so the planner itself stays safe for
+// concurrent use.
 type Planner struct {
-	eng query.Engine
+	eng  query.Engine
+	pool exec.Pool
 }
 
 // New returns a planner over the engine.
@@ -31,25 +36,39 @@ func concat(walk *query.Path, leg query.Path) {
 	walk.Dist += leg.Dist
 }
 
+// assemble concatenates legs into one walk, preallocating the door slice
+// from the summed leg lengths so concat never regrows it.
+func assemble(p, q indoor.Point, legs ...query.Path) query.Path {
+	total := 0
+	for i := range legs {
+		total += len(legs[i].Doors)
+	}
+	walk := query.Path{Source: p, Target: q, Doors: make([]indoor.DoorID, 0, total)}
+	for i := range legs {
+		concat(&walk, legs[i])
+	}
+	return walk
+}
+
 // Via returns the walk p -> stops[0] -> ... -> stops[n-1] -> q visiting the
 // stops in the given order.
 func (pl *Planner) Via(p indoor.Point, stops []indoor.Point, q indoor.Point, st *query.Stats) (query.Path, error) {
-	walk := query.Path{Source: p, Target: q}
+	legs := make([]query.Path, 0, len(stops)+1)
 	cur := p
 	for i, s := range stops {
 		leg, err := pl.eng.SPD(cur, s, st)
 		if err != nil {
 			return query.Path{}, fmt.Errorf("route: leg %d: %w", i, err)
 		}
-		concat(&walk, leg)
+		legs = append(legs, leg)
 		cur = s
 	}
 	leg, err := pl.eng.SPD(cur, q, st)
 	if err != nil {
 		return query.Path{}, fmt.Errorf("route: final leg: %w", err)
 	}
-	concat(&walk, leg)
-	return walk, nil
+	legs = append(legs, leg)
+	return assemble(p, q, legs...), nil
 }
 
 // Optimized returns the shortest walk p -> (all stops, any order) -> q
@@ -66,32 +85,43 @@ func (pl *Planner) Optimized(p indoor.Point, stops []indoor.Point, q indoor.Poin
 	}
 
 	// Pairwise legs: from p to each stop, between stops (both directions),
-	// and from each stop to q.
+	// and from each stop to q. The O(n²) SPD legs are independent, so they
+	// fan out over the batch executor; each leg writes its own slot and the
+	// executor reports the lowest-index error, keeping results and error
+	// messages identical to the old serial triple loop.
 	fromP := make([]query.Path, n)
 	toQ := make([]query.Path, n)
 	between := make([][]query.Path, n)
-	for i := range stops {
-		leg, err := pl.eng.SPD(p, stops[i], st)
-		if err != nil {
-			return query.Path{}, nil, fmt.Errorf("route: p->stop %d: %w", i, err)
-		}
-		fromP[i] = leg
-		leg, err = pl.eng.SPD(stops[i], q, st)
-		if err != nil {
-			return query.Path{}, nil, fmt.Errorf("route: stop %d->q: %w", i, err)
-		}
-		toQ[i] = leg
+	for i := range between {
 		between[i] = make([]query.Path, n)
+	}
+	type legJob struct {
+		src, dst indoor.Point
+		out      *query.Path
+		what     string
+	}
+	jobs := make([]legJob, 0, n*(n+1))
+	for i := range stops {
+		jobs = append(jobs,
+			legJob{p, stops[i], &fromP[i], fmt.Sprintf("p->stop %d", i)},
+			legJob{stops[i], q, &toQ[i], fmt.Sprintf("stop %d->q", i)})
 		for j := range stops {
-			if i == j {
-				continue
+			if i != j {
+				jobs = append(jobs, legJob{stops[i], stops[j], &between[i][j], fmt.Sprintf("stop %d->%d", i, j)})
 			}
-			leg, err := pl.eng.SPD(stops[i], stops[j], st)
-			if err != nil {
-				return query.Path{}, nil, fmt.Errorf("route: stop %d->%d: %w", i, j, err)
-			}
-			between[i][j] = leg
 		}
+	}
+	merged, err := pl.pool.Map(len(jobs), func(i int, shard *query.Stats) error {
+		leg, err := pl.eng.SPD(jobs[i].src, jobs[i].dst, shard)
+		if err != nil {
+			return fmt.Errorf("route: %s: %w", jobs[i].what, err)
+		}
+		*jobs[i].out = leg
+		return nil
+	})
+	st.Add(merged)
+	if err != nil {
+		return query.Path{}, nil, err
 	}
 
 	// Held–Karp: dp[mask][i] = best cost from p visiting exactly `mask`,
@@ -151,12 +181,13 @@ func (pl *Planner) Optimized(p indoor.Point, stops []indoor.Point, q indoor.Poin
 	}
 
 	// Assemble the walk from the stored legs.
-	walk := query.Path{Source: p, Target: q}
-	concat(&walk, fromP[order[0]])
+	legs := make([]query.Path, 0, len(order)+1)
+	legs = append(legs, fromP[order[0]])
 	for k := 0; k+1 < len(order); k++ {
-		concat(&walk, between[order[k]][order[k+1]])
+		legs = append(legs, between[order[k]][order[k+1]])
 	}
-	concat(&walk, toQ[order[len(order)-1]])
+	legs = append(legs, toQ[order[len(order)-1]])
+	walk := assemble(p, q, legs...)
 	if math.Abs(walk.Dist-best) > 1e-6 {
 		return query.Path{}, nil, fmt.Errorf("route: internal: assembled %g != dp %g", walk.Dist, best)
 	}

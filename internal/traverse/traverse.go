@@ -10,6 +10,7 @@ package traverse
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"indoorsq/internal/indoor"
 	"indoorsq/internal/pq"
@@ -39,11 +40,15 @@ type Graph struct {
 	// filter restricts kNN candidates by object id (keyword extension);
 	// nil accepts everything.
 	filter func(id int32) bool
+	// states pools per-query Dijkstra working sets. The pool pointer is
+	// shared by WithOpen/WithFilter copies, which traverse the same space
+	// and therefore need identically-sized states.
+	states *sync.Pool
 }
 
 // New returns a traversal graph. host and d2d must not be nil.
 func New(sp *indoor.Space, host HostFunc, d2d D2DFunc, euclidPrune bool) *Graph {
-	return &Graph{sp: sp, host: host, d2d: d2d, euclidPrune: euclidPrune}
+	return &Graph{sp: sp, host: host, d2d: d2d, euclidPrune: euclidPrune, states: &sync.Pool{}}
 }
 
 // WithOpen returns a copy of g that only traverses doors for which open
@@ -75,30 +80,89 @@ func (g *Graph) WithFilter(accept func(id int32) bool) *Graph {
 	return &c
 }
 
-// state is the per-query Dijkstra working set.
+// state is the per-query Dijkstra working set. Entries are epoch-stamped so
+// a pooled state resets in O(doors touched by the previous query) instead
+// of O(doors); unstamped entries read as +Inf / NoDoor / unsettled.
 type state struct {
 	dist    []float64
-	settled []bool
 	prev    []indoor.DoorID
+	touched []uint32
+	settled []uint32
+	epoch   uint32
 	h       pq.Heap[indoor.DoorID]
+
+	// Per-query working-set counters. Reported instead of slice capacities
+	// so WorkBytes reflects this query's footprint and stays identical
+	// whether the state came fresh or from the pool.
+	ntouched, npushed int
 }
 
+// newState acquires a pooled state (allocating on first use) and starts a
+// fresh epoch. Return it with putState once the query's results have been
+// copied out.
 func (g *Graph) newState() *state {
-	n := g.sp.NumDoors()
-	s := &state{
-		dist:    make([]float64, n),
-		settled: make([]bool, n),
-		prev:    make([]indoor.DoorID, n),
+	s, ok := g.states.Get().(*state)
+	if !ok {
+		n := g.sp.NumDoors()
+		s = &state{
+			dist:    make([]float64, n),
+			prev:    make([]indoor.DoorID, n),
+			touched: make([]uint32, n),
+			settled: make([]uint32, n),
+		}
 	}
-	for i := range s.dist {
-		s.dist[i] = math.Inf(1)
-		s.prev[i] = indoor.NoDoor
+	s.epoch++
+	if s.epoch == 0 {
+		for i := range s.touched {
+			s.touched[i] = 0
+			s.settled[i] = 0
+		}
+		s.epoch = 1
 	}
+	s.h.Reset()
+	s.ntouched, s.npushed = 0, 0
 	return s
 }
 
+func (g *Graph) putState(s *state) { g.states.Put(s) }
+
+// push queues a frontier entry, counting it for the working-set estimate.
+func (s *state) push(d indoor.DoorID, dist float64) {
+	s.npushed++
+	s.h.Push(d, dist)
+}
+
+// distAt returns d's tentative distance (+Inf when untouched this query).
+func (s *state) distAt(d indoor.DoorID) float64 {
+	if s.touched[d] != s.epoch {
+		return math.Inf(1)
+	}
+	return s.dist[d]
+}
+
+// prevAt returns d's predecessor door (NoDoor when untouched).
+func (s *state) prevAt(d indoor.DoorID) indoor.DoorID {
+	if s.touched[d] != s.epoch {
+		return indoor.NoDoor
+	}
+	return s.prev[d]
+}
+
+// setDist records a tentative distance, stamping the entry if needed.
+func (s *state) setDist(d indoor.DoorID, dist float64, prev indoor.DoorID) {
+	if s.touched[d] != s.epoch {
+		s.touched[d] = s.epoch
+		s.ntouched++
+	}
+	s.dist[d] = dist
+	s.prev[d] = prev
+}
+
+func (s *state) isSettled(d indoor.DoorID) bool { return s.settled[d] == s.epoch }
+func (s *state) settle(d indoor.DoorID)         { s.settled[d] = s.epoch }
+
 func (s *state) bytes() int64 {
-	return int64(len(s.dist))*(8+1+4) + int64(s.h.Cap())*16
+	return int64(s.ntouched)*(8+4+4+4) + int64(s.npushed)*16
 }
 
 // seed initializes the frontier with the leaveable doors of the source
@@ -109,9 +173,9 @@ func (g *Graph) seed(s *state, v indoor.PartitionID, p indoor.Point) {
 			continue
 		}
 		w := g.sp.WithinPointDoor(v, p, d)
-		if w < s.dist[d] {
-			s.dist[d] = w
-			s.h.Push(d, w)
+		if w < s.distAt(d) {
+			s.setDist(d, w, indoor.NoDoor)
+			s.push(d, w)
 		}
 	}
 }
@@ -125,14 +189,13 @@ func (g *Graph) relax(s *state, d indoor.DoorID, dd float64, visit func(v indoor
 			visit(v, dd)
 		}
 		for _, nd := range g.sp.Partition(v).Leave {
-			if s.settled[nd] || !g.usable(nd) {
+			if s.isSettled(nd) || !g.usable(nd) {
 				continue
 			}
 			w := g.d2d(v, d, nd)
-			if cand := dd + w; cand < s.dist[nd] {
-				s.dist[nd] = cand
-				s.prev[nd] = d
-				s.h.Push(nd, cand)
+			if cand := dd + w; cand < s.distAt(nd) {
+				s.setDist(nd, cand, d)
+				s.push(nd, cand)
 			}
 		}
 	}
@@ -164,16 +227,17 @@ func (g *Graph) Range(store *query.ObjectStore, p indoor.Point, r float64, st *q
 	}
 
 	s := g.newState()
+	defer g.putState(s)
 	g.seed(s, v0, p)
 	for s.h.Len() > 0 {
 		d, dd := s.h.Pop()
-		if s.settled[d] || dd > s.dist[d] {
+		if s.isSettled(d) || dd > s.distAt(d) {
 			continue
 		}
 		if dd > r {
 			break
 		}
-		s.settled[d] = true
+		s.settle(d)
 		st.Door()
 		door := d
 		g.relax(s, d, dd, func(v indoor.PartitionID, base float64) {
@@ -214,16 +278,17 @@ func (g *Graph) KNN(store *query.ObjectStore, p indoor.Point, k int, st *query.S
 	}
 
 	s := g.newState()
+	defer g.putState(s)
 	g.seed(s, v0, p)
 	for s.h.Len() > 0 {
 		d, dd := s.h.Pop()
-		if s.settled[d] || dd > s.dist[d] {
+		if s.isSettled(d) || dd > s.distAt(d) {
 			continue
 		}
 		if dd > tk.Bound() {
 			break
 		}
-		s.settled[d] = true
+		s.settle(d)
 		st.Door()
 		door := d
 		g.relax(s, d, dd, func(v indoor.PartitionID, base float64) {
@@ -270,16 +335,17 @@ func (g *Graph) SPD(p, q indoor.Point, st *query.Stats) (query.Path, error) {
 	}
 
 	s := g.newState()
+	defer g.putState(s)
 	g.seed(s, vp, p)
 	for s.h.Len() > 0 {
 		d, dd := s.h.Pop()
-		if s.settled[d] || dd > s.dist[d] {
+		if s.isSettled(d) || dd > s.distAt(d) {
 			continue
 		}
 		if dd >= best {
 			break
 		}
-		s.settled[d] = true
+		s.settle(d)
 		st.Door()
 		if w, ok := tail[d]; ok {
 			if cand := dd + w; cand < best {
@@ -295,7 +361,7 @@ func (g *Graph) SPD(p, q indoor.Point, st *query.Stats) (query.Path, error) {
 		return query.Path{}, query.ErrUnreachable
 	}
 	var doors []indoor.DoorID
-	for d := bestDoor; d != indoor.NoDoor; d = s.prev[d] {
+	for d := bestDoor; d != indoor.NoDoor; d = s.prevAt(d) {
 		doors = append(doors, d)
 	}
 	// Reverse into source-to-target order.
