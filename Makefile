@@ -1,0 +1,31 @@
+# Development workflow. `make verify` is the tier-1 gate: build, vet,
+# formatting, the full test suite, and the race subset that hammers the
+# engines and the batch executor concurrently.
+
+GO ?= go
+
+.PHONY: verify build vet fmt-check test race bench-pr2
+
+verify: build vet fmt-check test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@files=$$(gofmt -l .); \
+	if [ -n "$$files" ]; then \
+		echo "gofmt -l reports unformatted files:"; echo "$$files"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/enginetest/ ./internal/exec/
+
+# Regenerates the distance-cache before/after report of PR 2.
+bench-pr2:
+	$(GO) run ./cmd/isqcachebench -o BENCH_PR2.json

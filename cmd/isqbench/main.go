@@ -33,6 +33,7 @@ func main() {
 		k        = flag.Int("k", 10, "default k for kNNQ")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		workers  = flag.Int("workers", 1, "concurrent query workers per setting (0 = all CPUs)")
+		dcache   = flag.Bool("distcache", true, "memoize door-pair distances in the space's lazy cache (false: engines that compute distances at query time recompute on the fly; answers are identical)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of text tables")
 	)
 	flag.Parse()
@@ -43,6 +44,7 @@ func main() {
 	s.K = *k
 	s.Seed = *seed
 	s.Workers = *workers
+	s.DistCache = *dcache
 	if *engines != "" {
 		s.Engines = strings.Split(*engines, ",")
 	}
@@ -85,6 +87,22 @@ func main() {
 		} else {
 			fmt.Printf("== Task %s (%.1fs) ==\n\n", tk, time.Since(start).Seconds())
 			bench.WriteAll(os.Stdout, series)
+		}
+	}
+
+	if report := s.CacheReport(); len(report) > 0 {
+		if *csv {
+			fmt.Println("cache,engine,hits,misses,hit_rate")
+			for _, c := range report {
+				fmt.Printf("cache,%s,%d,%d,%.4f\n", c.Engine, c.Hits, c.Misses, c.HitRate())
+			}
+		} else {
+			fmt.Println("== Distance-cache effectiveness ==")
+			fmt.Println()
+			fmt.Printf("%-8s  %12s  %12s  %8s\n", "engine", "hits", "misses", "hit-rate")
+			for _, c := range report {
+				fmt.Printf("%-8s  %12d  %12d  %7.1f%%\n", c.Engine, c.Hits, c.Misses, 100*c.HitRate())
+			}
 		}
 	}
 }

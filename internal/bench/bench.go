@@ -23,15 +23,25 @@ import (
 var EngineNames = []string{"IDModel", "IDIndex", "CIndex", "IPTree", "VIPTree"}
 
 // NewEngine constructs one model/index over a dataset, applying the
-// dataset-specific γ for the trees (Sec. 5.3).
+// dataset-specific γ for the trees (Sec. 5.3) and the default distance-cache
+// policy (memoized door-pair distances).
 func NewEngine(name string, info *dataset.Info) (query.Engine, error) {
+	return NewEngineOpts(name, info, true)
+}
+
+// NewEngineOpts is NewEngine with an explicit distance-cache policy. Only
+// CINDEX computes door-pair distances at query time, so only it changes
+// behaviour: distCache=false makes it recompute every distance on the fly
+// (the paper's strictest "no precomputation" reading and the baseline side
+// of cache benchmarks). Answers are identical either way.
+func NewEngineOpts(name string, info *dataset.Info, distCache bool) (query.Engine, error) {
 	switch name {
 	case "IDModel":
 		return idmodel.New(info.Space), nil
 	case "IDIndex":
 		return idindex.New(info.Space), nil
 	case "CIndex":
-		return cindex.New(info.Space), nil
+		return cindex.NewOpts(info.Space, cindex.Options{NoDistCache: !distCache}), nil
 	case "IPTree":
 		return iptree.New(info.Space, iptree.Options{Gamma: info.Gamma}), nil
 	case "VIPTree":
@@ -56,23 +66,60 @@ type Suite struct {
 	// instances of every measurement run through an exec.Pool of this size
 	// (1 = sequential, the paper's procedure; 0 = GOMAXPROCS).
 	Workers int
+	// DistCache selects the door-pair distance-cache policy for engines that
+	// compute distances at query time (CINDEX). False forces on-the-fly
+	// recomputation; answers are unaffected.
+	DistCache bool
 
-	engines map[string]query.Engine
-	objSets map[string][]query.Object
+	engines  map[string]query.Engine
+	objSets  map[string][]query.Object
+	cacheTot map[string]*CacheEffect
+}
+
+// CacheEffect accumulates distance-cache counters of one engine across every
+// measurement the suite ran.
+type CacheEffect struct {
+	Engine string
+	Hits   int64
+	Misses int64
+}
+
+// HitRate returns the fraction of cache lookups served from the memo, or 0
+// when the engine performed none.
+func (c *CacheEffect) HitRate() float64 {
+	if t := c.Hits + c.Misses; t > 0 {
+		return float64(c.Hits) / float64(t)
+	}
+	return 0
 }
 
 // NewSuite returns a Suite with the paper's default parameters.
 func NewSuite() *Suite {
 	return &Suite{
-		Objects: 1000,
-		Queries: 10,
-		K:       10,
-		Seed:    1,
-		Workers: 1,
-		Engines: append([]string(nil), EngineNames...),
-		engines: make(map[string]query.Engine),
-		objSets: make(map[string][]query.Object),
+		Objects:   1000,
+		Queries:   10,
+		K:         10,
+		Seed:      1,
+		Workers:   1,
+		DistCache: true,
+		Engines:   append([]string(nil), EngineNames...),
+		engines:   make(map[string]query.Engine),
+		objSets:   make(map[string][]query.Object),
+		cacheTot:  make(map[string]*CacheEffect),
 	}
+}
+
+// CacheReport returns the per-engine distance-cache effectiveness
+// accumulated across every measurement the suite ran, in EngineNames order
+// (engines that performed no cache lookups are omitted).
+func (s *Suite) CacheReport() []*CacheEffect {
+	var out []*CacheEffect
+	for _, name := range EngineNames {
+		if c, ok := s.cacheTot[name]; ok && c.Hits+c.Misses > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // Engine returns the (cached) engine for a dataset.
@@ -81,7 +128,7 @@ func (s *Suite) Engine(info *dataset.Info, name string) query.Engine {
 	if e, ok := s.engines[key]; ok {
 		return e
 	}
-	e, err := NewEngine(name, info)
+	e, err := NewEngineOpts(name, info, s.DistCache)
 	if err != nil {
 		panic(err)
 	}
@@ -103,10 +150,12 @@ func (s *Suite) objects(info *dataset.Info, n int) []query.Object {
 
 // Measure is one averaged observation.
 type Measure struct {
-	TimeUS float64 // average per-query running time, microseconds
-	WallUS float64 // average wall-clock time per query across the batch
-	MemMB  float64 // resident index + average transient working set, MB
-	NVD    float64 // average number of visited doors
+	TimeUS      float64 // average per-query running time, microseconds
+	WallUS      float64 // average wall-clock time per query across the batch
+	MemMB       float64 // resident index + average transient working set, MB
+	NVD         float64 // average number of visited doors
+	CacheHits   float64 // average distance-cache hits per query
+	CacheMisses float64 // average distance-cache misses per query
 }
 
 // measure runs n queries through fn — concurrently when the suite's Workers
@@ -136,6 +185,17 @@ func (s *Suite) measure(eng query.Engine, n int, fn func(i int, st *query.Stats)
 	m.WallUS = float64(wall.Microseconds()) / f
 	m.MemMB = (float64(merged.WorkBytes)/f + float64(eng.SizeBytes())) / 1e6
 	m.NVD = float64(merged.VisitedDoors) / f
+	m.CacheHits = float64(merged.CacheHits) / f
+	m.CacheMisses = float64(merged.CacheMisses) / f
+	if merged.CacheHits+merged.CacheMisses > 0 {
+		c := s.cacheTot[eng.Name()]
+		if c == nil {
+			c = &CacheEffect{Engine: eng.Name()}
+			s.cacheTot[eng.Name()] = c
+		}
+		c.Hits += merged.CacheHits
+		c.Misses += merged.CacheMisses
+	}
 	return m, nil
 }
 

@@ -29,6 +29,17 @@ type Link struct {
 	To indoor.PartitionID
 }
 
+// Options configures optional CINDEX behaviours.
+type Options struct {
+	// NoDistCache computes every door-to-door distance on the fly instead
+	// of going through the space's lazy door-pair cache — the strictest
+	// reading of the paper's "no precomputation" semantics, and the
+	// baseline side of cache-effectiveness benchmarks. Results are
+	// identical either way; only cost and query.Stats cache counters
+	// differ.
+	NoDistCache bool
+}
+
 // Index is the CINDEX engine.
 type Index struct {
 	sp    *indoor.Space
@@ -37,14 +48,20 @@ type Index struct {
 	store *query.ObjectStore
 	g     *traverse.Graph
 	size  int64
+	opt   Options
 }
 
-// New builds the CINDEX over a space.
-func New(sp *indoor.Space) *Index {
+// New builds the CINDEX over a space with the default options (door-pair
+// distances memoized through the space's lazy cache).
+func New(sp *indoor.Space) *Index { return NewOpts(sp, Options{}) }
+
+// NewOpts builds the CINDEX over a space with explicit options.
+func NewOpts(sp *indoor.Space, opt Options) *Index {
 	ix := &Index{
 		sp:    sp,
 		tree:  rtree.New(rtree.DefaultFanout),
 		links: make([][]Link, sp.NumPartitions()),
+		opt:   opt,
 	}
 	for vi := range sp.Partitions() {
 		v := indoor.PartitionID(vi)
@@ -87,10 +104,17 @@ func (ix *Index) Host(p indoor.Point) (indoor.PartitionID, bool) {
 	return host, host != indoor.NoPartition
 }
 
-// d2d computes the door-to-door distance within v on the fly, honouring
-// door direction through the link structure.
-func (ix *Index) d2d(v indoor.PartitionID, di, dj indoor.DoorID) float64 {
-	return ix.sp.WithinDoors(v, di, dj)
+// d2d resolves the door-to-door distance within v, honouring door direction
+// through the link structure: on the fly under NoDistCache, otherwise
+// memoized through the space's lazy door-pair cache with hit/miss
+// accounting on st.
+func (ix *Index) d2d(v indoor.PartitionID, di, dj indoor.DoorID, st *query.Stats) float64 {
+	if ix.opt.NoDistCache {
+		return ix.sp.WithinDoors(v, di, dj)
+	}
+	d, hit := ix.sp.WithinDoorsCached(v, di, dj)
+	st.Cache(hit)
+	return d
 }
 
 // Links returns the topological-layer records of partition v.

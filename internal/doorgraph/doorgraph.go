@@ -69,7 +69,7 @@ func BuildWorkers(sp *indoor.Space, workers int) *Graph {
 						if nd == d {
 							continue
 						}
-						w := sp.WithinDoors(v, d, nd)
+						w, _ := sp.WithinDoorsCached(v, d, nd)
 						if math.IsInf(w, 1) {
 							continue
 						}

@@ -1,6 +1,9 @@
 package geom
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // VGraph answers geodesic (shortest-path-inside-a-polygon) distance queries
 // for a concave indoor partition. It exploits the fact that geodesics bend
@@ -9,9 +12,13 @@ import "math"
 // (objects, query locations) attach to it as endpoints.
 //
 // Construction precomputes, per anchor, the geodesic distance to every
-// vertex and to every other anchor — the per-hallway door-to-door matrices
-// of the paper's Sec. 5.1 (footnote 4). Query-time distances involving free
-// points cost one visibility sweep over the vertices.
+// vertex. Anchor-to-anchor distances are NOT materialized here: they are
+// computed on demand by AnchorDist, so that engines faithful to the paper's
+// "no precomputation" designs (CINDEX, Sec. 3.3) pay exactly the on-the-fly
+// cost, while the lazy door-pair cache in internal/indoor memoizes them for
+// everything else. Query-time distances involving free points cost one
+// visibility sweep over the vertices, served from a pooled scratch buffer
+// so steady-state queries do not allocate.
 type VGraph struct {
 	poly  Polygon
 	verts []Point
@@ -22,8 +29,18 @@ type VGraph struct {
 	anchors []Point
 	// anchorVert[i][v]: geodesic distance from anchor i to vertex v.
 	anchorVert [][]float64
-	// anchorD[i][j]: geodesic anchor-to-anchor distances.
-	anchorD [][]float64
+
+	// scratch pools per-sweep buffers (seed vectors, Dijkstra working sets)
+	// sized for this graph's vertex count.
+	scratch sync.Pool
+}
+
+// vgScratch is the reusable working set of one visibility sweep / Dijkstra
+// run over the graph's vertices.
+type vgScratch struct {
+	seed []float64
+	dist []float64
+	done []bool
 }
 
 // NewVGraph builds the visibility structure of poly with the given anchors.
@@ -35,6 +52,13 @@ func NewVGraph(poly Polygon, anchors []Point) *VGraph {
 		anchors: append([]Point(nil), anchors...),
 	}
 	nv := len(g.verts)
+	g.scratch.New = func() any {
+		return &vgScratch{
+			seed: make([]float64, nv),
+			dist: make([]float64, nv),
+			done: make([]bool, nv),
+		}
+	}
 	g.vadj = make([][]float64, nv)
 	for i := range g.vadj {
 		g.vadj[i] = make([]float64, nv)
@@ -55,55 +79,63 @@ func NewVGraph(poly Polygon, anchors []Point) *VGraph {
 
 	na := len(g.anchors)
 	g.anchorVert = make([][]float64, na)
+	sc := g.getScratch()
 	for i := 0; i < na; i++ {
-		g.anchorVert[i] = g.dijkstra(g.attach(g.anchors[i]))
+		g.attachInto(sc.seed, g.anchors[i])
+		dist := make([]float64, nv)
+		g.dijkstraInto(dist, sc.done, sc.seed)
+		g.anchorVert[i] = dist
 	}
-	g.anchorD = make([][]float64, na)
-	for i := 0; i < na; i++ {
-		row := make([]float64, na)
-		for j := 0; j < na; j++ {
-			switch {
-			case i == j:
-				row[j] = 0
-			case poly.SegmentInside(g.anchors[i], g.anchors[j]):
-				row[j] = g.anchors[i].Dist(g.anchors[j])
-			default:
-				row[j] = g.combine(g.anchorVert[i], g.attach(g.anchors[j]))
-			}
-		}
-		g.anchorD[i] = row
-	}
+	g.putScratch(sc)
 	return g
 }
 
+func (g *VGraph) getScratch() *vgScratch  { return g.scratch.Get().(*vgScratch) }
+func (g *VGraph) putScratch(s *vgScratch) { g.scratch.Put(s) }
+
 // NumAnchors returns the number of anchor points registered at construction.
-func (g *VGraph) NumAnchors() int { return len(g.anchorD) }
+func (g *VGraph) NumAnchors() int { return len(g.anchors) }
 
-// AnchorDist returns the precomputed geodesic distance between anchors i
-// and j.
-func (g *VGraph) AnchorDist(i, j int) float64 { return g.anchorD[i][j] }
-
-// attach returns the straight-line distances from p to every vertex visible
-// from p (+Inf for invisible vertices).
-func (g *VGraph) attach(p Point) []float64 {
-	d := make([]float64, len(g.verts))
-	for i, v := range g.verts {
-		if g.poly.SegmentInside(p, v) {
-			d[i] = p.Dist(v)
-		} else {
-			d[i] = math.Inf(1)
-		}
+// AnchorDist returns the geodesic distance between anchors i and j,
+// computed on the fly from the precomputed anchor-to-vertex distances plus
+// one visibility sweep for anchor j. Callers that look the same pair up
+// repeatedly should memoize through the door-pair distance cache layered on
+// top (internal/indoor).
+func (g *VGraph) AnchorDist(i, j int) float64 {
+	if i == j {
+		return 0
 	}
+	if g.poly.SegmentInside(g.anchors[i], g.anchors[j]) {
+		return g.anchors[i].Dist(g.anchors[j])
+	}
+	sc := g.getScratch()
+	g.attachInto(sc.seed, g.anchors[j])
+	d := g.combine(g.anchorVert[i], sc.seed)
+	g.putScratch(sc)
 	return d
 }
 
-// dijkstra computes geodesic distances to all vertices from the seed vector
-// (distance per vertex, +Inf when unseeded) with a dense O(V^2) scan.
-func (g *VGraph) dijkstra(seed []float64) []float64 {
+// attachInto fills dst with the straight-line distances from p to every
+// vertex visible from p (+Inf for invisible vertices).
+func (g *VGraph) attachInto(dst []float64, p Point) {
+	for i, v := range g.verts {
+		if g.poly.SegmentInside(p, v) {
+			dst[i] = p.Dist(v)
+		} else {
+			dst[i] = math.Inf(1)
+		}
+	}
+}
+
+// dijkstraInto computes geodesic distances to all vertices from the seed
+// vector (distance per vertex, +Inf when unseeded) with a dense O(V^2)
+// scan, writing into dist and using done as the settled set.
+func (g *VGraph) dijkstraInto(dist []float64, done []bool, seed []float64) {
 	n := len(g.verts)
-	dist := make([]float64, n)
 	copy(dist, seed)
-	done := make([]bool, n)
+	for i := range done {
+		done[i] = false
+	}
 	for {
 		u, best := -1, math.Inf(1)
 		for i := 0; i < n; i++ {
@@ -112,7 +144,7 @@ func (g *VGraph) dijkstra(seed []float64) []float64 {
 			}
 		}
 		if u < 0 {
-			return dist
+			return
 		}
 		done[u] = true
 		row := g.vadj[u]
@@ -145,7 +177,13 @@ func (g *VGraph) Dist(a, b Point) float64 {
 	if g.poly.SegmentInside(a, b) {
 		return a.Dist(b)
 	}
-	return g.combine(g.dijkstra(g.attach(a)), g.attach(b))
+	sc := g.getScratch()
+	g.attachInto(sc.seed, a)
+	g.dijkstraInto(sc.dist, sc.done, sc.seed)
+	g.attachInto(sc.seed, b)
+	d := g.combine(sc.dist, sc.seed)
+	g.putScratch(sc)
+	return d
 }
 
 // DistToAnchor returns the geodesic distance from free point p to anchor i,
@@ -157,7 +195,11 @@ func (g *VGraph) DistToAnchor(p Point, i int) float64 {
 	if g.poly.SegmentInside(p, g.anchors[i]) {
 		return p.Dist(g.anchors[i])
 	}
-	return g.combine(g.anchorVert[i], g.attach(p))
+	sc := g.getScratch()
+	g.attachInto(sc.seed, p)
+	d := g.combine(g.anchorVert[i], sc.seed)
+	g.putScratch(sc)
+	return d
 }
 
 // Source is a reusable origin for repeated distance queries from one fixed
@@ -178,7 +220,11 @@ func (g *VGraph) SourceFrom(p Point) *Source {
 		return s
 	}
 	s.ok = true
-	s.dist = g.dijkstra(g.attach(p))
+	s.dist = make([]float64, len(g.verts))
+	sc := g.getScratch()
+	g.attachInto(sc.seed, p)
+	g.dijkstraInto(s.dist, sc.done, sc.seed)
+	g.putScratch(sc)
 	return s
 }
 
@@ -196,7 +242,11 @@ func (s *Source) Dist(b Point) float64 {
 	if s.g.poly.SegmentInside(s.p, b) {
 		return s.p.Dist(b)
 	}
-	return s.g.combine(s.dist, s.g.attach(b))
+	sc := s.g.getScratch()
+	s.g.attachInto(sc.seed, b)
+	d := s.g.combine(s.dist, sc.seed)
+	s.g.putScratch(sc)
+	return d
 }
 
 // MaxDist returns the greatest geodesic distance from the source to any
@@ -214,15 +264,30 @@ func (s *Source) MaxDist() float64 {
 // MaxDistFrom returns the greatest geodesic distance from point a to any
 // polygon vertex.
 func (g *VGraph) MaxDistFrom(a Point) float64 {
-	return g.SourceFrom(a).MaxDist()
+	if !g.poly.Contains(a) {
+		return 0
+	}
+	sc := g.getScratch()
+	g.attachInto(sc.seed, a)
+	g.dijkstraInto(sc.dist, sc.done, sc.seed)
+	var m float64
+	for _, d := range sc.dist {
+		if !math.IsInf(d, 1) && d > m {
+			m = d
+		}
+	}
+	g.putScratch(sc)
+	return m
 }
 
 // SizeBytes returns a deep size estimate of the graph's resident
-// structures, used by model-size accounting.
+// structures, used by model-size accounting. Anchor-to-anchor distances are
+// no longer materialized here; partitions that want them resident pay for
+// them through the door-pair distance cache's own accounting.
 func (g *VGraph) SizeBytes() int64 {
 	nv := int64(len(g.verts))
 	na := int64(len(g.anchors))
-	return nv*16 + nv*nv*8 + na*nv*8 + na*na*8 + na*16
+	return nv*16 + nv*nv*8 + na*nv*8 + na*16
 }
 
 // DistToAnchor returns the geodesic distance from the source point to

@@ -23,39 +23,34 @@ type Model struct {
 	store *query.ObjectStore
 
 	// d2d[v] is the fd2d(v,·,·) array: a len(Doors)^2 matrix indexed by the
-	// positions of the doors in Partition(v).Doors. +Inf encodes impossible
-	// moves (direction violations).
+	// positions of the doors in Partition(v).Doors (the space's DoorIndex
+	// mapping). +Inf encodes impossible moves (direction violations).
 	d2d [][]float64
-	// doorIdx[v] maps a door id to its position in Partition(v).Doors.
-	doorIdx []map[indoor.DoorID]int32
 
 	size int64
 }
 
-// New builds the IDMODEL over a space.
+// New builds the IDMODEL over a space. The fd2d matrices are materialized
+// eagerly as the paper prescribes; the per-pair computations are routed
+// through the space's door-pair cache, so distances another engine already
+// touched are reused rather than recomputed (and vice versa).
 func New(sp *indoor.Space) *Model {
 	m := &Model{
-		sp:      sp,
-		d2d:     make([][]float64, sp.NumPartitions()),
-		doorIdx: make([]map[indoor.DoorID]int32, sp.NumPartitions()),
+		sp:  sp,
+		d2d: make([][]float64, sp.NumPartitions()),
 	}
 	for vi := range sp.Partitions() {
 		v := indoor.PartitionID(vi)
 		part := sp.Partition(v)
 		n := len(part.Doors)
-		idx := make(map[indoor.DoorID]int32, n)
-		for j, d := range part.Doors {
-			idx[d] = int32(j)
-		}
-		m.doorIdx[vi] = idx
 
 		enter := make([]bool, n)
 		leave := make([]bool, n)
 		for _, d := range part.Enter {
-			enter[idx[d]] = true
+			enter[sp.DoorIndex(v, d)] = true
 		}
 		for _, d := range part.Leave {
-			leave[idx[d]] = true
+			leave[sp.DoorIndex(v, d)] = true
 		}
 
 		mat := make([]float64, n*n)
@@ -65,36 +60,42 @@ func New(sp *indoor.Space) *Model {
 				case i == j:
 					mat[i*n+j] = 0
 				case enter[i] && leave[j]:
-					mat[i*n+j] = sp.WithinDoors(v, part.Doors[i], part.Doors[j])
+					mat[i*n+j], _ = sp.WithinDoorsCached(v, part.Doors[i], part.Doors[j])
 				default:
 					mat[i*n+j] = math.Inf(1)
 				}
 			}
 		}
 		m.d2d[vi] = mat
-		m.size += int64(n*n)*8 + int64(n)*16
+		m.size += int64(n*n) * 8
 	}
 	m.size += int64(sp.NumDoors())*48 + int64(sp.NumPartitions())*32 // graph vertexes/edges
 	m.size += sp.BaseSizeBytes() + sp.GeomSizeBytes()
 
-	m.g = traverse.New(sp, sp.HostPartition, m.D2D, false)
+	m.g = traverse.New(sp, sp.HostPartition, m.d2dStats, false)
 	return m
 }
 
 // D2D is the fd2d lookup: the distance from door di (entering partition v)
 // to door dj (leaving partition v), or +Inf.
 func (m *Model) D2D(v indoor.PartitionID, di, dj indoor.DoorID) float64 {
-	idx := m.doorIdx[v]
-	i, ok := idx[di]
-	if !ok {
+	i := m.sp.DoorIndex(v, di)
+	if i < 0 {
 		return math.Inf(1)
 	}
-	j, ok := idx[dj]
-	if !ok {
+	j := m.sp.DoorIndex(v, dj)
+	if j < 0 {
 		return math.Inf(1)
 	}
-	n := len(idx)
-	return m.d2d[v][int(i)*n+int(j)]
+	n := len(m.sp.Partition(v).Doors)
+	return m.d2d[v][i*n+j]
+}
+
+// d2dStats adapts D2D to the traverse.D2DFunc shape; the model's own dense
+// arrays make every lookup a hit-free O(1) read, so no cache counters are
+// recorded.
+func (m *Model) d2dStats(v indoor.PartitionID, di, dj indoor.DoorID, _ *query.Stats) float64 {
+	return m.D2D(v, di, dj)
 }
 
 // Name implements query.Engine.

@@ -135,6 +135,7 @@ func (b *Builder) Build() (*Space, error) {
 	s.vg = make([]*geom.VGraph, len(s.parts))
 	s.doorAnchor = make([][]int32, len(s.parts))
 	s.maxReach = make([][]float64, len(s.parts))
+	s.doorIdx = make([]map[DoorID]int32, len(s.parts))
 
 	for i := range s.parts {
 		v := &s.parts[i]
@@ -143,6 +144,12 @@ func (b *Builder) Build() (*Space, error) {
 		for f := v.Floor; f <= v.TopFloor; f++ {
 			s.byFloor[f] = append(s.byFloor[f], v.ID)
 		}
+
+		idx := make(map[DoorID]int32, len(v.Doors))
+		for j, d := range v.Doors {
+			idx[d] = int32(j)
+		}
+		s.doorIdx[i] = idx
 
 		if !v.convex && v.Kind != Staircase {
 			anchors := make([]geom.Point, len(v.Doors))
@@ -168,6 +175,7 @@ func (b *Builder) Build() (*Space, error) {
 		}
 		s.maxReach[i] = reach
 	}
+	s.dcache = newDistCache(s)
 	return s, nil
 }
 

@@ -7,15 +7,20 @@ import (
 )
 
 // doorIndexIn returns the position of door d in partition v's Doors slice,
-// or -1 when d is not associated with v.
+// or -1 when d is not associated with v. It is an O(1) lookup in the
+// per-partition door→index map derived at Build (the former linear scan sat
+// on every WithinPointDoor/WithinDoors call).
 func (s *Space) doorIndexIn(v PartitionID, d DoorID) int {
-	for i, dd := range s.parts[v].Doors {
-		if dd == d {
-			return i
-		}
+	if i, ok := s.doorIdx[v][d]; ok {
+		return int(i)
 	}
 	return -1
 }
+
+// DoorIndex exposes doorIndexIn to engines that address per-partition
+// arrays by door position (e.g. IDMODEL's fd2d matrices): the position of d
+// in Partition(v).Doors, or -1 when d is not a door of v.
+func (s *Space) DoorIndex(v PartitionID, d DoorID) int { return s.doorIndexIn(v, d) }
 
 // WithinPoints returns the intra-partition distance ‖a,b‖v between two
 // points hosted by partition v. For convex partitions this is the Euclidean
@@ -74,20 +79,35 @@ func (s *Space) WithinPointDoor(v PartitionID, p Point, d DoorID) float64 {
 // the interior of partition v — the quantity the fd2d mapping materializes
 // (Sec. 3.1). Direction rules (di enterable, dj leaveable) are applied by
 // the engines, not here. It returns +Inf when either door is not a door of v.
+//
+// This is the uncached, on-the-fly computation (for concave partitions it
+// costs one visibility sweep). Hot paths that revisit door pairs should use
+// WithinDoorsCached, which memoizes bit-identical values.
 func (s *Space) WithinDoors(v PartitionID, di, dj DoorID) float64 {
-	if di == dj {
-		if s.doorIndexIn(v, di) < 0 {
-			return math.Inf(1)
-		}
-		return 0
-	}
 	ii := s.doorIndexIn(v, di)
-	jj := s.doorIndexIn(v, dj)
-	if ii < 0 || jj < 0 {
+	if ii < 0 {
 		return math.Inf(1)
 	}
+	jj := ii
+	if dj != di {
+		jj = s.doorIndexIn(v, dj)
+		if jj < 0 {
+			return math.Inf(1)
+		}
+	}
+	return s.withinDoorsAt(v, ii, jj)
+}
+
+// withinDoorsAt computes ‖di,dj‖v addressed by door positions within
+// partition v's Doors slice. It is the single computation both WithinDoors
+// and the distance cache's fill path call, which is what guarantees cached
+// and uncached results are bit-identical.
+func (s *Space) withinDoorsAt(v PartitionID, ii, jj int) float64 {
+	if ii == jj {
+		return 0
+	}
 	part := &s.parts[v]
-	a, b := &s.doors[di], &s.doors[dj]
+	a, b := &s.doors[part.Doors[ii]], &s.doors[part.Doors[jj]]
 	if part.Kind == Staircase {
 		if a.Floor != b.Floor {
 			return part.StairLength

@@ -1,0 +1,184 @@
+package indoor
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// distCacheShards is the number of allocation/counter shards of a DistCache.
+// Must be a power of two; 32 keeps shard contention negligible at realistic
+// worker counts while costing only a few cache lines of counters.
+const distCacheShards = 32
+
+// unfilledBits marks an unfilled cache cell. It is a non-canonical quiet
+// NaN: intra-partition distances are always finite and non-negative or +Inf
+// (sums and square roots of finite values), so no computed distance can
+// collide with it.
+const unfilledBits = 0x7FF8_0000_0000_0001
+
+// DistCache memoizes intra-partition door-to-door distances ‖di,dj‖v — the
+// fd2d quantities of Sec. 3.1 — behind a lazy, sharded, concurrency-safe
+// lookup. Nothing is precomputed at build time: per-partition matrices are
+// allocated on first touch of a partition and individual cells are filled
+// on first lookup of a door pair, so an engine that never asks for a
+// distance never pays for it (preserving the spirit of CINDEX's
+// "no precomputation" design while amortizing its on-the-fly cost).
+//
+// Concurrency: a cell is an atomic.Uint64 holding math.Float64bits of the
+// distance, published with a plain atomic store — the computed value is a
+// pure deterministic function of the immutable Space, so concurrent fills
+// of the same cell store identical bits and readers can never observe a
+// torn or stale value. Matrix allocation is serialized per shard
+// (double-checked around the shard mutex); steady-state lookups are a map
+// index plus one atomic load and allocate nothing.
+type DistCache struct {
+	sp *Space
+	// mats[v] is partition v's lazily allocated len(Doors)^2 cell matrix.
+	mats   []atomic.Pointer[doorMat]
+	shards [distCacheShards]distCacheShard
+}
+
+// doorMat is one partition's door-pair matrix; cells are Float64bits with
+// unfilledBits marking cells not yet computed.
+type doorMat struct {
+	n     int
+	cells []atomic.Uint64
+}
+
+// distCacheShard carries the allocation lock and effectiveness counters of
+// one shard, padded to its own cache line to keep the counters of hot
+// neighboring shards from false sharing.
+type distCacheShard struct {
+	mu     sync.Mutex
+	hits   atomic.Int64
+	misses atomic.Int64
+	fills  atomic.Int64
+	_      [64 - 8*3]byte
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits   int64 // lookups served from a filled cell
+	Misses int64 // lookups that had to compute the distance
+	Fills  int64 // cells this cache was first to publish (≤ Misses under races)
+}
+
+// newDistCache returns an empty cache over sp. Called by Build; the cache
+// holds no matrices until the first lookup.
+func newDistCache(sp *Space) *DistCache {
+	return &DistCache{sp: sp, mats: make([]atomic.Pointer[doorMat], len(sp.parts))}
+}
+
+// shard returns the shard of partition v.
+func (c *DistCache) shard(v PartitionID) *distCacheShard {
+	return &c.shards[uint32(v)&(distCacheShards-1)]
+}
+
+// mat returns partition v's cell matrix, allocating and publishing it on
+// first touch.
+func (c *DistCache) mat(v PartitionID) *doorMat {
+	if m := c.mats[v].Load(); m != nil {
+		return m
+	}
+	sh := c.shard(v)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if m := c.mats[v].Load(); m != nil {
+		return m
+	}
+	n := len(c.sp.parts[v].Doors)
+	m := &doorMat{n: n, cells: make([]atomic.Uint64, n*n)}
+	for i := range m.cells {
+		m.cells[i].Store(unfilledBits)
+	}
+	c.mats[v].Store(m)
+	return m
+}
+
+// DoorDist returns ‖di,dj‖v, identical bit-for-bit to
+// Space.WithinDoors(v, di, dj), plus whether the lookup was served from the
+// memo. Foreign doors (not associated with v) return +Inf and count as a
+// hit: there is nothing to compute or store.
+func (c *DistCache) DoorDist(v PartitionID, di, dj DoorID) (float64, bool) {
+	sh := c.shard(v)
+	ii := c.sp.doorIndexIn(v, di)
+	if ii < 0 {
+		sh.hits.Add(1)
+		return math.Inf(1), true
+	}
+	jj := ii
+	if dj != di {
+		jj = c.sp.doorIndexIn(v, dj)
+		if jj < 0 {
+			sh.hits.Add(1)
+			return math.Inf(1), true
+		}
+	}
+	m := c.mat(v)
+	cell := &m.cells[ii*m.n+jj]
+	if bits := cell.Load(); bits != unfilledBits {
+		sh.hits.Add(1)
+		return math.Float64frombits(bits), true
+	}
+	d := c.sp.withinDoorsAt(v, ii, jj)
+	if cell.CompareAndSwap(unfilledBits, math.Float64bits(d)) {
+		sh.fills.Add(1)
+	}
+	sh.misses.Add(1)
+	return d, false
+}
+
+// Stats sums the per-shard counters.
+func (c *DistCache) Stats() CacheStats {
+	var s CacheStats
+	for i := range c.shards {
+		s.Hits += c.shards[i].hits.Load()
+		s.Misses += c.shards[i].misses.Load()
+		s.Fills += c.shards[i].fills.Load()
+	}
+	return s
+}
+
+// SizeBytes returns the resident size of the matrices allocated so far —
+// the lazily-accreted counterpart of an eager fd2d model's size accounting.
+func (c *DistCache) SizeBytes() int64 {
+	var sz int64
+	for i := range c.mats {
+		if m := c.mats[i].Load(); m != nil {
+			sz += int64(len(m.cells))*8 + 16
+		}
+	}
+	return sz
+}
+
+// Filled reports how many partitions have an allocated matrix and how many
+// cells are published across them (diagnostics and tests).
+func (c *DistCache) Filled() (partitions, cells int) {
+	for i := range c.mats {
+		m := c.mats[i].Load()
+		if m == nil {
+			continue
+		}
+		partitions++
+		for j := range m.cells {
+			if m.cells[j].Load() != unfilledBits {
+				cells++
+			}
+		}
+	}
+	return partitions, cells
+}
+
+// DistCache returns the space's lazy door-pair distance cache. The cache is
+// created empty at Build; engines opt in per lookup through
+// WithinDoorsCached, so holding the pointer costs nothing.
+func (s *Space) DistCache() *DistCache { return s.dcache }
+
+// WithinDoorsCached is WithinDoors served through the space's lazy door-pair
+// cache: bit-identical values, O(1) after the first lookup of a pair. The
+// boolean reports whether the memo already held the answer (for cache
+// effectiveness accounting, see query.Stats).
+func (s *Space) WithinDoorsCached(v PartitionID, di, dj DoorID) (float64, bool) {
+	return s.dcache.DoorDist(v, di, dj)
+}

@@ -1,0 +1,168 @@
+package indoor_test
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/testspaces"
+)
+
+// allSpaces returns the fixture spaces the cache tests sweep: convex
+// partitions (Strip), a concave hall (LHall), a staircase with cross-floor
+// doors (TwoFloor), and a multi-floor concave grid.
+func allSpaces() map[string]*indoor.Space {
+	return map[string]*indoor.Space{
+		"strip":    testspaces.NewStrip().Space,
+		"lhall":    testspaces.NewLHall().Space,
+		"twofloor": testspaces.NewTwoFloor().Space,
+		"gridcc":   testspaces.RandomGridConcave(7, 4, 4, 2, 3),
+	}
+}
+
+// TestDistCacheBitIdentical sweeps every partition and every ordered door
+// pair (own and foreign doors alike) and requires the cached distance to be
+// bit-for-bit the uncached one, on both the filling lookup and the
+// subsequent hit.
+func TestDistCacheBitIdentical(t *testing.T) {
+	for name, sp := range allSpaces() {
+		t.Run(name, func(t *testing.T) {
+			nd := sp.NumDoors()
+			for vi := 0; vi < sp.NumPartitions(); vi++ {
+				v := indoor.PartitionID(vi)
+				for di := 0; di < nd; di++ {
+					for dj := 0; dj < nd; dj++ {
+						a, b := indoor.DoorID(di), indoor.DoorID(dj)
+						want := sp.WithinDoors(v, a, b)
+						got, _ := sp.WithinDoorsCached(v, a, b)
+						if math.Float64bits(got) != math.Float64bits(want) {
+							t.Fatalf("v=%d ‖%d,%d‖: cached %v != uncached %v", v, a, b, got, want)
+						}
+						got2, hit := sp.WithinDoorsCached(v, a, b)
+						if !hit {
+							t.Fatalf("v=%d ‖%d,%d‖: second lookup not a hit", v, a, b)
+						}
+						if math.Float64bits(got2) != math.Float64bits(want) {
+							t.Fatalf("v=%d ‖%d,%d‖: hit value %v != uncached %v", v, a, b, got2, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDistCacheCrossFloorInf pins the staircase semantics: distances between
+// the stair's floor doors are the stair length, and pairs in a partition
+// that owns neither door are +Inf without allocating that partition's matrix.
+func TestDistCacheCrossFloorInf(t *testing.T) {
+	f := testspaces.NewTwoFloor()
+	sp := f.Space
+
+	if d, _ := sp.WithinDoorsCached(f.Stair, f.DS0, f.DS1); d != 5 {
+		t.Fatalf("stair DS0->DS1 = %g, want 5", d)
+	}
+	// DS1 is on floor 1; Hall0 does not own it.
+	if d, hit := sp.WithinDoorsCached(f.Hall0, f.DA0, f.DS1); !math.IsInf(d, 1) || !hit {
+		t.Fatalf("foreign pair = (%g,%v), want (+Inf,hit)", d, hit)
+	}
+}
+
+// TestDistCacheLazy verifies nothing is resident before the first lookup and
+// that residency accrues per touched partition only.
+func TestDistCacheLazy(t *testing.T) {
+	f := testspaces.NewStrip()
+	c := f.Space.DistCache()
+
+	if parts, cells := c.Filled(); parts != 0 || cells != 0 {
+		t.Fatalf("fresh cache has %d parts / %d cells filled", parts, cells)
+	}
+	if sz := c.SizeBytes(); sz != 0 {
+		t.Fatalf("fresh cache SizeBytes = %d, want 0", sz)
+	}
+
+	f.Space.WithinDoorsCached(f.Hall, f.D1, f.D4)
+	parts, cells := c.Filled()
+	if parts != 1 {
+		t.Fatalf("after one lookup: %d partitions allocated, want 1", parts)
+	}
+	if cells != 1 {
+		t.Fatalf("after one lookup: %d cells filled, want 1", cells)
+	}
+	if c.SizeBytes() <= 0 {
+		t.Fatalf("after one lookup: SizeBytes = %d, want > 0", c.SizeBytes())
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Fills != 1 {
+		t.Fatalf("stats = %+v, want one miss and one fill", st)
+	}
+}
+
+// TestDistCacheConcurrent hammers one cache from many goroutines over random
+// (partition, door, door) triples — run under -race in tier-1 — and checks
+// every returned value against the uncached kernel, plus counter sanity.
+func TestDistCacheConcurrent(t *testing.T) {
+	sp := testspaces.RandomGridConcave(11, 5, 5, 2, 4)
+	nd, np := sp.NumDoors(), sp.NumPartitions()
+
+	const workers = 8
+	const perWorker = 4000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				v := indoor.PartitionID(rng.Intn(np))
+				di := indoor.DoorID(rng.Intn(nd))
+				dj := indoor.DoorID(rng.Intn(nd))
+				got, _ := sp.WithinDoorsCached(v, di, dj)
+				want := sp.WithinDoors(v, di, dj)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Errorf("v=%d ‖%d,%d‖: cached %v != uncached %v", v, di, dj, got, want)
+					return
+				}
+			}
+		}(int64(w) + 1)
+	}
+	wg.Wait()
+
+	st := sp.DistCache().Stats()
+	if total := st.Hits + st.Misses; total != workers*perWorker {
+		t.Fatalf("hits+misses = %d, want %d", total, workers*perWorker)
+	}
+	_, cells := sp.DistCache().Filled()
+	if int64(cells) != st.Fills {
+		t.Fatalf("filled cells = %d, fills counter = %d", cells, st.Fills)
+	}
+	if st.Fills > st.Misses {
+		t.Fatalf("fills %d > misses %d", st.Fills, st.Misses)
+	}
+}
+
+// TestDistCacheZeroAllocSteadyState verifies the acceptance criterion that a
+// warm cached lookup allocates nothing.
+func TestDistCacheZeroAllocSteadyState(t *testing.T) {
+	f := testspaces.NewLHall()
+	sp := f.Space
+	v := f.Hall
+	doors := sp.Partition(v).Doors
+	for _, a := range doors { // warm every pair
+		for _, b := range doors {
+			sp.WithinDoorsCached(v, a, b)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, a := range doors {
+			for _, b := range doors {
+				sp.WithinDoorsCached(v, a, b)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm cached lookups allocate %.1f objects/run, want 0", allocs)
+	}
+}

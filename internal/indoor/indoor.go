@@ -130,6 +130,13 @@ type Space struct {
 	vg         []*geom.VGraph // per partition; nil when convex or staircase
 	doorAnchor [][]int32      // per partition: anchor index per Doors entry
 	maxReach   [][]float64    // fdv: per partition, aligned with Doors
+
+	// doorIdx[v] maps a door id to its position in parts[v].Doors — the
+	// O(1) lookup behind every WithinDoors/WithinPointDoor call.
+	doorIdx []map[DoorID]int32
+
+	// dcache lazily memoizes door-pair distances; see distcache.go.
+	dcache *DistCache
 }
 
 // NumPartitions returns the number of partitions.

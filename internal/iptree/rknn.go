@@ -73,7 +73,9 @@ func (t *Tree) leafDoorDists(L int32, vp indoor.PartitionID, p indoor.Point, st 
 				if !ok || done[i] {
 					continue
 				}
-				if cand := bu + t.sp.WithinDoors(v, du, nd); cand < dist[i] {
+				w, hit := t.sp.WithinDoorsCached(v, du, nd)
+				st.Cache(hit)
+				if cand := bu + w; cand < dist[i] {
 					dist[i] = cand
 				}
 			}

@@ -334,7 +334,8 @@ func (x *Index) Route(p, q indoor.Point, st *query.Stats, words ...string) (Rout
 		for _, v := range x.sp.Door(s.door).Enterable {
 			for _, nd := range x.sp.Partition(v).Leave {
 				// Straight crossing.
-				w := x.sp.WithinDoors(v, s.door, nd)
+				w, hit := x.sp.WithinDoorsCached(v, s.door, nd)
+				st.Cache(hit)
 				if !math.IsInf(w, 1) {
 					relaxTo(routeState{nd, s.mask}, sd+w, routeHop{from: s, visit: -1})
 				}

@@ -199,7 +199,7 @@ func (m *Monitor) distField(p indoor.Point, vp indoor.PartitionID, limit float64
 		}
 		for _, v := range m.sp.Door(d).Enterable {
 			for _, nd := range m.sp.Partition(v).Leave {
-				if w := m.sp.WithinDoors(v, d, nd); !math.IsInf(w, 1) {
+				if w, _ := m.sp.WithinDoorsCached(v, d, nd); !math.IsInf(w, 1) {
 					if cand := dd + w; cand < dist[nd] {
 						dist[nd] = cand
 						h.Push(nd, cand)

@@ -38,6 +38,11 @@ type Stats struct {
 	// arrays, priority queues, candidate sets (part of metric b2; the
 	// resident index size is added by the harness).
 	WorkBytes int64
+	// CacheHits / CacheMisses count door-pair distance-cache lookups during
+	// this query that were served from the memo vs. had to compute (engines
+	// running uncached record neither).
+	CacheHits   int64
+	CacheMisses int64
 }
 
 // Reset zeroes the counters.
@@ -58,12 +63,26 @@ func (st *Stats) Door() {
 	}
 }
 
+// Cache records one distance-cache lookup. A nil receiver is allowed so
+// engines can run without instrumentation.
+func (st *Stats) Cache(hit bool) {
+	if st != nil {
+		if hit {
+			st.CacheHits++
+		} else {
+			st.CacheMisses++
+		}
+	}
+}
+
 // Add merges another accumulator into st — used to fold per-worker Stats
 // shards back together after a concurrent batch.
 func (st *Stats) Add(o Stats) {
 	if st != nil {
 		st.VisitedDoors += o.VisitedDoors
 		st.WorkBytes += o.WorkBytes
+		st.CacheHits += o.CacheHits
+		st.CacheMisses += o.CacheMisses
 	}
 }
 

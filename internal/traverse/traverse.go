@@ -19,8 +19,10 @@ import (
 
 // D2DFunc returns the distance from door di to door dj through partition v,
 // honouring direction (di must be enterable into v, dj leaveable from v),
-// or +Inf when the move is impossible.
-type D2DFunc func(v indoor.PartitionID, di, dj indoor.DoorID) float64
+// or +Inf when the move is impossible. The stats accumulator rides along so
+// cache-backed implementations can report hit/miss effectiveness per query;
+// st may be nil, and implementations that do no caching ignore it.
+type D2DFunc func(v indoor.PartitionID, di, dj indoor.DoorID, st *query.Stats) float64
 
 // HostFunc locates the partition hosting a point.
 type HostFunc func(p indoor.Point) (indoor.PartitionID, bool)
@@ -183,7 +185,7 @@ func (g *Graph) seed(s *state, v indoor.PartitionID, p indoor.Point) {
 // relax expands settled door d at distance dd into its enterable partitions,
 // optionally invoking visit for each (door, partition) pair before the
 // door-to-door relaxation.
-func (g *Graph) relax(s *state, d indoor.DoorID, dd float64, visit func(v indoor.PartitionID, dd float64)) {
+func (g *Graph) relax(s *state, d indoor.DoorID, dd float64, st *query.Stats, visit func(v indoor.PartitionID, dd float64)) {
 	for _, v := range g.sp.Door(d).Enterable {
 		if visit != nil {
 			visit(v, dd)
@@ -192,7 +194,7 @@ func (g *Graph) relax(s *state, d indoor.DoorID, dd float64, visit func(v indoor
 			if s.isSettled(nd) || !g.usable(nd) {
 				continue
 			}
-			w := g.d2d(v, d, nd)
+			w := g.d2d(v, d, nd, st)
 			if cand := dd + w; cand < s.distAt(nd) {
 				s.setDist(nd, cand, d)
 				s.push(nd, cand)
@@ -240,7 +242,7 @@ func (g *Graph) Range(store *query.ObjectStore, p indoor.Point, r float64, st *q
 		s.settle(d)
 		st.Door()
 		door := d
-		g.relax(s, d, dd, func(v indoor.PartitionID, base float64) {
+		g.relax(s, d, dd, st, func(v indoor.PartitionID, base float64) {
 			if g.pruneByEuclid(v, p, r) {
 				return
 			}
@@ -291,7 +293,7 @@ func (g *Graph) KNN(store *query.ObjectStore, p indoor.Point, k int, st *query.S
 		s.settle(d)
 		st.Door()
 		door := d
-		g.relax(s, d, dd, func(v indoor.PartitionID, base float64) {
+		g.relax(s, d, dd, st, func(v indoor.PartitionID, base float64) {
 			// Objects Euclidean-farther than the current k-th distance can
 			// never enter the top-k (the bound only shrinks).
 			if g.pruneByEuclid(v, p, tk.Bound()) {
@@ -353,7 +355,7 @@ func (g *Graph) SPD(p, q indoor.Point, st *query.Stats) (query.Path, error) {
 				bestDoor = d
 			}
 		}
-		g.relax(s, d, dd, nil)
+		g.relax(s, d, dd, st, nil)
 	}
 	st.Alloc(s.bytes() + int64(len(tail))*16)
 

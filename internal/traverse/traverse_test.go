@@ -13,7 +13,7 @@ import (
 // newGraph builds a traversal graph with sequential-scan host lookup and
 // on-the-fly distances (direction-checked).
 func newGraph(sp *indoor.Space, prune bool) *traverse.Graph {
-	d2d := func(v indoor.PartitionID, di, dj indoor.DoorID) float64 {
+	d2d := func(v indoor.PartitionID, di, dj indoor.DoorID, _ *query.Stats) float64 {
 		// Honour direction like the engines do.
 		enterOK, leaveOK := false, false
 		for _, d := range sp.Partition(v).Enter {

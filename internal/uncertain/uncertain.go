@@ -125,7 +125,7 @@ func (x *Index) doorDistFrom(p indoor.Point, vp indoor.PartitionID, limit float6
 		}
 		for _, v := range x.sp.Door(d).Enterable {
 			for _, nd := range x.sp.Partition(v).Leave {
-				if w := x.sp.WithinDoors(v, d, nd); !math.IsInf(w, 1) {
+				if w, _ := x.sp.WithinDoorsCached(v, d, nd); !math.IsInf(w, 1) {
 					if cand := dd + w; cand < dist[nd] {
 						dist[nd] = cand
 						h.Push(nd, cand)
