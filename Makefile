@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet fmt-check test race bench-pr2
+.PHONY: verify build vet fmt-check test race bench-pr2 bench-pr3
 
 verify: build vet fmt-check test race
 
@@ -21,7 +21,7 @@ fmt-check:
 	fi
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on -count=1 ./...
 
 race:
 	$(GO) test -race ./internal/enginetest/ ./internal/exec/
@@ -29,3 +29,7 @@ race:
 # Regenerates the distance-cache before/after report of PR 2.
 bench-pr2:
 	$(GO) run ./cmd/isqcachebench -o BENCH_PR2.json
+
+# Regenerates the context-tracking overhead report of PR 3.
+bench-pr3:
+	$(GO) run ./cmd/isqctxbench -o BENCH_PR3.json

@@ -35,6 +35,7 @@ func main() {
 		workers  = flag.Int("workers", 1, "concurrent query workers per setting (0 = all CPUs)")
 		dcache   = flag.Bool("distcache", true, "memoize door-pair distances in the space's lazy cache (false: engines that compute distances at query time recompute on the fly; answers are identical)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of text tables")
+		timeout  = flag.Duration("timeout", 0, "per-query deadline (0 = unbounded); queries cut off by it are counted, not failed")
 	)
 	flag.Parse()
 
@@ -45,6 +46,7 @@ func main() {
 	s.Seed = *seed
 	s.Workers = *workers
 	s.DistCache = *dcache
+	s.Timeout = *timeout
 	if *engines != "" {
 		s.Engines = strings.Split(*engines, ",")
 	}
@@ -87,6 +89,14 @@ func main() {
 		} else {
 			fmt.Printf("== Task %s (%.1fs) ==\n\n", tk, time.Since(start).Seconds())
 			bench.WriteAll(os.Stdout, series)
+		}
+	}
+
+	if n := s.TimedOut(); n > 0 {
+		if *csv {
+			fmt.Printf("timeout,cutoff_queries,%d\n", n)
+		} else {
+			fmt.Printf("== %d queries cut off by -timeout %v (partial cost kept in the averages) ==\n\n", n, *timeout)
 		}
 	}
 

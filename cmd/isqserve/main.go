@@ -5,6 +5,8 @@
 //
 //	isqserve [-addr :8080] [-dataset CPH] [-engines IDModel,VIPTree]
 //	         [-default VIPTree] [-objects 1000] [-seed 1]
+//	         [-query-timeout 0] [-max-visited-doors 0] [-max-work-mb 0]
+//	         [-read-timeout 30s] [-read-header-timeout 5s] [-idle-timeout 2m]
 //
 // Endpoints (all GET, JSON):
 //
@@ -13,6 +15,11 @@
 //	/v1/knn?x=&y=&floor=&k=[&engine=]
 //	/v1/route?x=&y=&floor=&x2=&y2=&floor2=[&engine=]
 //	/v1/partitions?floor=
+//
+// -query-timeout bounds every query endpoint (an expired query answers
+// 504); -max-visited-doors / -max-work-mb set the admission budget (an
+// exhausted query answers 422 with its partial progress). The read/idle
+// timeouts harden the listener itself against slow or stuck clients.
 package main
 
 import (
@@ -37,6 +44,14 @@ func main() {
 		def     = flag.String("default", "VIPTree", "default engine")
 		objects = flag.Int("objects", 1000, "number of random POIs")
 		seed    = flag.Int64("seed", 1, "workload seed")
+
+		queryTimeout = flag.Duration("query-timeout", 0, "per-query deadline on range/knn/route (0 = unbounded)")
+		maxDoors     = flag.Int("max-visited-doors", 0, "per-query door-expansion budget (0 = unbounded)")
+		maxWorkMB    = flag.Float64("max-work-mb", 0, "per-query transient working-set budget in MB (0 = unbounded)")
+
+		readTimeout       = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
+		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout")
+		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout")
 	)
 	flag.Parse()
 
@@ -62,6 +77,25 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *queryTimeout > 0 {
+		for _, ep := range []string{"range", "knn", "route"} {
+			srv.SetTimeout(ep, *queryTimeout)
+		}
+		log.Printf("query timeout: %v", *queryTimeout)
+	}
+	if *maxDoors > 0 || *maxWorkMB > 0 {
+		b := query.Budget{MaxVisitedDoors: *maxDoors, MaxWorkBytes: int64(*maxWorkMB * 1e6)}
+		srv.SetBudget(b)
+		log.Printf("admission budget: maxVisitedDoors=%d maxWorkBytes=%d", b.MaxVisitedDoors, b.MaxWorkBytes)
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadTimeout:       *readTimeout,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	log.Printf("serving %s with %d POIs on %s", info.Name, len(objs), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	log.Fatal(hs.ListenAndServe())
 }

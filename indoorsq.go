@@ -28,6 +28,7 @@
 package indoorsq
 
 import (
+	"context"
 	"io"
 
 	"indoorsq/internal/cindex"
@@ -110,6 +111,11 @@ type (
 	Path = query.Path
 	// Stats carries per-query cost counters.
 	Stats = query.Stats
+	// EngineCtx is the context-aware query interface: cancellation,
+	// deadlines and work budgets honoured inside the traversal loops.
+	EngineCtx = query.EngineCtx
+	// Budget bounds a single query's work (doors, bytes, wall clock).
+	Budget = query.Budget
 	// DatasetInfo is a benchmark dataset with its tuned parameters.
 	DatasetInfo = dataset.Info
 	// Workload generates reproducible objects and query instances.
@@ -124,7 +130,18 @@ var (
 	ErrNoHost = query.ErrNoHost
 	// ErrUnreachable marks an unreachable shortest-path target.
 	ErrUnreachable = query.ErrUnreachable
+	// ErrBudgetExhausted marks a query aborted by its work budget.
+	ErrBudgetExhausted = query.ErrBudgetExhausted
 )
+
+// WithBudget attaches a per-query work budget to ctx; engines running
+// under the returned context abort with ErrBudgetExhausted once a limit
+// trips. A zero Budget constrains nothing.
+func WithBudget(ctx context.Context, b Budget) context.Context { return query.WithBudget(ctx, b) }
+
+// AsCtx returns e's native context-aware interface, or an entry-checked
+// adapter for engines that predate EngineCtx.
+func AsCtx(e Engine) EngineCtx { return query.AsCtx(e) }
 
 // NewBuilder starts assembling a space with the given floor count.
 func NewBuilder(name string, floors int) *Builder { return indoor.NewBuilder(name, floors) }

@@ -5,7 +5,10 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"indoorsq/internal/cindex"
@@ -70,11 +73,20 @@ type Suite struct {
 	// compute distances at query time (CINDEX). False forces on-the-fly
 	// recomputation; answers are unaffected.
 	DistCache bool
+	// Timeout, when positive, bounds every measured query with its own
+	// deadline. Queries cut off by it are not errors: they count into
+	// Measure.TimedOut and their partial cost still enters the averages.
+	Timeout time.Duration
 
-	engines  map[string]query.Engine
-	objSets  map[string][]query.Object
-	cacheTot map[string]*CacheEffect
+	engines     map[string]query.Engine
+	objSets     map[string][]query.Object
+	cacheTot    map[string]*CacheEffect
+	timedOutTot int64
 }
+
+// TimedOut returns how many measured queries across the whole suite were
+// cut off by the Timeout deadline.
+func (s *Suite) TimedOut() int64 { return s.timedOutTot }
 
 // CacheEffect accumulates distance-cache counters of one engine across every
 // measurement the suite ran.
@@ -156,20 +168,34 @@ type Measure struct {
 	NVD         float64 // average number of visited doors
 	CacheHits   float64 // average distance-cache hits per query
 	CacheMisses float64 // average distance-cache misses per query
+	TimedOut    int     // queries interrupted by the suite's Timeout
 }
 
 // measure runs n queries through fn — concurrently when the suite's Workers
 // allows — and averages the metrics. Per-query time is measured inside the
 // worker; the wall clock spans the whole batch, so TimeUS ≈ WallUS when
-// sequential and TimeUS > WallUS under effective parallelism.
-func (s *Suite) measure(eng query.Engine, n int, fn func(i int, st *query.Stats) error) (Measure, error) {
+// sequential and TimeUS > WallUS under effective parallelism. Each query
+// runs under its own context carrying the suite Timeout; interrupted
+// queries count into TimedOut instead of failing the measurement.
+func (s *Suite) measure(eng query.Engine, n int, fn func(ctx context.Context, i int, st *query.Stats) error) (Measure, error) {
 	pool := exec.Pool{Workers: s.Workers}
 	times := make([]float64, n)
+	var timedOut atomic.Int64
 	start := time.Now()
-	merged, err := pool.Map(n, func(i int, st *query.Stats) error {
+	merged, err := pool.MapCtx(context.Background(), n, func(ctx context.Context, i int, st *query.Stats) error {
+		cancel := context.CancelFunc(func() {})
+		if s.Timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, s.Timeout)
+		}
 		t0 := time.Now()
-		err := fn(i, st)
+		err := fn(ctx, i, st)
+		cancel()
 		times[i] = float64(time.Since(t0).Microseconds())
+		if err != nil && (errors.Is(err, context.DeadlineExceeded) ||
+			errors.Is(err, context.Canceled) || errors.Is(err, query.ErrBudgetExhausted)) {
+			timedOut.Add(1)
+			return nil
+		}
 		return err
 	})
 	wall := time.Since(start)
@@ -187,6 +213,8 @@ func (s *Suite) measure(eng query.Engine, n int, fn func(i int, st *query.Stats)
 	m.NVD = float64(merged.VisitedDoors) / f
 	m.CacheHits = float64(merged.CacheHits) / f
 	m.CacheMisses = float64(merged.CacheMisses) / f
+	m.TimedOut = int(timedOut.Load())
+	s.timedOutTot += timedOut.Load()
 	if merged.CacheHits+merged.CacheMisses > 0 {
 		c := s.cacheTot[eng.Name()]
 		if c == nil {
@@ -201,24 +229,27 @@ func (s *Suite) measure(eng query.Engine, n int, fn func(i int, st *query.Stats)
 
 // MeasureRQ runs the range query over all points.
 func (s *Suite) MeasureRQ(eng query.Engine, pts []indoor.Point, r float64) (Measure, error) {
-	return s.measure(eng, len(pts), func(i int, st *query.Stats) error {
-		_, err := eng.Range(pts[i], r, st)
+	ec := query.AsCtx(eng)
+	return s.measure(eng, len(pts), func(ctx context.Context, i int, st *query.Stats) error {
+		_, err := ec.RangeCtx(ctx, pts[i], r, st)
 		return err
 	})
 }
 
 // MeasureKNN runs the kNN query over all points.
 func (s *Suite) MeasureKNN(eng query.Engine, pts []indoor.Point, k int) (Measure, error) {
-	return s.measure(eng, len(pts), func(i int, st *query.Stats) error {
-		_, err := eng.KNN(pts[i], k, st)
+	ec := query.AsCtx(eng)
+	return s.measure(eng, len(pts), func(ctx context.Context, i int, st *query.Stats) error {
+		_, err := ec.KNNCtx(ctx, pts[i], k, st)
 		return err
 	})
 }
 
 // MeasureSPD runs the fused shortest path/distance query over all pairs.
 func (s *Suite) MeasureSPD(eng query.Engine, pairs []workload.Pair) (Measure, error) {
-	return s.measure(eng, len(pairs), func(i int, st *query.Stats) error {
-		_, err := eng.SPD(pairs[i].P, pairs[i].Q, st)
+	ec := query.AsCtx(eng)
+	return s.measure(eng, len(pairs), func(ctx context.Context, i int, st *query.Stats) error {
+		_, err := ec.SPDCtx(ctx, pairs[i].P, pairs[i].Q, st)
 		return err
 	})
 }

@@ -131,7 +131,22 @@ func (s *Scratch) CopyFirst(dst []int32) {
 // for the forward/reverse semantics), leaving the results readable through
 // the accessors until the next run.
 func (s *Scratch) Run(g *Graph, src int32, reverse bool) {
-	s.run(g, src, reverse, 0)
+	s.run(g, src, reverse, 0, 0, nil)
+}
+
+// RunChecked is Run with an amortized cancellation probe: check is invoked
+// after every `every` settled doors (every <= 0 defaults to 64) and its
+// first non-nil error aborts the sweep and is returned. The accessors then
+// describe a partial relaxation; callers must not trust unreached entries.
+func (s *Scratch) RunChecked(g *Graph, src int32, reverse bool, every int, check func() error) error {
+	if every <= 0 {
+		every = 64
+	}
+	if check == nil {
+		s.run(g, src, reverse, 0, 0, nil)
+		return nil
+	}
+	return s.run(g, src, reverse, 0, every, check)
 }
 
 // RunTargets is Run with an early exit: the sweep stops as soon as every
@@ -141,7 +156,7 @@ func (s *Scratch) Run(g *Graph, src int32, reverse bool) {
 // empties, exactly like Run.
 func (s *Scratch) RunTargets(g *Graph, src int32, reverse bool, targets []int32) {
 	if len(targets) == 0 {
-		s.run(g, src, reverse, 0)
+		s.run(g, src, reverse, 0, 0, nil)
 		return
 	}
 	s.tepoch++
@@ -158,12 +173,13 @@ func (s *Scratch) RunTargets(g *Graph, src int32, reverse bool, targets []int32)
 			remaining++
 		}
 	}
-	s.run(g, src, reverse, remaining)
+	s.run(g, src, reverse, remaining, 0, nil)
 }
 
 // run is the shared sweep; remainingTargets > 0 enables the early exit
-// against the tmark set.
-func (s *Scratch) run(g *Graph, src int32, reverse bool, remainingTargets int) {
+// against the tmark set, and a non-nil check is polled every `every`
+// settled doors (RunChecked).
+func (s *Scratch) run(g *Graph, src int32, reverse bool, remainingTargets, every int, check func() error) error {
 	adj := g.Fwd
 	if reverse {
 		adj = g.Rev
@@ -173,15 +189,23 @@ func (s *Scratch) run(g *Graph, src int32, reverse bool, remainingTargets int) {
 	s.dist[src] = 0
 	s.first[src] = src
 	s.h.Push(src, 0)
+	settled := 0
 	for s.h.Len() > 0 {
 		d, dd := s.h.Pop()
 		if dd > s.dist[d] {
 			continue
 		}
+		if check != nil {
+			if settled++; settled%every == 0 {
+				if err := check(); err != nil {
+					return err
+				}
+			}
+		}
 		if remainingTargets > 0 && s.tmark[d] == s.tepoch {
 			s.tmark[d] = s.tepoch - 1 // settle each target once
 			if remainingTargets--; remainingTargets == 0 {
-				return
+				return nil
 			}
 		}
 		for _, e := range adj[d] {
@@ -199,4 +223,5 @@ func (s *Scratch) run(g *Graph, src int32, reverse bool, remainingTargets int) {
 			}
 		}
 	}
+	return nil
 }

@@ -1,0 +1,61 @@
+package doorgraph
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"indoorsq/internal/testspaces"
+)
+
+// TestRunCheckedMatchesRun asserts a non-aborting checked sweep is
+// indistinguishable from Run.
+func TestRunCheckedMatchesRun(t *testing.T) {
+	sp := testspaces.RandomGrid(8, 4, 5, 2, 6, 0.2)
+	g := Build(sp)
+	ref := NewScratch(g.N)
+	chk := NewScratch(g.N)
+	for src := int32(0); src < int32(g.N); src += 3 {
+		ref.Run(g, src, false)
+		calls := 0
+		if err := chk.RunChecked(g, src, false, 1, func() error { calls++; return nil }); err != nil {
+			t.Fatalf("src %d: RunChecked: %v", src, err)
+		}
+		if calls == 0 {
+			t.Fatalf("src %d: check was never polled", src)
+		}
+		for d := 0; d < g.N; d++ {
+			rd, cd := ref.DistAt(d), chk.DistAt(d)
+			if rd != cd && !(math.IsInf(rd, 1) && math.IsInf(cd, 1)) {
+				t.Fatalf("src %d: dist[%d] = %g checked vs %g plain", src, d, cd, rd)
+			}
+		}
+	}
+
+	// A nil check degrades to the plain sweep.
+	if err := chk.RunChecked(g, 0, false, 1, nil); err != nil {
+		t.Fatalf("RunChecked(nil check): %v", err)
+	}
+}
+
+// TestRunCheckedAborts asserts the first check error stops the sweep and is
+// returned verbatim.
+func TestRunCheckedAborts(t *testing.T) {
+	sp := testspaces.RandomGrid(8, 4, 5, 2, 6, 0.2)
+	g := Build(sp)
+	s := NewScratch(g.N)
+	boom := errors.New("boom")
+	calls := 0
+	err := s.RunChecked(g, 0, false, 1, func() error {
+		if calls++; calls == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls != 2 {
+		t.Fatalf("sweep kept running after the abort: %d checks", calls)
+	}
+}

@@ -29,6 +29,7 @@ func Run(t *testing.T, build BuildFunc) {
 	t.Run("OneWayUnreachable", func(t *testing.T) { oneWayUnreachable(t, build) })
 	t.Run("EdgeCases", func(t *testing.T) { edgeCases(t, build) })
 	t.Run("SizeBytes", func(t *testing.T) { sizeBytes(t, build) })
+	t.Run("Cancellation", func(t *testing.T) { cancellation(t, build) })
 }
 
 // stripObjects places six objects with hand-computed distances from

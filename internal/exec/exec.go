@@ -8,6 +8,10 @@
 package exec
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"time"
@@ -15,6 +19,10 @@ import (
 	"indoorsq/internal/indoor"
 	"indoorsq/internal/query"
 )
+
+// ErrInvalidOp marks an op rejected by up-front validation (negative or NaN
+// range radius, non-positive k) before any engine work is spent on it.
+var ErrInvalidOp = errors.New("exec: invalid op")
 
 // Kind selects the query type of an Op.
 type Kind int
@@ -50,12 +58,51 @@ type Batch struct {
 	Stats     query.Stats   // merged worker shards (== sequential sums)
 	Wall      time.Duration // wall-clock time of the whole batch
 	QueryTime time.Duration // summed per-query latencies across workers
+	// Errs counts ops that finished with a non-nil Result.Err, including
+	// validation rejects and cancellations.
+	Errs int
+	// Cancelled counts the subset of Errs caused by context cancellation,
+	// deadline expiry, or budget exhaustion — ops that were interrupted
+	// rather than answered.
+	Cancelled int
 }
 
 // Pool runs batches with at most Workers concurrent queries (<= 0 means
 // GOMAXPROCS). The zero value is ready to use.
 type Pool struct {
 	Workers int
+	// FailFast cancels the remainder of a batch as soon as one op fails:
+	// queued ops then return immediately with context.Canceled instead of
+	// running to completion. Off by default — a batch normally answers every
+	// op and reports per-op errors in the Results.
+	FailFast bool
+	// OpTimeout, when positive, bounds each op with its own deadline derived
+	// from the batch context.
+	OpTimeout time.Duration
+}
+
+// validate rejects ops that could never produce an answer, so a worker is
+// not burned on them.
+func validate(op Op) error {
+	switch op.Kind {
+	case RangeQ:
+		if math.IsNaN(op.R) || op.R < 0 {
+			return fmt.Errorf("%w: range radius %v", ErrInvalidOp, op.R)
+		}
+	case KNNQ:
+		if op.K <= 0 {
+			return fmt.Errorf("%w: knn k %d", ErrInvalidOp, op.K)
+		}
+	}
+	return nil
+}
+
+// interrupted reports whether err is an interruption (context cancellation,
+// deadline expiry, or budget exhaustion) rather than a query failure.
+func interrupted(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, query.ErrBudgetExhausted)
 }
 
 // workers resolves the effective worker count for a batch of n items.
@@ -76,28 +123,68 @@ func (p *Pool) workers(n int) int {
 // Run executes ops against eng. Results are indexed like ops regardless of
 // scheduling, so the output is deterministic for deterministic engines.
 func (p *Pool) Run(eng query.Engine, ops []Op) ([]Result, Batch) {
+	return p.RunCtx(context.Background(), eng, ops)
+}
+
+// RunCtx is Run bounded by ctx: every op runs under a context derived from
+// it (plus OpTimeout, when set), so cancelling ctx interrupts the whole
+// batch mid-traversal. Interrupted and invalid ops report their error in
+// their Result like any other per-op failure; the batch itself always
+// completes and tallies them in Errs/Cancelled.
+func (p *Pool) RunCtx(ctx context.Context, eng query.Engine, ops []Op) ([]Result, Batch) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	batchCtx := ctx
+	var abort context.CancelFunc
+	if p.FailFast {
+		batchCtx, abort = context.WithCancel(ctx)
+		defer abort()
+	}
+	ec := query.AsCtx(eng)
 	results := make([]Result, len(ops))
 	start := time.Now()
-	merged, _ := p.Map(len(ops), func(i int, st *query.Stats) error {
+	merged, _ := p.MapCtx(batchCtx, len(ops), func(opCtx context.Context, i int, st *query.Stats) error {
 		r := &results[i]
+		if err := validate(ops[i]); err != nil {
+			r.Err = err
+			if abort != nil {
+				abort()
+			}
+			return nil // per-op errors live in the Result, not the batch
+		}
+		done := func() {}
+		if p.OpTimeout > 0 {
+			opCtx, done = context.WithTimeout(opCtx, p.OpTimeout)
+		}
 		var own query.Stats
 		t0 := time.Now()
 		switch ops[i].Kind {
 		case RangeQ:
-			r.IDs, r.Err = eng.Range(ops[i].P, ops[i].R, &own)
+			r.IDs, r.Err = ec.RangeCtx(opCtx, ops[i].P, ops[i].R, &own)
 		case KNNQ:
-			r.Neighbors, r.Err = eng.KNN(ops[i].P, ops[i].K, &own)
+			r.Neighbors, r.Err = ec.KNNCtx(opCtx, ops[i].P, ops[i].K, &own)
 		case SPDQ:
-			r.Path, r.Err = eng.SPD(ops[i].P, ops[i].Q, &own)
+			r.Path, r.Err = ec.SPDCtx(opCtx, ops[i].P, ops[i].Q, &own)
 		}
+		done()
 		r.Elapsed = time.Since(t0)
 		r.Stats = own
 		st.Add(own)
-		return nil // per-op errors live in the Result, not the batch
+		if r.Err != nil && abort != nil {
+			abort()
+		}
+		return nil
 	})
 	b := Batch{Stats: merged, Wall: time.Since(start)}
 	for i := range results {
 		b.QueryTime += results[i].Elapsed
+		if err := results[i].Err; err != nil {
+			b.Errs++
+			if interrupted(err) {
+				b.Cancelled++
+			}
+		}
 	}
 	return results, b
 }
@@ -153,4 +240,16 @@ func (p *Pool) Map(n int, fn func(i int, st *query.Stats) error) (query.Stats, e
 		}
 	}
 	return st, nil
+}
+
+// MapCtx is Map with a context threaded to every invocation. It does not
+// skip items itself: once ctx is cancelled each remaining fn call is
+// expected to notice (engine ...Ctx entry points fail immediately on a
+// cancelled context), which keeps Map's contract — every index runs, the
+// lowest-index error wins — while the batch drains in microseconds.
+func (p *Pool) MapCtx(ctx context.Context, n int, fn func(ctx context.Context, i int, st *query.Stats) error) (query.Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return p.Map(n, func(i int, st *query.Stats) error { return fn(ctx, i, st) })
 }

@@ -83,7 +83,7 @@ func NewVGraph(poly Polygon, anchors []Point) *VGraph {
 	for i := 0; i < na; i++ {
 		g.attachInto(sc.seed, g.anchors[i])
 		dist := make([]float64, nv)
-		g.dijkstraInto(dist, sc.done, sc.seed)
+		g.dijkstraInto(dist, sc.done, sc.seed, nil)
 		g.anchorVert[i] = dist
 	}
 	g.putScratch(sc)
@@ -129,14 +129,19 @@ func (g *VGraph) attachInto(dst []float64, p Point) {
 
 // dijkstraInto computes geodesic distances to all vertices from the seed
 // vector (distance per vertex, +Inf when unseeded) with a dense O(V^2)
-// scan, writing into dist and using done as the settled set.
-func (g *VGraph) dijkstraInto(dist []float64, done []bool, seed []float64) {
+// scan, writing into dist and using done as the settled set. A non-nil stop
+// is polled between vertex settlements; when it reports true the sweep
+// aborts, leaving dist partially relaxed.
+func (g *VGraph) dijkstraInto(dist []float64, done []bool, seed []float64, stop func() bool) {
 	n := len(g.verts)
 	copy(dist, seed)
 	for i := range done {
 		done[i] = false
 	}
 	for {
+		if stop != nil && stop() {
+			return
+		}
 		u, best := -1, math.Inf(1)
 		for i := 0; i < n; i++ {
 			if !done[i] && dist[i] < best {
@@ -179,9 +184,37 @@ func (g *VGraph) Dist(a, b Point) float64 {
 	}
 	sc := g.getScratch()
 	g.attachInto(sc.seed, a)
-	g.dijkstraInto(sc.dist, sc.done, sc.seed)
+	g.dijkstraInto(sc.dist, sc.done, sc.seed, nil)
 	g.attachInto(sc.seed, b)
 	d := g.combine(sc.dist, sc.seed)
+	g.putScratch(sc)
+	return d
+}
+
+// DistStop is Dist with a cancellation probe polled between vertex
+// settlements of the internal Dijkstra sweep. An aborted sweep returns +Inf;
+// callers distinguish that from genuine unreachability by re-checking their
+// interruption state. A nil stop is exactly Dist.
+func (g *VGraph) DistStop(a, b Point, stop func() bool) float64 {
+	if stop == nil {
+		return g.Dist(a, b)
+	}
+	if !g.poly.Contains(a) || !g.poly.Contains(b) {
+		return math.Inf(1)
+	}
+	if g.poly.SegmentInside(a, b) {
+		return a.Dist(b)
+	}
+	sc := g.getScratch()
+	g.attachInto(sc.seed, a)
+	g.dijkstraInto(sc.dist, sc.done, sc.seed, stop)
+	var d float64
+	if stop() {
+		d = math.Inf(1)
+	} else {
+		g.attachInto(sc.seed, b)
+		d = g.combine(sc.dist, sc.seed)
+	}
 	g.putScratch(sc)
 	return d
 }
@@ -223,7 +256,7 @@ func (g *VGraph) SourceFrom(p Point) *Source {
 	s.dist = make([]float64, len(g.verts))
 	sc := g.getScratch()
 	g.attachInto(sc.seed, p)
-	g.dijkstraInto(s.dist, sc.done, sc.seed)
+	g.dijkstraInto(s.dist, sc.done, sc.seed, nil)
 	g.putScratch(sc)
 	return s
 }
@@ -269,7 +302,7 @@ func (g *VGraph) MaxDistFrom(a Point) float64 {
 	}
 	sc := g.getScratch()
 	g.attachInto(sc.seed, a)
-	g.dijkstraInto(sc.dist, sc.done, sc.seed)
+	g.dijkstraInto(sc.dist, sc.done, sc.seed, nil)
 	var m float64
 	for _, d := range sc.dist {
 		if !math.IsInf(d, 1) && d > m {

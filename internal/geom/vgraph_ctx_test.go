@@ -1,0 +1,35 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// TestDistStopNilAndLive asserts a nil or never-firing stop leaves DistStop
+// exactly equal to Dist, including around-the-corner geodesics.
+func TestDistStopNilAndLive(t *testing.T) {
+	g := NewVGraph(lShape(), nil)
+	a, b := Pt(1, 3), Pt(5, 1) // geodesic bends at the reflex vertex (2,2)
+	want := g.Dist(a, b)
+	if d := g.DistStop(a, b, nil); d != want {
+		t.Fatalf("DistStop(nil) = %g, want %g", d, want)
+	}
+	if d := g.DistStop(a, b, func() bool { return false }); math.Abs(d-want) > 1e-12 {
+		t.Fatalf("DistStop(live) = %g, want %g", d, want)
+	}
+	// Directly visible pairs never enter the sweep, stop or not.
+	if d := g.DistStop(Pt(1, 1), Pt(5, 1), func() bool { return true }); math.Abs(d-4) > Eps {
+		t.Fatalf("visible DistStop = %g, want 4", d)
+	}
+}
+
+// TestDistStopAborted asserts a firing stop turns a corner geodesic into
+// +Inf (the caller re-checks its interruption state to tell this apart from
+// genuine unreachability).
+func TestDistStopAborted(t *testing.T) {
+	g := NewVGraph(lShape(), nil)
+	a, b := Pt(1, 3), Pt(5, 1)
+	if d := g.DistStop(a, b, func() bool { return true }); !math.IsInf(d, 1) {
+		t.Fatalf("aborted DistStop = %g, want +Inf", d)
+	}
+}

@@ -11,6 +11,7 @@
 package idindex
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sort"
@@ -174,11 +175,12 @@ type mergeEntry struct {
 // expand visits doors in globally increasing indoor distance from p,
 // invoking scan for each first visit with the door's exact distance. scan
 // returns the current pruning radius (+Inf to keep going); expansion stops
-// once the next frontier distance exceeds it.
-func (ix *Index) expand(v0 indoor.PartitionID, p indoor.Point, st *query.Stats, scan func(d indoor.DoorID, dist float64) float64) {
+// once the next frontier distance exceeds it. A tracked st interrupts the
+// merge between door visits with the context's error.
+func (ix *Index) expand(v0 indoor.PartitionID, p indoor.Point, st *query.Stats, scan func(d indoor.DoorID, dist float64) float64) error {
 	leave := ix.sp.Partition(v0).Leave
 	if len(leave) == 0 {
-		return
+		return nil
 	}
 	off := make([]float64, len(leave))
 	for i, d := range leave {
@@ -209,9 +211,13 @@ func (ix *Index) expand(v0 indoor.PartitionID, p indoor.Point, st *query.Stats, 
 		}
 		visited[d] = true
 		st.Door()
+		if err := st.Interrupted(); err != nil {
+			return err
+		}
 		radius = scan(d, edist)
 	}
 	st.Alloc(int64(len(off))*8 + int64(h.Cap())*16 + int64(len(visited))*9)
+	return nil
 }
 
 // Range implements query.Engine.
@@ -224,7 +230,7 @@ func (ix *Index) Range(p indoor.Point, r float64, st *query.Stats) ([]int32, err
 	for _, nb := range ix.store.RangeScan(ix.sp, v0, p, 0, r, nil) {
 		res[nb.ID] = struct{}{}
 	}
-	ix.expand(v0, p, st, func(d indoor.DoorID, dist float64) float64 {
+	err := ix.expand(v0, p, st, func(d indoor.DoorID, dist float64) float64 {
 		if dist <= r {
 			for _, v := range ix.sp.Door(d).Enterable {
 				for _, nb := range ix.store.RangeScanDoor(ix.sp, v, d, dist, r-dist, nil) {
@@ -234,6 +240,9 @@ func (ix *Index) Range(p indoor.Point, r float64, st *query.Stats) ([]int32, err
 		}
 		return r
 	})
+	if err != nil {
+		return nil, err
+	}
 	st.Alloc(int64(len(res)) * 8)
 
 	out := make([]int32, 0, len(res))
@@ -258,7 +267,7 @@ func (ix *Index) KNN(p indoor.Point, k int, st *query.Stats) ([]query.Neighbor, 
 		o := ix.store.At(i)
 		tk.Offer(o.ID, ix.sp.WithinPoints(v0, p, o.Loc))
 	}
-	ix.expand(v0, p, st, func(d indoor.DoorID, dist float64) float64 {
+	err := ix.expand(v0, p, st, func(d indoor.DoorID, dist float64) float64 {
 		if dist <= tk.Bound() {
 			for _, v := range ix.sp.Door(d).Enterable {
 				for _, i := range ix.store.Bucket(v) {
@@ -268,6 +277,9 @@ func (ix *Index) KNN(p indoor.Point, k int, st *query.Stats) ([]query.Neighbor, 
 		}
 		return tk.Bound()
 	})
+	if err != nil {
+		return nil, err
+	}
 	st.Alloc(tk.SizeBytes())
 	return tk.Results(), nil
 }
@@ -288,7 +300,7 @@ func (ix *Index) SPD(p, q indoor.Point, st *query.Stats) (query.Path, error) {
 	best := math.Inf(1)
 	bestP, bestQ := indoor.NoDoor, indoor.NoDoor
 	if vp == vq {
-		best = ix.sp.WithinPoints(vp, p, q)
+		best = ix.sp.WithinPointsStop(vp, p, q, st.Stop())
 	}
 
 	leave := ix.sp.Partition(vp).Leave
@@ -302,6 +314,9 @@ func (ix *Index) SPD(p, q indoor.Point, st *query.Stats) (query.Path, error) {
 	for j, dq := range enter {
 		tailD[j] = ix.sp.WithinPointDoor(vq, q, dq)
 		st.Door()
+	}
+	if err := st.Interrupted(); err != nil {
+		return query.Path{}, err
 	}
 	for i, dp := range leave {
 		base := int(dp) * ix.n
@@ -328,6 +343,34 @@ func (ix *Index) SPD(p, q indoor.Point, st *query.Stats) (query.Path, error) {
 	}
 	st.Alloc(int64(len(doors)) * 4)
 	return query.Path{Source: p, Target: q, Doors: doors, Dist: best}, nil
+}
+
+// RangeCtx implements query.EngineCtx: Range bounded by ctx and any
+// attached query.Budget.
+func (ix *Index) RangeCtx(ctx context.Context, p indoor.Point, r float64, st *query.Stats) ([]int32, error) {
+	st = query.Track(ctx, st)
+	if err := st.Interrupted(); err != nil {
+		return nil, err
+	}
+	return ix.Range(p, r, st)
+}
+
+// KNNCtx implements query.EngineCtx.
+func (ix *Index) KNNCtx(ctx context.Context, p indoor.Point, k int, st *query.Stats) ([]query.Neighbor, error) {
+	st = query.Track(ctx, st)
+	if err := st.Interrupted(); err != nil {
+		return nil, err
+	}
+	return ix.KNN(p, k, st)
+}
+
+// SPDCtx implements query.EngineCtx.
+func (ix *Index) SPDCtx(ctx context.Context, p, q indoor.Point, st *query.Stats) (query.Path, error) {
+	st = query.Track(ctx, st)
+	if err := st.Interrupted(); err != nil {
+		return query.Path{}, err
+	}
+	return ix.SPD(p, q, st)
 }
 
 // ensureStore lazily creates an empty object store.

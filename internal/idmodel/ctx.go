@@ -1,0 +1,65 @@
+package idmodel
+
+import (
+	"context"
+
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/query"
+)
+
+// RangeCtx implements query.EngineCtx: Range bounded by ctx and any
+// attached query.Budget. Cancellation rides the Stats accumulator into the
+// shared door-graph traversal, which probes it every
+// query.CheckInterval door expansions.
+func (m *Model) RangeCtx(ctx context.Context, p indoor.Point, r float64, st *query.Stats) ([]int32, error) {
+	st = query.Track(ctx, st)
+	if err := st.Interrupted(); err != nil {
+		return nil, err
+	}
+	return m.Range(p, r, st)
+}
+
+// KNNCtx implements query.EngineCtx.
+func (m *Model) KNNCtx(ctx context.Context, p indoor.Point, k int, st *query.Stats) ([]query.Neighbor, error) {
+	st = query.Track(ctx, st)
+	if err := st.Interrupted(); err != nil {
+		return nil, err
+	}
+	return m.KNN(p, k, st)
+}
+
+// SPDCtx implements query.EngineCtx.
+func (m *Model) SPDCtx(ctx context.Context, p, q indoor.Point, st *query.Stats) (query.Path, error) {
+	st = query.Track(ctx, st)
+	if err := st.Interrupted(); err != nil {
+		return query.Path{}, err
+	}
+	return m.SPD(p, q, st)
+}
+
+// RangeCtx implements query.EngineCtx for the temporal open-door view.
+func (v *openView) RangeCtx(ctx context.Context, p indoor.Point, r float64, st *query.Stats) ([]int32, error) {
+	st = query.Track(ctx, st)
+	if err := st.Interrupted(); err != nil {
+		return nil, err
+	}
+	return v.Range(p, r, st)
+}
+
+// KNNCtx implements query.EngineCtx for the temporal open-door view.
+func (v *openView) KNNCtx(ctx context.Context, p indoor.Point, k int, st *query.Stats) ([]query.Neighbor, error) {
+	st = query.Track(ctx, st)
+	if err := st.Interrupted(); err != nil {
+		return nil, err
+	}
+	return v.KNN(p, k, st)
+}
+
+// SPDCtx implements query.EngineCtx for the temporal open-door view.
+func (v *openView) SPDCtx(ctx context.Context, p, q indoor.Point, st *query.Stats) (query.Path, error) {
+	st = query.Track(ctx, st)
+	if err := st.Interrupted(); err != nil {
+		return query.Path{}, err
+	}
+	return v.SPD(p, q, st)
+}

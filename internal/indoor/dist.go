@@ -47,6 +47,26 @@ func (s *Space) WithinPoints(v PartitionID, a, b Point) float64 {
 	return s.vg[v].Dist(a.XY(), b.XY())
 }
 
+// WithinPointsStop is WithinPoints with a cancellation probe: a concave
+// partition's geodesic sweep polls stop between vertex settlements and bails
+// out with +Inf when it reports true. A nil stop (the untracked common case)
+// is exactly WithinPoints. Callers that can be interrupted must distinguish
+// the abort from genuine unreachability themselves (e.g. via
+// query.Stats.Interrupted).
+func (s *Space) WithinPointsStop(v PartitionID, a, b Point, stop func() bool) float64 {
+	if stop == nil {
+		return s.WithinPoints(v, a, b)
+	}
+	part := &s.parts[v]
+	if part.Kind == Staircase || part.convex {
+		return s.WithinPoints(v, a, b)
+	}
+	if a.Floor != part.Floor || b.Floor != part.Floor {
+		return math.Inf(1)
+	}
+	return s.vg[v].DistStop(a.XY(), b.XY(), stop)
+}
+
 // WithinPointDoor returns ‖p,d‖v: the intra-partition distance from point p
 // in partition v to door d of v. It returns +Inf when d is not a door of v
 // or p lies outside v.

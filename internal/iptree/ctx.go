@@ -1,0 +1,38 @@
+package iptree
+
+import (
+	"context"
+
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/query"
+)
+
+// RangeCtx implements query.EngineCtx: Range bounded by ctx and any
+// attached query.Budget. Cancellation rides the Stats accumulator into the
+// leaf Dijkstras and the best-first leaf sweep, which probe it every
+// query.CheckInterval door expansions.
+func (t *Tree) RangeCtx(ctx context.Context, p indoor.Point, r float64, st *query.Stats) ([]int32, error) {
+	st = query.Track(ctx, st)
+	if err := st.Interrupted(); err != nil {
+		return nil, err
+	}
+	return t.Range(p, r, st)
+}
+
+// KNNCtx implements query.EngineCtx.
+func (t *Tree) KNNCtx(ctx context.Context, p indoor.Point, k int, st *query.Stats) ([]query.Neighbor, error) {
+	st = query.Track(ctx, st)
+	if err := st.Interrupted(); err != nil {
+		return nil, err
+	}
+	return t.KNN(p, k, st)
+}
+
+// SPDCtx implements query.EngineCtx.
+func (t *Tree) SPDCtx(ctx context.Context, p, q indoor.Point, st *query.Stats) (query.Path, error) {
+	st = query.Track(ctx, st)
+	if err := st.Interrupted(); err != nil {
+		return query.Path{}, err
+	}
+	return t.SPD(p, q, st)
+}

@@ -63,6 +63,9 @@ func (t *Tree) leafDoorDists(L int32, vp indoor.PartitionID, p indoor.Point, st 
 		}
 		done[u] = true
 		st.Door()
+		if st.Interrupted() != nil {
+			break // the caller surfaces the cause; the partial vector is dead
+		}
 		du := leaf.doors[u]
 		for _, v := range t.sp.Door(du).Enterable {
 			if t.partLeaf[v] != L {
@@ -200,6 +203,9 @@ func (t *Tree) forEachLeafByBound(p indoor.Point, st *query.Stats, limit func() 
 	pd := t.homeLeafDoorDists(Lp, vp, p, pvec, st)
 	t.scanLeafObjects(Lp, pd, vp, p, limit, emit)
 	st.Alloc(int64(len(pd)) * 8)
+	if err := st.Interrupted(); err != nil {
+		return err
+	}
 
 	if t.opt.VIP {
 		return t.vipLeafSweep(Lp, vp, p, pvec, st, limit, emit)
@@ -226,6 +232,9 @@ func (t *Tree) forEachLeafByBound(p indoor.Point, st *query.Stats, limit func() 
 		c, bound := h.Pop()
 		if bound > limit() {
 			break
+		}
+		if err := st.Interrupted(); err != nil {
+			return err
 		}
 		n := &t.nodes[c.id]
 		if n.leaf {
@@ -321,6 +330,9 @@ func (t *Tree) vipLeafSweep(Lp int32, vp indoor.PartitionID, p indoor.Point, pve
 			}
 		}
 		cands = append(cands, leafCand{id: n.id, cL: cL, bound: dv.min(), dv: dv})
+		if err := st.Interrupted(); err != nil {
+			return err
+		}
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].bound < cands[j].bound })
 	st.Alloc(int64(len(cands)) * 40)
@@ -330,6 +342,9 @@ func (t *Tree) vipLeafSweep(Lp int32, vp indoor.PartitionID, p indoor.Point, pve
 	for _, c := range cands {
 		if c.bound > limit() {
 			break
+		}
+		if err := st.Interrupted(); err != nil {
+			return err
 		}
 		n := &t.nodes[c.id]
 		pd := infDvec(len(n.doors))

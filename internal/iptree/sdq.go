@@ -252,6 +252,9 @@ func (t *Tree) leafDijkstra(L int32, vp indoor.PartitionID, p indoor.Point, vq i
 		}
 		done[u] = true
 		st.Door()
+		if st.Interrupted() != nil {
+			break // SPD re-checks at the stage boundary and surfaces the cause
+		}
 		du := leaf.doors[u]
 		if w, ok := tailOf(du); ok {
 			if cand := bu + w; cand < best {
@@ -361,13 +364,19 @@ func (t *Tree) SPD(p, q indoor.Point, st *query.Stats) (query.Path, error) {
 	var literal []indoor.DoorID
 	isLiteral := false // literal door sequence (direct / within-leaf Dijkstra)
 	if vp == vq {
-		best = t.sp.WithinPoints(vp, p, q)
+		best = t.sp.WithinPointsStop(vp, p, q, st.Stop())
 		isLiteral = true
+	}
+	if err := st.Interrupted(); err != nil {
+		return query.Path{}, err
 	}
 
 	if Lp == Lq {
 		if d, c := t.leafDijkstra(Lp, vp, p, vq, q, st); d < best {
 			best, literal, isLiteral = d, c, true
+		}
+		if err := st.Interrupted(); err != nil {
+			return query.Path{}, err
 		}
 		// Out-and-back through the leaf's access doors.
 		pvec := t.pVecAt(Lp, Lp, vp, p, st)
@@ -384,6 +393,9 @@ func (t *Tree) SPD(p, q indoor.Point, st *query.Stats) (query.Path, error) {
 		lcaNode := &t.nodes[lcaID]
 		pvec := t.pVecAt(Lp, cp, vp, p, st)
 		qvec := t.qVecAt(Lq, cq, vq, q, st)
+		if err := st.Interrupted(); err != nil {
+			return query.Path{}, err
+		}
 		adP := t.nodes[cp].ad
 		adQ := t.nodes[cq].ad
 		for i, a := range adP {
@@ -408,6 +420,9 @@ func (t *Tree) SPD(p, q indoor.Point, st *query.Stats) (query.Path, error) {
 		st.Alloc(int64(len(adP)+len(adQ)) * 24)
 	}
 
+	if err := st.Interrupted(); err != nil {
+		return query.Path{}, err
+	}
 	if math.IsInf(best, 1) {
 		return query.Path{}, query.ErrUnreachable
 	}

@@ -19,6 +19,7 @@
 package keyword
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -136,6 +137,37 @@ func (x *Index) wordIDs(words []string) ([]int32, bool) {
 		}
 	}
 	return out, true
+}
+
+// BooleanKNNCtx is BooleanKNN bounded by ctx and any query.Budget it
+// carries: the underlying filtered expansion aborts as soon as the context
+// is done or the budget exhausts.
+func (x *Index) BooleanKNNCtx(ctx context.Context, p indoor.Point, k int, st *query.Stats, words ...string) ([]query.Neighbor, error) {
+	st = query.Track(ctx, st)
+	if err := st.Interrupted(); err != nil {
+		return nil, err
+	}
+	return x.BooleanKNN(p, k, st, words...)
+}
+
+// BooleanRangeCtx is BooleanRange bounded by ctx and any query.Budget it
+// carries.
+func (x *Index) BooleanRangeCtx(ctx context.Context, p indoor.Point, r float64, st *query.Stats, words ...string) ([]int32, error) {
+	st = query.Track(ctx, st)
+	if err := st.Interrupted(); err != nil {
+		return nil, err
+	}
+	return x.BooleanRange(p, r, st, words...)
+}
+
+// RouteCtx is Route bounded by ctx and any query.Budget it carries: the
+// (door, covered-keyword-set) Dijkstra aborts between state expansions.
+func (x *Index) RouteCtx(ctx context.Context, p, q indoor.Point, st *query.Stats, words ...string) (RouteResult, error) {
+	st = query.Track(ctx, st)
+	if err := st.Interrupted(); err != nil {
+		return RouteResult{}, err
+	}
+	return x.Route(p, q, st, words...)
 }
 
 // BooleanKNN returns the k nearest objects containing all query words.
@@ -306,6 +338,9 @@ func (x *Index) Route(p, q indoor.Point, st *query.Stats, words ...string) (Rout
 		}
 		settled[s] = true
 		st.Door()
+		if err := st.Interrupted(); err != nil {
+			return RouteResult{}, err
+		}
 
 		// Finish: enter vq, optionally via a final object visit.
 		if tail, ok := enterQ[s.door]; ok {

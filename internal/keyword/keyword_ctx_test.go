@@ -1,0 +1,28 @@
+package keyword_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"indoorsq/internal/idmodel"
+	"indoorsq/internal/keyword"
+	"indoorsq/internal/testspaces"
+)
+
+func TestKeywordCtxCancelled(t *testing.T) {
+	f := testspaces.NewStrip()
+	x := keyword.New(idmodel.New(f.Space), f.Space, tagged(f))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := x.BooleanKNNCtx(ctx, p, 2, nil, "coffee"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("BooleanKNNCtx(cancelled) = %v, want Canceled", err)
+	}
+	if _, err := x.BooleanRangeCtx(ctx, p, 12, nil, "coffee"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("BooleanRangeCtx(cancelled) = %v, want Canceled", err)
+	}
+	if _, err := x.RouteCtx(ctx, p, p, nil, "atm"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RouteCtx(cancelled) = %v, want Canceled", err)
+	}
+}

@@ -9,12 +9,14 @@
 package moving
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"indoorsq/internal/indoor"
 	"indoorsq/internal/pq"
+	"indoorsq/internal/query"
 )
 
 // Update is one position report of a moving object.
@@ -65,6 +67,15 @@ func NewMonitor(sp *indoor.Space) *Monitor {
 // already known to the monitor are evaluated immediately; their enter events
 // are returned.
 func (m *Monitor) Register(qid int32, p indoor.Point, r float64, t float64) ([]Event, error) {
+	return m.RegisterCtx(context.Background(), qid, p, r, t)
+}
+
+// RegisterCtx is Register bounded by ctx: the registration-time Dijkstra
+// that caches the door-distance field around p checks the context between
+// door expansions, so an oversized registration can be cancelled or
+// deadline-bounded. Later Apply calls absorb updates with a handful of
+// intra-partition computations and need no context.
+func (m *Monitor) RegisterCtx(ctx context.Context, qid int32, p indoor.Point, r float64, t float64) ([]Event, error) {
 	if _, dup := m.queries[qid]; dup {
 		return nil, fmt.Errorf("moving: query %d already registered", qid)
 	}
@@ -72,13 +83,17 @@ func (m *Monitor) Register(qid int32, p indoor.Point, r float64, t float64) ([]E
 	if !ok {
 		return nil, fmt.Errorf("moving: query point %v is not indoors", p)
 	}
+	field, err := m.distField(ctx, p, vp, r)
+	if err != nil {
+		return nil, err
+	}
 	q := &crq{
 		id:       qid,
 		p:        p,
 		pRef:     m.sp.Ref(vp, p),
 		vp:       vp,
 		r:        r,
-		doorDist: m.distField(p, vp, r),
+		doorDist: field,
 		inside:   make(map[int32]bool),
 	}
 	m.queries[qid] = q
@@ -178,8 +193,12 @@ func (m *Monitor) objDist(q *crq, u Update) float64 {
 	return best
 }
 
-// distField runs the bounded Dijkstra from p once at registration.
-func (m *Monitor) distField(p indoor.Point, vp indoor.PartitionID, limit float64) []float64 {
+// distField runs the bounded Dijkstra from p once at registration, polling
+// ctx every query.CheckInterval settled doors.
+func (m *Monitor) distField(ctx context.Context, p indoor.Point, vp indoor.PartitionID, limit float64) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := m.sp.NumDoors()
 	dist := make([]float64, n)
 	for i := range dist {
@@ -192,10 +211,16 @@ func (m *Monitor) distField(p indoor.Point, vp indoor.PartitionID, limit float64
 			h.Push(d, w)
 		}
 	}
+	settled := 0
 	for h.Len() > 0 {
 		d, dd := h.Pop()
 		if dd > dist[d] || dd > limit {
 			continue
+		}
+		if settled++; settled%query.CheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 		}
 		for _, v := range m.sp.Door(d).Enterable {
 			for _, nd := range m.sp.Partition(v).Leave {
@@ -208,5 +233,5 @@ func (m *Monitor) distField(p indoor.Point, vp indoor.PartitionID, limit float64
 			}
 		}
 	}
-	return dist
+	return dist, nil
 }

@@ -1,0 +1,34 @@
+package moving_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/moving"
+	"indoorsq/internal/testspaces"
+)
+
+func TestRegisterCtxCancelled(t *testing.T) {
+	f := testspaces.NewStrip()
+	m := moving.NewMonitor(f.Space)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.RegisterCtx(ctx, 7, indoor.At(2.5, 5, 0), 4, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RegisterCtx(cancelled) = %v, want Canceled", err)
+	}
+}
+
+func TestRegisterCtxBackgroundEquivalence(t *testing.T) {
+	f := testspaces.NewStrip()
+	m := moving.NewMonitor(f.Space)
+	m.Apply(moving.Update{ID: 1, Loc: indoor.At(2.5, 7, 0), Part: f.R1, T: 0})
+	evs, err := m.RegisterCtx(context.Background(), 7, indoor.At(2.5, 5, 0), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || !evs[0].Enter || evs[0].Object != 1 {
+		t.Fatalf("RegisterCtx events = %v", evs)
+	}
+}

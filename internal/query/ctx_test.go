@@ -1,0 +1,162 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestTrackUntrackedIsFree(t *testing.T) {
+	var st Stats
+	if got := Track(context.Background(), &st); got != &st {
+		t.Fatal("Track(Background) must return st unchanged")
+	}
+	if st.ctl != nil {
+		t.Fatal("Background context must not arm tracking")
+	}
+	if got := Track(nil, &st); got != &st || st.ctl != nil {
+		t.Fatal("Track(nil ctx) must be a no-op")
+	}
+	// A nil st stays nil when nothing needs tracking.
+	if got := Track(context.Background(), nil); got != nil {
+		t.Fatal("Track(Background, nil) must return nil")
+	}
+	// A zero budget constrains nothing and must not arm either.
+	ctx := WithBudget(context.Background(), Budget{})
+	if got := Track(ctx, &st); got != &st || st.ctl != nil {
+		t.Fatal("zero budget must not arm tracking")
+	}
+}
+
+func TestTrackArmsAndAllocates(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	st := Track(ctx, nil)
+	if st == nil || st.ctl == nil {
+		t.Fatal("Track(cancellable, nil) must allocate a tracked Stats")
+	}
+	if err := st.Interrupted(); err != nil {
+		t.Fatalf("live context: Interrupted = %v", err)
+	}
+	// Re-arming for the same context reuses the control block.
+	c := st.ctl
+	if got := Track(ctx, st); got != st || st.ctl != c {
+		t.Fatal("nested Track for the same context must reuse the ctl")
+	}
+	cancel()
+	// The cancellation is observed at the next probe, not retroactively.
+	for i := 0; i < CheckInterval; i++ {
+		st.Door()
+	}
+	if err := st.Interrupted(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("after cancel + %d doors: Interrupted = %v", CheckInterval, err)
+	}
+}
+
+func TestTrackPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st := Track(ctx, &Stats{})
+	if err := st.Interrupted(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled context: Interrupted = %v, want Canceled", err)
+	}
+}
+
+func TestBudgetRoundTrip(t *testing.T) {
+	b := Budget{MaxVisitedDoors: 7, MaxWorkBytes: 1 << 20}
+	ctx := WithBudget(context.Background(), b)
+	got, ok := BudgetFrom(ctx)
+	if !ok || got != b {
+		t.Fatalf("BudgetFrom = %+v, %v", got, ok)
+	}
+	if _, ok := BudgetFrom(context.Background()); ok {
+		t.Fatal("BudgetFrom(Background) must report absent")
+	}
+}
+
+func TestDoorBudgetTripsExactly(t *testing.T) {
+	const limit = 10
+	ctx := WithBudget(context.Background(), Budget{MaxVisitedDoors: limit})
+	st := Track(ctx, &Stats{})
+	for i := 0; i < limit-1; i++ {
+		st.Door()
+		if err := st.Interrupted(); err != nil {
+			t.Fatalf("door %d/%d: Interrupted = %v", i+1, limit, err)
+		}
+	}
+	st.Door()
+	if err := st.Interrupted(); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("door %d/%d: Interrupted = %v, want ErrBudgetExhausted", limit, limit, err)
+	}
+	if st.VisitedDoors != limit {
+		t.Fatalf("VisitedDoors = %d, want exactly %d", st.VisitedDoors, limit)
+	}
+}
+
+func TestWorkBytesBudget(t *testing.T) {
+	ctx := WithBudget(context.Background(), Budget{MaxWorkBytes: 1024})
+	st := Track(ctx, &Stats{})
+	st.Alloc(512)
+	if err := st.Interrupted(); err != nil {
+		t.Fatalf("under byte budget: Interrupted = %v", err)
+	}
+	st.Alloc(512)
+	if err := st.Interrupted(); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("at byte budget: Interrupted = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+func TestBudgetDeadline(t *testing.T) {
+	ctx := WithBudget(context.Background(), Budget{Deadline: time.Now().Add(-time.Second)})
+	st := Track(ctx, &Stats{})
+	if err := st.Interrupted(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired budget deadline: Interrupted = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestStopClosure(t *testing.T) {
+	var untracked Stats
+	if untracked.Stop() != nil {
+		t.Fatal("untracked Stats must return a nil Stop")
+	}
+	var nilStats *Stats
+	if nilStats.Stop() != nil || nilStats.Interrupted() != nil {
+		t.Fatal("nil Stats must be inert")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	st := Track(ctx, &Stats{})
+	stop := st.Stop()
+	if stop == nil {
+		t.Fatal("tracked Stats must return a Stop closure")
+	}
+	if stop() {
+		t.Fatal("live context: stop() = true")
+	}
+	cancel()
+	// The closure polls every 16 calls; it must flip within one stride.
+	tripped := false
+	for i := 0; i < 16 && !tripped; i++ {
+		tripped = stop()
+	}
+	if !tripped {
+		t.Fatal("stop() never observed the cancellation")
+	}
+	if err := st.Interrupted(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("after stop trip: Interrupted = %v", err)
+	}
+}
+
+func TestResetDisarms(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st := Track(ctx, &Stats{})
+	if st.Interrupted() == nil {
+		t.Fatal("expected armed, interrupted Stats")
+	}
+	st.Reset()
+	if st.ctl != nil || st.Interrupted() != nil {
+		t.Fatal("Reset must disarm tracking")
+	}
+}

@@ -43,23 +43,39 @@ type Stats struct {
 	// running uncached record neither).
 	CacheHits   int64
 	CacheMisses int64
+
+	// ctl, when non-nil, is the cancellation control block armed by Track:
+	// it carries the query's context and budget so the amortized probes in
+	// Door/Alloc/Stop can interrupt the traversal. Untracked queries leave
+	// it nil and pay a single nil-check per counted event.
+	ctl *ctl
 }
 
-// Reset zeroes the counters.
+// Reset zeroes the counters and disarms any cancellation tracking.
 func (st *Stats) Reset() { *st = Stats{} }
 
 // Alloc records b transient bytes. A nil receiver is allowed so engines can
 // run without instrumentation.
 func (st *Stats) Alloc(b int64) {
-	if st != nil {
-		st.WorkBytes += b
+	if st == nil {
+		return
+	}
+	st.WorkBytes += b
+	if c := st.ctl; c != nil && c.err == nil && c.hasBudget &&
+		c.budget.MaxWorkBytes > 0 && st.WorkBytes >= c.budget.MaxWorkBytes {
+		c.err = ErrBudgetExhausted
 	}
 }
 
-// Door records one door expansion.
+// Door records one door expansion and, on tracked queries, runs the
+// amortized cancellation probe every CheckInterval expansions.
 func (st *Stats) Door() {
-	if st != nil {
-		st.VisitedDoors++
+	if st == nil {
+		return
+	}
+	st.VisitedDoors++
+	if c := st.ctl; c != nil && st.VisitedDoors >= c.next {
+		c.check(st)
 	}
 }
 

@@ -7,6 +7,7 @@
 package route
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -53,6 +54,17 @@ func assemble(p, q indoor.Point, legs ...query.Path) query.Path {
 // Via returns the walk p -> stops[0] -> ... -> stops[n-1] -> q visiting the
 // stops in the given order.
 func (pl *Planner) Via(p indoor.Point, stops []indoor.Point, q indoor.Point, st *query.Stats) (query.Path, error) {
+	return pl.ViaCtx(context.Background(), p, stops, q, st)
+}
+
+// ViaCtx is Via bounded by ctx (and any query.Budget it carries): every SPDQ
+// leg runs tracked, so cancellation interrupts the walk mid-leg and the
+// budget spans all legs together.
+func (pl *Planner) ViaCtx(ctx context.Context, p indoor.Point, stops []indoor.Point, q indoor.Point, st *query.Stats) (query.Path, error) {
+	st = query.Track(ctx, st)
+	if err := st.Interrupted(); err != nil {
+		return query.Path{}, err
+	}
 	legs := make([]query.Path, 0, len(stops)+1)
 	cur := p
 	for i, s := range stops {
@@ -75,9 +87,18 @@ func (pl *Planner) Via(p indoor.Point, stops []indoor.Point, q indoor.Point, st 
 // together with the visiting order (indexes into stops). It errors when
 // more than MaxStops waypoints are given or any leg is unreachable.
 func (pl *Planner) Optimized(p indoor.Point, stops []indoor.Point, q indoor.Point, st *query.Stats) (query.Path, []int, error) {
+	return pl.OptimizedCtx(context.Background(), p, stops, q, st)
+}
+
+// OptimizedCtx is Optimized bounded by ctx: the O(n²) pairwise SPDQ legs fan
+// out over the batch executor with ctx threaded to every shard, so
+// cancelling ctx interrupts the whole fan-out promptly. A query.Budget
+// carried by ctx bounds each leg individually (shards track independently).
+func (pl *Planner) OptimizedCtx(ctx context.Context, p indoor.Point, stops []indoor.Point, q indoor.Point, st *query.Stats) (query.Path, []int, error) {
+	ec := query.AsCtx(pl.eng)
 	n := len(stops)
 	if n == 0 {
-		walk, err := pl.eng.SPD(p, q, st)
+		walk, err := ec.SPDCtx(ctx, p, q, st)
 		return walk, nil, err
 	}
 	if n > MaxStops {
@@ -111,8 +132,8 @@ func (pl *Planner) Optimized(p indoor.Point, stops []indoor.Point, q indoor.Poin
 			}
 		}
 	}
-	merged, err := pl.pool.Map(len(jobs), func(i int, shard *query.Stats) error {
-		leg, err := pl.eng.SPD(jobs[i].src, jobs[i].dst, shard)
+	merged, err := pl.pool.MapCtx(ctx, len(jobs), func(ctx context.Context, i int, shard *query.Stats) error {
+		leg, err := ec.SPDCtx(ctx, jobs[i].src, jobs[i].dst, shard)
 		if err != nil {
 			return fmt.Errorf("route: %s: %w", jobs[i].what, err)
 		}

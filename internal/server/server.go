@@ -3,18 +3,33 @@
 // services built on top of the four query types). One server wraps a single
 // venue with any subset of the five engines; engines answer concurrent
 // requests safely since query processing is read-only.
+//
+// Every query runs under a context derived from the request: client
+// disconnects cancel the traversal, per-endpoint timeouts (SetTimeout)
+// bound it, and an admission budget (SetBudget) caps its work. The error
+// mapping is uniform: invalid parameters are 400, unanswerable queries
+// (no host partition, unreachable target, exhausted budget) are 422 with a
+// partial-progress payload, deadline expiry is 504, and a client that went
+// away is 499.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync/atomic"
+	"time"
 
 	"indoorsq/internal/indoor"
 	"indoorsq/internal/query"
 )
+
+// StatusClientClosedRequest is the non-standard (nginx-convention) status
+// reported when the client cancelled the request mid-query.
+const StatusClientClosedRequest = 499
 
 // Server serves indoor spatial queries for one venue.
 type Server struct {
@@ -23,6 +38,16 @@ type Server struct {
 	engines map[string]query.Engine
 	def     string
 	gamma   int
+
+	// timeouts holds per-endpoint query deadlines (SetTimeout).
+	timeouts map[string]time.Duration
+	// budget, when non-zero, is attached to every query context
+	// (SetBudget) as the admission-control work cap.
+	budget query.Budget
+	// encodeErrs counts responses whose JSON encoding failed mid-write
+	// (the status line was already sent, so the error can only be
+	// observed out of band; /v1/info surfaces the counter).
+	encodeErrs atomic.Int64
 }
 
 // New wires a server around pre-built engines keyed by name; def is the
@@ -34,7 +59,44 @@ func New(name string, sp *indoor.Space, engines map[string]query.Engine, def str
 	if _, ok := engines[def]; !ok {
 		return nil, fmt.Errorf("server: default engine %q not provided", def)
 	}
-	return &Server{sp: sp, name: name, engines: engines, def: def, gamma: gamma}, nil
+	return &Server{
+		sp: sp, name: name, engines: engines, def: def, gamma: gamma,
+		timeouts: make(map[string]time.Duration),
+	}, nil
+}
+
+// SetTimeout bounds queries of one endpoint ("range", "knn", "route") with
+// a per-request deadline; d <= 0 removes the bound. Call before the handler
+// starts serving.
+func (s *Server) SetTimeout(endpoint string, d time.Duration) {
+	if d <= 0 {
+		delete(s.timeouts, endpoint)
+		return
+	}
+	s.timeouts[endpoint] = d
+}
+
+// SetBudget attaches a work budget to every query context — the admission
+// cap of a shared deployment. The zero budget disables it. Call before the
+// handler starts serving.
+func (s *Server) SetBudget(b query.Budget) { s.budget = b }
+
+// EncodeErrors returns how many response bodies failed to encode.
+func (s *Server) EncodeErrors() int64 { return s.encodeErrs.Load() }
+
+// queryCtx derives the context one query runs under: the request context
+// (so client disconnects cancel the traversal), the endpoint timeout, and
+// the admission budget.
+func (s *Server) queryCtx(r *http.Request, endpoint string) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	cancel := context.CancelFunc(func() {})
+	if d, ok := s.timeouts[endpoint]; ok {
+		ctx, cancel = context.WithTimeout(ctx, d)
+	}
+	if b := s.budget; b != (query.Budget{}) {
+		ctx = query.WithBudget(ctx, b)
+	}
+	return ctx, cancel
 }
 
 // Handler returns the HTTP handler with all endpoints mounted.
@@ -48,33 +110,68 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// httpError is the uniform error payload.
+// httpError is the uniform error payload. Interrupted queries additionally
+// report how far they got, so a caller hitting the admission budget can see
+// what the query cost before it was cut off.
 type httpError struct {
-	Error string `json:"error"`
+	Error        string `json:"error"`
+	VisitedDoors *int   `json:"visitedDoors,omitempty"`
+	WorkBytes    *int64 `json:"workBytes,omitempty"`
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.encodeErrs.Add(1)
+	}
 }
 
-func fail(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, httpError{Error: fmt.Sprintf(format, args...)})
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.writeJSON(w, code, httpError{Error: fmt.Sprintf(format, args...)})
+}
+
+// errStatus maps a query error to its HTTP status: unanswerable queries are
+// the client's problem (422), an expired deadline is the backend giving up
+// (504), and a vanished client is 499.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, query.ErrNoHost),
+		errors.Is(err, query.ErrUnreachable),
+		errors.Is(err, query.ErrBudgetExhausted):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// failQuery reports a query error with the mapped status; interrupted
+// queries (budget, deadline) attach their partial progress.
+func (s *Server) failQuery(w http.ResponseWriter, err error, st *query.Stats) {
+	he := httpError{Error: err.Error()}
+	if errors.Is(err, query.ErrBudgetExhausted) || errors.Is(err, context.DeadlineExceeded) {
+		he.VisitedDoors = &st.VisitedDoors
+		he.WorkBytes = &st.WorkBytes
+	}
+	s.writeJSON(w, errStatus(err), he)
 }
 
 // engineFor resolves the ?engine= parameter.
-func (s *Server) engineFor(w http.ResponseWriter, r *http.Request) (query.Engine, bool) {
+func (s *Server) engineFor(w http.ResponseWriter, r *http.Request) (query.EngineCtx, bool) {
 	name := r.URL.Query().Get("engine")
 	if name == "" {
 		name = s.def
 	}
 	eng, ok := s.engines[name]
 	if !ok {
-		fail(w, http.StatusNotFound, "unknown engine %q", name)
+		s.fail(w, http.StatusNotFound, "unknown engine %q", name)
 		return nil, false
 	}
-	return eng, true
+	return query.AsCtx(eng), true
 }
 
 // floatParam parses a required float query parameter.
@@ -117,13 +214,14 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	for name := range s.engines {
 		engines = append(engines, name)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"venue":      s.name,
-		"floors":     st.Floors,
-		"partitions": st.Partitions,
-		"doors":      st.Doors,
-		"engines":    engines,
-		"default":    s.def,
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"venue":        s.name,
+		"floors":       st.Floors,
+		"partitions":   st.Partitions,
+		"doors":        st.Doors,
+		"engines":      engines,
+		"default":      s.def,
+		"encodeErrors": s.encodeErrs.Load(),
 	})
 }
 
@@ -139,28 +237,31 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	}
 	p, err := pointParam(r, "")
 	if err != nil {
-		fail(w, http.StatusBadRequest, "%v", err)
+		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	radius, err := floatParam(r, "r")
 	if err != nil || radius < 0 {
-		fail(w, http.StatusBadRequest, "bad radius")
+		s.fail(w, http.StatusBadRequest, "bad radius")
 		return
 	}
+	ctx, cancel := s.queryCtx(r, "range")
+	defer cancel()
 	var st query.Stats
-	ids, err := eng.Range(p, radius, &st)
+	ids, err := eng.RangeCtx(ctx, p, radius, &st)
 	if err != nil {
-		fail(w, http.StatusUnprocessableEntity, "%v", err)
+		s.failQuery(w, err, &st)
 		return
 	}
 	if ids == nil {
 		ids = []int32{}
 	}
-	writeJSON(w, http.StatusOK, rangeResponse{Objects: ids, VisitedDoors: st.VisitedDoors})
+	s.writeJSON(w, http.StatusOK, rangeResponse{Objects: ids, VisitedDoors: st.VisitedDoors})
 }
 
 type knnResponse struct {
-	Neighbors []query.Neighbor `json:"neighbors"`
+	Neighbors    []query.Neighbor `json:"neighbors"`
+	VisitedDoors int              `json:"visitedDoors"`
 }
 
 func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
@@ -170,32 +271,36 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	}
 	p, err := pointParam(r, "")
 	if err != nil {
-		fail(w, http.StatusBadRequest, "%v", err)
+		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	k := 5
 	if raw := r.URL.Query().Get("k"); raw != "" {
 		k, err = strconv.Atoi(raw)
 		if err != nil || k < 0 {
-			fail(w, http.StatusBadRequest, "bad k")
+			s.fail(w, http.StatusBadRequest, "bad k")
 			return
 		}
 	}
-	nn, err := eng.KNN(p, k, nil)
+	ctx, cancel := s.queryCtx(r, "knn")
+	defer cancel()
+	var st query.Stats
+	nn, err := eng.KNNCtx(ctx, p, k, &st)
 	if err != nil {
-		fail(w, http.StatusUnprocessableEntity, "%v", err)
+		s.failQuery(w, err, &st)
 		return
 	}
 	if nn == nil {
 		nn = []query.Neighbor{}
 	}
-	writeJSON(w, http.StatusOK, knnResponse{Neighbors: nn})
+	s.writeJSON(w, http.StatusOK, knnResponse{Neighbors: nn, VisitedDoors: st.VisitedDoors})
 }
 
 type routeResponse struct {
-	Dist  float64      `json:"dist"`
-	Doors []int32      `json:"doors"`
-	Geom  [][3]float64 `json:"geometry"` // (x, y, floor) polyline via door points
+	Dist         float64      `json:"dist"`
+	Doors        []int32      `json:"doors"`
+	Geom         [][3]float64 `json:"geometry"` // (x, y, floor) polyline via door points
+	VisitedDoors int          `json:"visitedDoors"`
 }
 
 func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
@@ -205,20 +310,23 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	}
 	p, err := pointParam(r, "")
 	if err != nil {
-		fail(w, http.StatusBadRequest, "%v", err)
+		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	q, err := pointParam(r, "2")
 	if err != nil {
-		fail(w, http.StatusBadRequest, "%v", err)
+		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	path, err := eng.SPD(p, q, nil)
+	ctx, cancel := s.queryCtx(r, "route")
+	defer cancel()
+	var st query.Stats
+	path, err := eng.SPDCtx(ctx, p, q, &st)
 	if err != nil {
-		fail(w, http.StatusUnprocessableEntity, "%v", err)
+		s.failQuery(w, err, &st)
 		return
 	}
-	resp := routeResponse{Dist: path.Dist, Doors: make([]int32, 0, len(path.Doors))}
+	resp := routeResponse{Dist: path.Dist, Doors: make([]int32, 0, len(path.Doors)), VisitedDoors: st.VisitedDoors}
 	resp.Geom = append(resp.Geom, [3]float64{p.X, p.Y, float64(p.Floor)})
 	for _, d := range path.Doors {
 		resp.Doors = append(resp.Doors, int32(d))
@@ -226,7 +334,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		resp.Geom = append(resp.Geom, [3]float64{dp.X, dp.Y, float64(dp.Floor)})
 	}
 	resp.Geom = append(resp.Geom, [3]float64{q.X, q.Y, float64(q.Floor)})
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 type partitionJSON struct {
@@ -242,7 +350,7 @@ func (s *Server) handlePartitions(w http.ResponseWriter, r *http.Request) {
 		var err error
 		floor, err = strconv.Atoi(raw)
 		if err != nil {
-			fail(w, http.StatusBadRequest, "bad floor")
+			s.fail(w, http.StatusBadRequest, "bad floor")
 			return
 		}
 	}
@@ -256,5 +364,5 @@ func (s *Server) handlePartitions(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, pj)
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }

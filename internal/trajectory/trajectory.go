@@ -14,6 +14,7 @@
 package trajectory
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -140,9 +141,27 @@ type Pair struct {
 	A, B int32
 }
 
+// joinCheckEvery is how many candidate record pairs Join examines between
+// context polls — comparisons are a few float compares each, so a coarse
+// stride keeps the poll cost invisible while still bounding the latency of
+// a cancellation to microseconds.
+const joinCheckEvery = 4096
+
 // Join returns the object pairs that were in the same partition with
 // overlapping presence within [t1, t2), sorted.
 func (l *Log) Join(t1, t2 float64) []Pair {
+	out, _ := l.JoinCtx(context.Background(), t1, t2)
+	return out
+}
+
+// JoinCtx is Join bounded by ctx: the O(n²) per-partition pair scan polls
+// the context every joinCheckEvery candidate pairs, so a join over a large
+// tracking log can be cancelled or deadline-bounded.
+func (l *Log) JoinCtx(ctx context.Context, t1, t2 float64) ([]Pair, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	work := 0
 	seen := make(map[Pair]bool)
 	for _, idxs := range l.byPart {
 		for i := 0; i < len(idxs); i++ {
@@ -151,6 +170,11 @@ func (l *Log) Join(t1, t2 float64) []Pair {
 				continue
 			}
 			for j := i + 1; j < len(idxs); j++ {
+				if work++; work%joinCheckEvery == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
 				b := l.recs[idxs[j]]
 				if a.Obj == b.Obj || !b.overlaps(t1, t2) {
 					continue
@@ -178,7 +202,7 @@ func (l *Log) Join(t1, t2 float64) []Pair {
 		}
 		return out[i].B < out[j].B
 	})
-	return out
+	return out, nil
 }
 
 // Dense returns the partitions whose peak simultaneous occupancy within

@@ -1,0 +1,33 @@
+package trajectory_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestJoinCtxCancelled(t *testing.T) {
+	l := demoLog(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := l.JoinCtx(ctx, 0, 30); !errors.Is(err, context.Canceled) {
+		t.Fatalf("JoinCtx(cancelled) = %v, want Canceled", err)
+	}
+}
+
+func TestJoinCtxMatchesJoin(t *testing.T) {
+	l := demoLog(t)
+	want := l.Join(0, 30)
+	got, err := l.JoinCtx(context.Background(), 0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("JoinCtx = %v, Join = %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("JoinCtx[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

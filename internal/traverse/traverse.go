@@ -241,6 +241,9 @@ func (g *Graph) Range(store *query.ObjectStore, p indoor.Point, r float64, st *q
 		}
 		s.settle(d)
 		st.Door()
+		if err := st.Interrupted(); err != nil {
+			return nil, err
+		}
 		door := d
 		g.relax(s, d, dd, st, func(v indoor.PartitionID, base float64) {
 			if g.pruneByEuclid(v, p, r) {
@@ -292,6 +295,9 @@ func (g *Graph) KNN(store *query.ObjectStore, p indoor.Point, k int, st *query.S
 		}
 		s.settle(d)
 		st.Door()
+		if err := st.Interrupted(); err != nil {
+			return nil, err
+		}
 		door := d
 		g.relax(s, d, dd, st, func(v indoor.PartitionID, base float64) {
 			// Objects Euclidean-farther than the current k-th distance can
@@ -325,7 +331,10 @@ func (g *Graph) SPD(p, q indoor.Point, st *query.Stats) (query.Path, error) {
 	best := math.Inf(1)
 	bestDoor := indoor.NoDoor
 	if vp == vq {
-		best = g.sp.WithinPoints(vp, p, q)
+		// The in-partition geodesic sweep expands no doors, so it polls
+		// cancellation through the Stop probe instead (concave partitions
+		// only; convex ones answer in O(1)).
+		best = g.sp.WithinPointsStop(vp, p, q, st.Stop())
 	}
 	// Distances from each enterable door of vq to q within vq.
 	tail := make(map[indoor.DoorID]float64, len(g.sp.Partition(vq).Enter))
@@ -349,6 +358,9 @@ func (g *Graph) SPD(p, q indoor.Point, st *query.Stats) (query.Path, error) {
 		}
 		s.settle(d)
 		st.Door()
+		if err := st.Interrupted(); err != nil {
+			return query.Path{}, err
+		}
 		if w, ok := tail[d]; ok {
 			if cand := dd + w; cand < best {
 				best = cand
@@ -359,6 +371,11 @@ func (g *Graph) SPD(p, q indoor.Point, st *query.Stats) (query.Path, error) {
 	}
 	st.Alloc(s.bytes() + int64(len(tail))*16)
 
+	if err := st.Interrupted(); err != nil {
+		// The in-partition sweep may have been interrupted with an empty
+		// frontier left; report the cancellation, not unreachability.
+		return query.Path{}, err
+	}
 	if math.IsInf(best, 1) {
 		return query.Path{}, query.ErrUnreachable
 	}

@@ -15,6 +15,7 @@
 package uncertain
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -104,8 +105,12 @@ func samplePoints(o Object, n int) []indoor.Point {
 func (x *Index) Len() int { return len(x.objs) }
 
 // doorDistFrom runs a Dijkstra from p over the door graph (implemented via
-// the CINDEX topological layer), bounded by limit.
-func (x *Index) doorDistFrom(p indoor.Point, vp indoor.PartitionID, limit float64) []float64 {
+// the CINDEX topological layer), bounded by limit and polling ctx every
+// query.CheckInterval settled doors.
+func (x *Index) doorDistFrom(ctx context.Context, p indoor.Point, vp indoor.PartitionID, limit float64) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := x.sp.NumDoors()
 	dist := make([]float64, n)
 	for i := range dist {
@@ -118,10 +123,16 @@ func (x *Index) doorDistFrom(p indoor.Point, vp indoor.PartitionID, limit float6
 			h.Push(d, w)
 		}
 	}
+	settled := 0
 	for h.Len() > 0 {
 		d, dd := h.Pop()
 		if dd > dist[d] || dd > limit {
 			continue
+		}
+		if settled++; settled%query.CheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 		}
 		for _, v := range x.sp.Door(d).Enterable {
 			for _, nd := range x.sp.Partition(v).Leave {
@@ -134,7 +145,7 @@ func (x *Index) doorDistFrom(p indoor.Point, vp indoor.PartitionID, limit float6
 			}
 		}
 	}
-	return dist
+	return dist, nil
 }
 
 // sampleDist returns the indoor distance from p (with door distances dist,
@@ -159,13 +170,28 @@ func (x *Index) sampleDist(dist []float64, p indoor.Point, vp indoor.PartitionID
 // distance r of p is at least tau (0 < tau <= 1), with their probabilities,
 // ordered by descending probability then id.
 func (x *Index) ProbRange(p indoor.Point, r, tau float64) ([]Result, error) {
+	return x.ProbRangeCtx(context.Background(), p, r, tau)
+}
+
+// ProbRangeCtx is ProbRange bounded by ctx: the door Dijkstra and the
+// per-object sample scoring both poll the context, so a cancelled or expired
+// query aborts mid-computation.
+func (x *Index) ProbRangeCtx(ctx context.Context, p indoor.Point, r, tau float64) ([]Result, error) {
 	vp, ok := x.cx.Host(p)
 	if !ok {
 		return nil, query.ErrNoHost
 	}
-	dist := x.doorDistFrom(p, vp, r)
+	dist, err := x.doorDistFrom(ctx, p, vp, r)
+	if err != nil {
+		return nil, err
+	}
 	var out []Result
 	for i, o := range x.objs {
+		if i%query.CheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		// Geometric-layer prefilter: same-floor objects whose disk is
 		// Euclidean-farther than r cannot qualify.
 		if o.Center.Floor == p.Floor && vp != o.Part {
@@ -196,6 +222,13 @@ func (x *Index) ProbRange(p indoor.Point, r, tau float64) ([]Result, error) {
 // distance from p (mean over reachable samples); objects with no reachable
 // sample are skipped.
 func (x *Index) ExpectedKNN(p indoor.Point, k int) ([]Result, error) {
+	return x.ExpectedKNNCtx(context.Background(), p, k)
+}
+
+// ExpectedKNNCtx is ExpectedKNN bounded by ctx; its unbounded door Dijkstra
+// (the expected distance needs every reachable door) is exactly the kind of
+// venue-wide sweep a deadline should be able to cut short.
+func (x *Index) ExpectedKNNCtx(ctx context.Context, p indoor.Point, k int) ([]Result, error) {
 	if k <= 0 {
 		return nil, nil
 	}
@@ -203,9 +236,17 @@ func (x *Index) ExpectedKNN(p indoor.Point, k int) ([]Result, error) {
 	if !ok {
 		return nil, query.ErrNoHost
 	}
-	dist := x.doorDistFrom(p, vp, math.Inf(1))
+	dist, err := x.doorDistFrom(ctx, p, vp, math.Inf(1))
+	if err != nil {
+		return nil, err
+	}
 	var out []Result
 	for i, o := range x.objs {
+		if i%query.CheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		sum, cnt := 0.0, 0
 		for _, ref := range x.samples[i] {
 			if d := x.sampleDist(dist, p, vp, ref); !math.IsInf(d, 1) {

@@ -1,0 +1,40 @@
+package uncertain_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/testspaces"
+	"indoorsq/internal/uncertain"
+)
+
+func TestUncertainCtxCancelled(t *testing.T) {
+	f := testspaces.NewStrip()
+	x := newIndex(f, []uncertain.Object{
+		{ID: 1, Center: indoor.At(2.5, 9, 0), Radius: 0, Part: f.R1},
+	}, 13)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	p := indoor.At(2.5, 8, 0)
+	if _, err := x.ProbRangeCtx(ctx, p, 1.5, 0.5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ProbRangeCtx(cancelled) = %v, want Canceled", err)
+	}
+	if _, err := x.ExpectedKNNCtx(ctx, p, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExpectedKNNCtx(cancelled) = %v, want Canceled", err)
+	}
+}
+
+func TestUncertainCtxBackgroundEquivalence(t *testing.T) {
+	f := testspaces.NewStrip()
+	x := newIndex(f, []uncertain.Object{
+		{ID: 1, Center: indoor.At(2.5, 9, 0), Radius: 0, Part: f.R1},
+	}, 13)
+	p := indoor.At(2.5, 8, 0)
+	res, err := x.ProbRangeCtx(context.Background(), p, 1.5, 0.5)
+	if err != nil || len(res) != 1 || res[0].ID != 1 || res[0].Value != 1 {
+		t.Fatalf("ProbRangeCtx = %v, %v", res, err)
+	}
+}

@@ -11,6 +11,8 @@
 package walker
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -40,7 +42,7 @@ type agent struct {
 // Sim drives a set of agents over one venue.
 type Sim struct {
 	sp    *indoor.Space
-	eng   query.Engine
+	eng   query.EngineCtx
 	gen   *workload.Generator
 	rng   *rand.Rand
 	speed float64
@@ -56,7 +58,7 @@ func New(sp *indoor.Space, eng query.Engine, agents int, speed float64, seed int
 	}
 	s := &Sim{
 		sp:    sp,
-		eng:   eng,
+		eng:   query.AsCtx(eng),
 		gen:   workload.New(sp, seed),
 		rng:   rand.New(rand.NewSource(seed ^ 0x5deece66d)),
 		speed: speed,
@@ -71,12 +73,18 @@ func New(sp *indoor.Space, eng query.Engine, agents int, speed float64, seed int
 // Now returns the simulation clock.
 func (s *Sim) Now() float64 { return s.now }
 
-// newWalk routes agent a to a fresh random destination.
-func (s *Sim) newWalk(a *agent) error {
+// newWalk routes agent a to a fresh random destination. Interruptions
+// (cancelled context, expired deadline, exhausted budget) surface
+// immediately instead of being burned as failed attempts.
+func (s *Sim) newWalk(ctx context.Context, a *agent) error {
 	for try := 0; try < 8; try++ {
 		dest := s.gen.Point()
-		path, err := s.eng.SPD(a.pos, dest, nil)
+		path, err := s.eng.SPDCtx(ctx, a.pos, dest, nil)
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+				errors.Is(err, query.ErrBudgetExhausted) {
+				return err
+			}
 			continue
 		}
 		a.waypts = a.waypts[:0]
@@ -113,11 +121,21 @@ func (s *Sim) legLen(a *agent) float64 {
 // Step advances the simulation by dt seconds and returns one sample per
 // agent. Agents reaching their destination immediately start a new walk.
 func (s *Sim) Step(dt float64) ([]Sample, error) {
+	return s.StepCtx(context.Background(), dt)
+}
+
+// StepCtx is Step bounded by ctx: the per-agent re-routing SPDQs run under
+// it, and the context is polled between agents, so one tick over a large
+// crowd can be cancelled or deadline-bounded mid-sweep.
+func (s *Sim) StepCtx(ctx context.Context, dt float64) ([]Sample, error) {
 	s.now += dt
 	out := make([]Sample, 0, len(s.ags))
 	for _, a := range s.ags {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if a.arrived {
-			if err := s.newWalk(a); err != nil {
+			if err := s.newWalk(ctx, a); err != nil {
 				return nil, err
 			}
 		}

@@ -5,6 +5,7 @@
 package workload
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -128,20 +129,37 @@ type Pair struct {
 // doors are expanded from p as in the paper, and a target q is sampled
 // beyond a door whose distance approaches s2t.
 func (g *Generator) SPDPairs(s2t float64, n int) []Pair {
-	pairs := make([]Pair, 0, n)
-	for len(pairs) < n {
-		if pr, ok := g.spdPair(s2t); ok {
-			pairs = append(pairs, pr)
-		}
-	}
+	pairs, _ := g.SPDPairsCtx(context.Background(), s2t, n)
 	return pairs
 }
 
-func (g *Generator) spdPair(s2t float64) (Pair, bool) {
+// SPDPairsCtx is SPDPairs bounded by ctx: generation polls the context
+// between candidate sources (each candidate runs a bounded door Dijkstra),
+// so an oversized or unlucky workload build can be cancelled or
+// deadline-bounded. The pairs generated so far are returned alongside the
+// context's error.
+func (g *Generator) SPDPairsCtx(ctx context.Context, s2t float64, n int) ([]Pair, error) {
+	pairs := make([]Pair, 0, n)
+	for len(pairs) < n {
+		pr, ok, err := g.spdPair(ctx, s2t)
+		if err != nil {
+			return pairs, err
+		}
+		if ok {
+			pairs = append(pairs, pr)
+		}
+	}
+	return pairs, nil
+}
+
+func (g *Generator) spdPair(ctx context.Context, s2t float64) (Pair, bool, error) {
 	const tol = 0.15
 	best := Pair{Dist: math.Inf(1)}
 	bestErr := math.Inf(1)
 	for attempt := 0; attempt < 24; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return Pair{}, false, err
+		}
 		p, vp := g.PointIn()
 		dist := g.distFrom(p, vp, s2t*1.2)
 		// Choose the reachable door closest below s2t.
@@ -178,10 +196,10 @@ func (g *Generator) spdPair(s2t float64) (Pair, bool) {
 			}
 		}
 		if bestErr <= tol*s2t {
-			return best, true
+			return best, true, nil
 		}
 	}
-	return best, !math.IsInf(best.Dist, 1)
+	return best, !math.IsInf(best.Dist, 1), nil
 }
 
 // distFrom runs a door Dijkstra from p (bounded by limit) and returns the
