@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet fmt-check test race bench-pr2 bench-pr3
+.PHONY: verify build vet fmt-check test race bench-pr2 bench-pr3 bench-pr4
 
 verify: build vet fmt-check test race
 
@@ -24,7 +24,7 @@ test:
 	$(GO) test -shuffle=on -count=1 ./...
 
 race:
-	$(GO) test -race ./internal/enginetest/ ./internal/exec/
+	$(GO) test -race ./internal/enginetest/ ./internal/exec/ ./internal/obs/ ./internal/server/
 
 # Regenerates the distance-cache before/after report of PR 2.
 bench-pr2:
@@ -33,3 +33,7 @@ bench-pr2:
 # Regenerates the context-tracking overhead report of PR 3.
 bench-pr3:
 	$(GO) run ./cmd/isqctxbench -o BENCH_PR3.json
+
+# Regenerates the observability-layer overhead report of PR 4.
+bench-pr4:
+	$(GO) run ./cmd/isqobsbench -o BENCH_PR4.json

@@ -7,25 +7,35 @@
 //	         [-default VIPTree] [-objects 1000] [-seed 1]
 //	         [-query-timeout 0] [-max-visited-doors 0] [-max-work-mb 0]
 //	         [-read-timeout 30s] [-read-header-timeout 5s] [-idle-timeout 2m]
+//	         [-debug-addr ""]
 //
-// Endpoints (all GET, JSON):
+// Endpoints (all GET, JSON unless noted):
 //
 //	/v1/info
 //	/v1/range?x=&y=&floor=&r=[&engine=]
 //	/v1/knn?x=&y=&floor=&k=[&engine=]
 //	/v1/route?x=&y=&floor=&x2=&y2=&floor2=[&engine=]
 //	/v1/partitions?floor=
+//	/v1/trace?op=range|knn|route&...   per-stage span breakdown of one query
+//	/metrics                           plain-text counters and latency quantiles
 //
 // -query-timeout bounds every query endpoint (an expired query answers
 // 504); -max-visited-doors / -max-work-mb set the admission budget (an
 // exhausted query answers 422 with its partial progress). The read/idle
 // timeouts harden the listener itself against slow or stuck clients.
+//
+// -debug-addr, when non-empty, starts a second listener (keep it private —
+// bind to localhost) serving net/http/pprof under /debug/pprof/ and expvar
+// under /debug/vars, with the query-metrics registry published as the
+// "isq" expvar.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"time"
 
@@ -52,6 +62,8 @@ func main() {
 		readTimeout       = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
 		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout")
 		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout")
+
+		debugAddr = flag.String("debug-addr", "", "private listener for pprof + expvar (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -87,6 +99,24 @@ func main() {
 		b := query.Budget{MaxVisitedDoors: *maxDoors, MaxWorkBytes: int64(*maxWorkMB * 1e6)}
 		srv.SetBudget(b)
 		log.Printf("admission budget: maxVisitedDoors=%d maxWorkBytes=%d", b.MaxVisitedDoors, b.MaxWorkBytes)
+	}
+
+	if *debugAddr != "" {
+		// The debug listener is opt-in and meant to stay private: pprof
+		// exposes heap contents and expvar exposes command lines. It gets
+		// its own mux so none of this leaks onto the public handler.
+		expvar.Publish("isq", expvar.Func(func() any { return srv.Registry().Snapshot() }))
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/debug/vars", expvar.Handler())
+		go func() {
+			log.Printf("debug listener (pprof, expvar) on %s", *debugAddr)
+			log.Fatal(http.ListenAndServe(*debugAddr, dmux))
+		}()
 	}
 
 	hs := &http.Server{

@@ -4,62 +4,88 @@ import (
 	"context"
 
 	"indoorsq/internal/indoor"
+	"indoorsq/internal/obs"
 	"indoorsq/internal/query"
 )
 
 // RangeCtx implements query.EngineCtx: Range bounded by ctx and any
-// attached query.Budget. Cancellation rides the Stats accumulator into the
-// shared door-graph traversal, which probes it every
+// attached query.Budget, observed by any attached obs binding (registry
+// series + trace summary on completion). Cancellation rides the Stats
+// accumulator into the shared door-graph traversal, which probes it every
 // query.CheckInterval door expansions.
-func (ix *Index) RangeCtx(ctx context.Context, p indoor.Point, r float64, st *query.Stats) ([]int32, error) {
-	st = query.Track(ctx, st)
-	if err := st.Interrupted(); err != nil {
+func (ix *Index) RangeCtx(ctx context.Context, p indoor.Point, r float64, st *query.Stats) (ids []int32, err error) {
+	st, done := query.Begin(ctx, ix.Name(), obs.OpRange, st)
+	if done != nil {
+		defer func() { done(err) }()
+	}
+	if err = st.Interrupted(); err != nil {
 		return nil, err
 	}
-	return ix.Range(p, r, st)
+	ids, err = ix.Range(p, r, st)
+	return ids, err
 }
 
 // KNNCtx implements query.EngineCtx.
-func (ix *Index) KNNCtx(ctx context.Context, p indoor.Point, k int, st *query.Stats) ([]query.Neighbor, error) {
-	st = query.Track(ctx, st)
-	if err := st.Interrupted(); err != nil {
+func (ix *Index) KNNCtx(ctx context.Context, p indoor.Point, k int, st *query.Stats) (nn []query.Neighbor, err error) {
+	st, done := query.Begin(ctx, ix.Name(), obs.OpKNN, st)
+	if done != nil {
+		defer func() { done(err) }()
+	}
+	if err = st.Interrupted(); err != nil {
 		return nil, err
 	}
-	return ix.KNN(p, k, st)
+	nn, err = ix.KNN(p, k, st)
+	return nn, err
 }
 
 // SPDCtx implements query.EngineCtx.
-func (ix *Index) SPDCtx(ctx context.Context, p, q indoor.Point, st *query.Stats) (query.Path, error) {
-	st = query.Track(ctx, st)
-	if err := st.Interrupted(); err != nil {
+func (ix *Index) SPDCtx(ctx context.Context, p, q indoor.Point, st *query.Stats) (path query.Path, err error) {
+	st, done := query.Begin(ctx, ix.Name(), obs.OpSPD, st)
+	if done != nil {
+		defer func() { done(err) }()
+	}
+	if err = st.Interrupted(); err != nil {
 		return query.Path{}, err
 	}
-	return ix.SPD(p, q, st)
+	path, err = ix.SPD(p, q, st)
+	return path, err
 }
 
 // RangeCtx implements query.EngineCtx for the temporal open-door view.
-func (v *openView) RangeCtx(ctx context.Context, p indoor.Point, r float64, st *query.Stats) ([]int32, error) {
-	st = query.Track(ctx, st)
-	if err := st.Interrupted(); err != nil {
+func (v *openView) RangeCtx(ctx context.Context, p indoor.Point, r float64, st *query.Stats) (ids []int32, err error) {
+	st, done := query.Begin(ctx, v.Name(), obs.OpRange, st)
+	if done != nil {
+		defer func() { done(err) }()
+	}
+	if err = st.Interrupted(); err != nil {
 		return nil, err
 	}
-	return v.Range(p, r, st)
+	ids, err = v.Range(p, r, st)
+	return ids, err
 }
 
 // KNNCtx implements query.EngineCtx for the temporal open-door view.
-func (v *openView) KNNCtx(ctx context.Context, p indoor.Point, k int, st *query.Stats) ([]query.Neighbor, error) {
-	st = query.Track(ctx, st)
-	if err := st.Interrupted(); err != nil {
+func (v *openView) KNNCtx(ctx context.Context, p indoor.Point, k int, st *query.Stats) (nn []query.Neighbor, err error) {
+	st, done := query.Begin(ctx, v.Name(), obs.OpKNN, st)
+	if done != nil {
+		defer func() { done(err) }()
+	}
+	if err = st.Interrupted(); err != nil {
 		return nil, err
 	}
-	return v.KNN(p, k, st)
+	nn, err = v.KNN(p, k, st)
+	return nn, err
 }
 
 // SPDCtx implements query.EngineCtx for the temporal open-door view.
-func (v *openView) SPDCtx(ctx context.Context, p, q indoor.Point, st *query.Stats) (query.Path, error) {
-	st = query.Track(ctx, st)
-	if err := st.Interrupted(); err != nil {
+func (v *openView) SPDCtx(ctx context.Context, p, q indoor.Point, st *query.Stats) (path query.Path, err error) {
+	st, done := query.Begin(ctx, v.Name(), obs.OpSPD, st)
+	if done != nil {
+		defer func() { done(err) }()
+	}
+	if err = st.Interrupted(); err != nil {
 		return query.Path{}, err
 	}
-	return v.SPD(p, q, st)
+	path, err = v.SPD(p, q, st)
+	return path, err
 }

@@ -2,9 +2,21 @@ package doorgraph
 
 import (
 	"math"
+	"sync/atomic"
 
 	"indoorsq/internal/pq"
 )
+
+// Metrics aggregates process-wide Dijkstra sweep counters across every
+// Scratch (build-time and query-time alike). The obs registry exposes them
+// as gauges; the counters are global because a Scratch is pooled and has no
+// natural owner to report through.
+var Metrics struct {
+	// Sweeps counts completed or aborted run() invocations.
+	Sweeps atomic.Int64
+	// Settled counts doors settled (popped final) across all sweeps.
+	Settled atomic.Int64
+}
 
 // Scratch is a reusable single-source Dijkstra working set. Distance,
 // predecessor and first-hop entries are epoch-stamped: a run bumps the
@@ -190,16 +202,19 @@ func (s *Scratch) run(g *Graph, src int32, reverse bool, remainingTargets, every
 	s.first[src] = src
 	s.h.Push(src, 0)
 	settled := 0
+	defer func() {
+		Metrics.Sweeps.Add(1)
+		Metrics.Settled.Add(int64(settled))
+	}()
 	for s.h.Len() > 0 {
 		d, dd := s.h.Pop()
 		if dd > s.dist[d] {
 			continue
 		}
-		if check != nil {
-			if settled++; settled%every == 0 {
-				if err := check(); err != nil {
-					return err
-				}
+		settled++
+		if check != nil && settled%every == 0 {
+			if err := check(); err != nil {
+				return err
 			}
 		}
 		if remainingTargets > 0 && s.tmark[d] == s.tepoch {

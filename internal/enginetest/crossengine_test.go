@@ -3,6 +3,7 @@ package enginetest
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"indoorsq/internal/cindex"
@@ -116,6 +117,14 @@ func TestCrossEngineConsistency(t *testing.T) {
 					t.Fatalf("seed %d trial %d: %s KNN count %d, want %d",
 						seed, trial, e.Name(), len(gotKNN), len(wantKNN))
 				}
+				// Exact result-set equality, ids included: the shared
+				// (dist, id) tie-break makes the surviving set independent
+				// of each engine's candidate iteration order, so any id
+				// disagreement is a real bug, not a tie artifact.
+				if !sameIDs(knnIDs(gotKNN), knnIDs(wantKNN)) {
+					t.Fatalf("seed %d trial %d: %s KNN ids %v, want %v",
+						seed, trial, e.Name(), knnIDs(gotKNN), knnIDs(wantKNN))
+				}
 				for i := range gotKNN {
 					if math.Abs(gotKNN[i].Dist-wantKNN[i].Dist) > 1e-6 {
 						t.Fatalf("seed %d trial %d: %s KNN[%d] dist %g, want %g",
@@ -167,6 +176,17 @@ func (e errPathSum2) Error() string {
 	return "path distance mismatch with hop sum"
 }
 
+// knnIDs projects a kNN answer onto its id set, sorted so positional noise
+// between near-equal distances does not masquerade as a set difference.
+func knnIDs(nn []query.Neighbor) []int32 {
+	ids := make([]int32, len(nn))
+	for i, n := range nn {
+		ids[i] = n.ID
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
 func sameIDs(a, b []int32) bool {
 	if len(a) != len(b) {
 		return false
@@ -201,9 +221,14 @@ func TestCrossEngineConsistencyConcave(t *testing.T) {
 			q := randomPoint(sp, rng)
 			r := 10 + rng.Float64()*60
 
+			k := 1 + rng.Intn(6)
 			wantIDs, err := ref.Range(p, r, &st)
 			if err != nil {
 				t.Fatalf("seed %d: reference Range: %v", seed, err)
+			}
+			wantKNN, err := ref.KNN(p, k, &st)
+			if err != nil {
+				t.Fatalf("seed %d: reference KNN: %v", seed, err)
 			}
 			wantPath, wantErr := ref.SPD(p, q, &st)
 			for _, e := range engines[1:] {
@@ -211,6 +236,11 @@ func TestCrossEngineConsistencyConcave(t *testing.T) {
 				if err != nil || !sameIDs(gotIDs, wantIDs) {
 					t.Fatalf("seed %d trial %d: %s Range = %v (%v), want %v",
 						seed, trial, e.Name(), gotIDs, err, wantIDs)
+				}
+				gotKNN, err := e.KNN(p, k, &st)
+				if err != nil || !sameIDs(knnIDs(gotKNN), knnIDs(wantKNN)) {
+					t.Fatalf("seed %d trial %d: %s KNN ids = %v (%v), want %v",
+						seed, trial, e.Name(), knnIDs(gotKNN), err, knnIDs(wantKNN))
 				}
 				gotPath, err := e.SPD(p, q, &st)
 				if (wantErr != nil) != (err != nil) {

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"indoorsq/internal/indoor"
+	"indoorsq/internal/obs"
 	"indoorsq/internal/query"
 )
 
@@ -79,6 +80,11 @@ type Pool struct {
 	// OpTimeout, when positive, bounds each op with its own deadline derived
 	// from the batch context.
 	OpTimeout time.Duration
+	// Obs, when non-nil, is the metrics registry every op of a batch emits
+	// into (per engine × query type, via the engines' Ctx entry points). It
+	// composes with any obs binding already on the batch context: an
+	// incoming trace is kept, the registry is overridden.
+	Obs *obs.Registry
 }
 
 // validate rejects ops that could never produce an answer, so a worker is
@@ -134,6 +140,9 @@ func (p *Pool) Run(eng query.Engine, ops []Op) ([]Result, Batch) {
 func (p *Pool) RunCtx(ctx context.Context, eng query.Engine, ops []Op) ([]Result, Batch) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if p.Obs != nil {
+		ctx = obs.WithRegistry(ctx, p.Obs)
 	}
 	batchCtx := ctx
 	var abort context.CancelFunc

@@ -19,6 +19,7 @@ import (
 
 	"indoorsq/internal/doorgraph"
 	"indoorsq/internal/indoor"
+	"indoorsq/internal/obs"
 	"indoorsq/internal/pq"
 	"indoorsq/internal/query"
 )
@@ -222,7 +223,9 @@ func (ix *Index) expand(v0 indoor.PartitionID, p indoor.Point, st *query.Stats, 
 
 // Range implements query.Engine.
 func (ix *Index) Range(p indoor.Point, r float64, st *query.Stats) ([]int32, error) {
+	endHost := st.Span(obs.StageHost)
 	v0, ok := ix.sp.HostPartition(p)
+	endHost()
 	if !ok {
 		return nil, query.ErrNoHost
 	}
@@ -230,6 +233,9 @@ func (ix *Index) Range(p indoor.Point, r float64, st *query.Stats) ([]int32, err
 	for _, nb := range ix.store.RangeScan(ix.sp, v0, p, 0, r, nil) {
 		res[nb.ID] = struct{}{}
 	}
+	// The k-way merge over precomputed Midx rows is an index probe, not a
+	// graph expansion: no Dijkstra runs at query time.
+	endProbe := st.Span(obs.StageProbe)
 	err := ix.expand(v0, p, st, func(d indoor.DoorID, dist float64) float64 {
 		if dist <= r {
 			for _, v := range ix.sp.Door(d).Enterable {
@@ -240,11 +246,14 @@ func (ix *Index) Range(p indoor.Point, r float64, st *query.Stats) ([]int32, err
 		}
 		return r
 	})
+	endProbe()
 	if err != nil {
 		return nil, err
 	}
 	st.Alloc(int64(len(res)) * 8)
 
+	endRefine := st.Span(obs.StageRefine)
+	defer endRefine()
 	out := make([]int32, 0, len(res))
 	for id := range res {
 		out = append(out, id)
@@ -258,7 +267,9 @@ func (ix *Index) KNN(p indoor.Point, k int, st *query.Stats) ([]query.Neighbor, 
 	if k <= 0 {
 		return nil, nil
 	}
+	endHost := st.Span(obs.StageHost)
 	v0, ok := ix.sp.HostPartition(p)
+	endHost()
 	if !ok {
 		return nil, query.ErrNoHost
 	}
@@ -267,6 +278,7 @@ func (ix *Index) KNN(p indoor.Point, k int, st *query.Stats) ([]query.Neighbor, 
 		o := ix.store.At(i)
 		tk.Offer(o.ID, ix.sp.WithinPoints(v0, p, o.Loc))
 	}
+	endProbe := st.Span(obs.StageProbe)
 	err := ix.expand(v0, p, st, func(d indoor.DoorID, dist float64) float64 {
 		if dist <= tk.Bound() {
 			for _, v := range ix.sp.Door(d).Enterable {
@@ -277,10 +289,13 @@ func (ix *Index) KNN(p indoor.Point, k int, st *query.Stats) ([]query.Neighbor, 
 		}
 		return tk.Bound()
 	})
+	endProbe()
 	if err != nil {
 		return nil, err
 	}
 	st.Alloc(tk.SizeBytes())
+	endRefine := st.Span(obs.StageRefine)
+	defer endRefine()
 	return tk.Results(), nil
 }
 
@@ -288,11 +303,14 @@ func (ix *Index) KNN(p indoor.Point, k int, st *query.Stats) ([]query.Neighbor, 
 // door sets (O(d^2), Sec. 4.2), and the path is reconstructed by chaining
 // first-hop doors.
 func (ix *Index) SPD(p, q indoor.Point, st *query.Stats) (query.Path, error) {
+	endHost := st.Span(obs.StageHost)
 	vp, ok := ix.sp.HostPartition(p)
 	if !ok {
+		endHost()
 		return query.Path{}, query.ErrNoHost
 	}
 	vq, ok := ix.sp.HostPartition(q)
+	endHost()
 	if !ok {
 		return query.Path{}, query.ErrNoHost
 	}
@@ -303,6 +321,8 @@ func (ix *Index) SPD(p, q indoor.Point, st *query.Stats) (query.Path, error) {
 		best = ix.sp.WithinPointsStop(vp, p, q, st.Stop())
 	}
 
+	endProbe := st.Span(obs.StageProbe)
+	defer endProbe()
 	leave := ix.sp.Partition(vp).Leave
 	enter := ix.sp.Partition(vq).Enter
 	headD := make([]float64, len(leave))
@@ -328,10 +348,13 @@ func (ix *Index) SPD(p, q indoor.Point, st *query.Stats) (query.Path, error) {
 		}
 	}
 	st.Alloc(int64(len(leave)+len(enter)) * 8)
+	endProbe()
 
 	if math.IsInf(best, 1) {
 		return query.Path{}, query.ErrUnreachable
 	}
+	endRefine := st.Span(obs.StageRefine)
+	defer endRefine()
 	var doors []indoor.DoorID
 	if bestP != indoor.NoDoor {
 		doors = append(doors, bestP)
@@ -346,31 +369,43 @@ func (ix *Index) SPD(p, q indoor.Point, st *query.Stats) (query.Path, error) {
 }
 
 // RangeCtx implements query.EngineCtx: Range bounded by ctx and any
-// attached query.Budget.
-func (ix *Index) RangeCtx(ctx context.Context, p indoor.Point, r float64, st *query.Stats) ([]int32, error) {
-	st = query.Track(ctx, st)
-	if err := st.Interrupted(); err != nil {
+// attached query.Budget, observed by any attached obs binding.
+func (ix *Index) RangeCtx(ctx context.Context, p indoor.Point, r float64, st *query.Stats) (ids []int32, err error) {
+	st, done := query.Begin(ctx, ix.Name(), obs.OpRange, st)
+	if done != nil {
+		defer func() { done(err) }()
+	}
+	if err = st.Interrupted(); err != nil {
 		return nil, err
 	}
-	return ix.Range(p, r, st)
+	ids, err = ix.Range(p, r, st)
+	return ids, err
 }
 
 // KNNCtx implements query.EngineCtx.
-func (ix *Index) KNNCtx(ctx context.Context, p indoor.Point, k int, st *query.Stats) ([]query.Neighbor, error) {
-	st = query.Track(ctx, st)
-	if err := st.Interrupted(); err != nil {
+func (ix *Index) KNNCtx(ctx context.Context, p indoor.Point, k int, st *query.Stats) (nn []query.Neighbor, err error) {
+	st, done := query.Begin(ctx, ix.Name(), obs.OpKNN, st)
+	if done != nil {
+		defer func() { done(err) }()
+	}
+	if err = st.Interrupted(); err != nil {
 		return nil, err
 	}
-	return ix.KNN(p, k, st)
+	nn, err = ix.KNN(p, k, st)
+	return nn, err
 }
 
 // SPDCtx implements query.EngineCtx.
-func (ix *Index) SPDCtx(ctx context.Context, p, q indoor.Point, st *query.Stats) (query.Path, error) {
-	st = query.Track(ctx, st)
-	if err := st.Interrupted(); err != nil {
+func (ix *Index) SPDCtx(ctx context.Context, p, q indoor.Point, st *query.Stats) (path query.Path, err error) {
+	st, done := query.Begin(ctx, ix.Name(), obs.OpSPD, st)
+	if done != nil {
+		defer func() { done(err) }()
+	}
+	if err = st.Interrupted(); err != nil {
 		return query.Path{}, err
 	}
-	return ix.SPD(p, q, st)
+	path, err = ix.SPD(p, q, st)
+	return path, err
 }
 
 // ensureStore lazily creates an empty object store.

@@ -122,7 +122,23 @@ func (s *Space) WithinDoors(v PartitionID, di, dj DoorID) float64 {
 // partition v's Doors slice. It is the single computation both WithinDoors
 // and the distance cache's fill path call, which is what guarantees cached
 // and uncached results are bit-identical.
+//
+// The result is canonicalized to the domain "finite non-negative or +Inf":
+// a NaN (reachable only through degenerate geometry, e.g. a door with NaN
+// coordinates) becomes +Inf. Besides being the honest answer — the pair is
+// not usefully reachable — this keeps every representable distance distinct
+// from the DistCache unfilled sentinel, whose bit pattern is Go's canonical
+// NaN: an uncanonicalized NaN distance would CAS-republish the sentinel and
+// turn the cell into a permanent miss recomputed on every probe.
 func (s *Space) withinDoorsAt(v PartitionID, ii, jj int) float64 {
+	d := s.rawWithinDoorsAt(v, ii, jj)
+	if math.IsNaN(d) {
+		return math.Inf(1)
+	}
+	return d
+}
+
+func (s *Space) rawWithinDoorsAt(v PartitionID, ii, jj int) float64 {
 	if ii == jj {
 		return 0
 	}

@@ -11,10 +11,12 @@ import (
 // worker counts while costing only a few cache lines of counters.
 const distCacheShards = 32
 
-// unfilledBits marks an unfilled cache cell. It is a non-canonical quiet
-// NaN: intra-partition distances are always finite and non-negative or +Inf
-// (sums and square roots of finite values), so no computed distance can
-// collide with it.
+// unfilledBits marks an unfilled cache cell. It is a quiet NaN — in fact
+// the bit pattern of Go's canonical math.NaN(), which NaN-propagating
+// arithmetic can reproduce — so the fill path must never store a NaN:
+// withinDoorsAt canonicalizes its result to finite-or-+Inf, and DoorDist
+// guards the CAS besides. Genuinely unreachable or degenerate pairs are
+// stored as +Inf, distinguishable from an empty cell.
 const unfilledBits = 0x7FF8_0000_0000_0001
 
 // DistCache memoizes intra-partition door-to-door distances ‖di,dj‖v — the
@@ -122,6 +124,11 @@ func (c *DistCache) DoorDist(v PartitionID, di, dj DoorID) (float64, bool) {
 		return math.Float64frombits(bits), true
 	}
 	d := c.sp.withinDoorsAt(v, ii, jj)
+	if math.IsNaN(d) {
+		// Defense in depth: a NaN's bits could equal the unfilled sentinel,
+		// leaving the cell permanently empty. Unreachable is stored as +Inf.
+		d = math.Inf(1)
+	}
 	if cell.CompareAndSwap(unfilledBits, math.Float64bits(d)) {
 		sh.fills.Add(1)
 	}

@@ -1,0 +1,92 @@
+package indoor
+
+// White-box regression test for the NaN/sentinel collision: the cache's
+// unfilled sentinel is Go's canonical NaN bit pattern, so a NaN distance
+// stored verbatim would re-publish the sentinel and make the cell a
+// permanent miss. The fix canonicalizes NaN to +Inf in withinDoorsAt (and
+// defends again in DoorDist), so degenerate geometry caches like any other
+// unreachable pair: one miss, then hits.
+
+import (
+	"math"
+	"testing"
+
+	"indoorsq/internal/geom"
+)
+
+// TestUnfilledSentinelIsCanonicalNaN documents why the canonicalization is
+// load-bearing: NaN-propagating arithmetic yields exactly the sentinel bits.
+func TestUnfilledSentinelIsCanonicalNaN(t *testing.T) {
+	if bits := math.Float64bits(math.NaN()); bits != unfilledBits {
+		t.Fatalf("math.NaN() bits %#x != unfilled sentinel %#x; update the sentinel collision analysis", bits, unfilledBits)
+	}
+}
+
+func nanCorruptedSpace(t *testing.T) (*Space, PartitionID, DoorID, DoorID) {
+	t.Helper()
+	b := NewBuilder("nan", 1)
+	rect := func(x0, y0, x1, y1 float64) geom.Polygon {
+		return geom.RectPoly(geom.R(x0, y0, x1, y1))
+	}
+	hall := b.AddHallway(0, rect(0, 0, 10, 4))
+	r1 := b.AddRoom(0, rect(0, 4, 5, 8))
+	r2 := b.AddRoom(0, rect(5, 4, 10, 8))
+	d1 := b.AddDoor(geom.Pt(2.5, 4), 0)
+	b.ConnectBoth(d1, hall, r1)
+	d2 := b.AddDoor(geom.Pt(7.5, 4), 0)
+	b.ConnectBoth(d2, hall, r2)
+	sp, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build validates door geometry, so the corruption must happen after:
+	// this simulates degenerate input that slipped past validation (or a
+	// future geometry kernel emitting NaN on an ill-conditioned pair).
+	sp.doors[d1].P = geom.Pt(math.NaN(), math.NaN())
+	return sp, hall, d1, d2
+}
+
+// TestDistCacheNaNDistanceCachesAsInf asserts the full contract: a door
+// pair whose geometric distance computes to NaN is reported as +Inf, misses
+// exactly once, and every subsequent probe is a hit — instead of silently
+// recomputing forever because the stored NaN equals the unfilled sentinel.
+func TestDistCacheNaNDistanceCachesAsInf(t *testing.T) {
+	sp, hall, d1, d2 := nanCorruptedSpace(t)
+
+	// The raw kernel really does produce NaN here; the exported surface
+	// canonicalizes it away.
+	ii, jj := sp.doorIndexIn(hall, d1), sp.doorIndexIn(hall, d2)
+	if raw := sp.rawWithinDoorsAt(hall, ii, jj); !math.IsNaN(raw) {
+		t.Fatalf("raw distance = %v, want NaN from corrupted geometry", raw)
+	}
+	if got := sp.WithinDoors(hall, d1, d2); !math.IsInf(got, 1) {
+		t.Fatalf("WithinDoors = %v, want +Inf", got)
+	}
+
+	c := sp.DistCache()
+	base := c.Stats()
+	got, hit := c.DoorDist(hall, d1, d2)
+	if !math.IsInf(got, 1) || hit {
+		t.Fatalf("first probe = (%v, hit=%v), want (+Inf, miss)", got, hit)
+	}
+	after := c.Stats()
+	if after.Misses-base.Misses != 1 || after.Fills-base.Fills != 1 {
+		t.Fatalf("first probe counted %d misses / %d fills, want 1 / 1",
+			after.Misses-base.Misses, after.Fills-base.Fills)
+	}
+
+	for i := 0; i < 3; i++ {
+		got, hit = c.DoorDist(hall, d1, d2)
+		if !math.IsInf(got, 1) || !hit {
+			t.Fatalf("probe %d = (%v, hit=%v), want cached +Inf", i+2, got, hit)
+		}
+	}
+	final := c.Stats()
+	if final.Misses != after.Misses {
+		t.Fatalf("repeat probes recomputed: misses went %d -> %d (NaN re-published the unfilled sentinel)",
+			after.Misses, final.Misses)
+	}
+	if final.Hits-after.Hits != 3 {
+		t.Fatalf("repeat probes counted %d hits, want 3", final.Hits-after.Hits)
+	}
+}

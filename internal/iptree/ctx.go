@@ -4,35 +4,49 @@ import (
 	"context"
 
 	"indoorsq/internal/indoor"
+	"indoorsq/internal/obs"
 	"indoorsq/internal/query"
 )
 
 // RangeCtx implements query.EngineCtx: Range bounded by ctx and any
-// attached query.Budget. Cancellation rides the Stats accumulator into the
-// leaf Dijkstras and the best-first leaf sweep, which probe it every
-// query.CheckInterval door expansions.
-func (t *Tree) RangeCtx(ctx context.Context, p indoor.Point, r float64, st *query.Stats) ([]int32, error) {
-	st = query.Track(ctx, st)
-	if err := st.Interrupted(); err != nil {
+// attached query.Budget, observed by any attached obs binding (registry
+// series + trace summary on completion). Cancellation rides the Stats
+// accumulator into the leaf Dijkstras and the best-first leaf sweep, which
+// probe it every query.CheckInterval door expansions.
+func (t *Tree) RangeCtx(ctx context.Context, p indoor.Point, r float64, st *query.Stats) (ids []int32, err error) {
+	st, done := query.Begin(ctx, t.Name(), obs.OpRange, st)
+	if done != nil {
+		defer func() { done(err) }()
+	}
+	if err = st.Interrupted(); err != nil {
 		return nil, err
 	}
-	return t.Range(p, r, st)
+	ids, err = t.Range(p, r, st)
+	return ids, err
 }
 
 // KNNCtx implements query.EngineCtx.
-func (t *Tree) KNNCtx(ctx context.Context, p indoor.Point, k int, st *query.Stats) ([]query.Neighbor, error) {
-	st = query.Track(ctx, st)
-	if err := st.Interrupted(); err != nil {
+func (t *Tree) KNNCtx(ctx context.Context, p indoor.Point, k int, st *query.Stats) (nn []query.Neighbor, err error) {
+	st, done := query.Begin(ctx, t.Name(), obs.OpKNN, st)
+	if done != nil {
+		defer func() { done(err) }()
+	}
+	if err = st.Interrupted(); err != nil {
 		return nil, err
 	}
-	return t.KNN(p, k, st)
+	nn, err = t.KNN(p, k, st)
+	return nn, err
 }
 
 // SPDCtx implements query.EngineCtx.
-func (t *Tree) SPDCtx(ctx context.Context, p, q indoor.Point, st *query.Stats) (query.Path, error) {
-	st = query.Track(ctx, st)
-	if err := st.Interrupted(); err != nil {
+func (t *Tree) SPDCtx(ctx context.Context, p, q indoor.Point, st *query.Stats) (path query.Path, err error) {
+	st, done := query.Begin(ctx, t.Name(), obs.OpSPD, st)
+	if done != nil {
+		defer func() { done(err) }()
+	}
+	if err = st.Interrupted(); err != nil {
 		return query.Path{}, err
 	}
-	return t.SPD(p, q, st)
+	path, err = t.SPD(p, q, st)
+	return path, err
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"indoorsq/internal/indoor"
+	"indoorsq/internal/obs"
 	"indoorsq/internal/pq"
 	"indoorsq/internal/query"
 )
@@ -192,21 +193,30 @@ func (t *Tree) scanLeafObjects(L int32, pd dvec, directPart indoor.PartitionID, 
 // on-the-fly access-door vector computation; VIP-TREE computes leaf bounds
 // directly from its materialized ancestor matrices.
 func (t *Tree) forEachLeafByBound(p indoor.Point, st *query.Stats, limit func() float64, emit func(id int32, dist float64)) error {
+	endHost := st.Span(obs.StageHost)
 	vp, ok := t.sp.HostPartition(p)
 	if !ok {
+		endHost()
 		return query.ErrNoHost
 	}
 	Lp := t.leafOf(vp)
+	endHost()
 
 	// p's own leaf first: exact door distances via Dijkstra + out-and-back.
+	endExpand := st.Span(obs.StageExpand)
 	pvec := t.pDvecLeaf(Lp, vp, p, st)
 	pd := t.homeLeafDoorDists(Lp, vp, p, pvec, st)
+	endExpand()
 	t.scanLeafObjects(Lp, pd, vp, p, limit, emit)
 	st.Alloc(int64(len(pd)) * 8)
 	if err := st.Interrupted(); err != nil {
 		return err
 	}
 
+	// The remaining leaves are reached through precomputed ancestor
+	// matrices: an index probe, no Dijkstra.
+	endProbe := st.Span(obs.StageProbe)
+	defer endProbe()
 	if t.opt.VIP {
 		return t.vipLeafSweep(Lp, vp, p, pvec, st, limit, emit)
 	}
@@ -386,6 +396,8 @@ func (t *Tree) Range(p indoor.Point, r float64, st *query.Stats) ([]int32, error
 		return nil, err
 	}
 	st.Alloc(int64(len(res)) * 8)
+	endRefine := st.Span(obs.StageRefine)
+	defer endRefine()
 	out := make([]int32, 0, len(res))
 	for id := range res {
 		out = append(out, id)
@@ -407,5 +419,7 @@ func (t *Tree) KNN(p indoor.Point, k int, st *query.Stats) ([]query.Neighbor, er
 		return nil, err
 	}
 	st.Alloc(tk.SizeBytes())
+	endRefine := st.Span(obs.StageRefine)
+	defer endRefine()
 	return tk.Results(), nil
 }

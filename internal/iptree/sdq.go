@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"indoorsq/internal/indoor"
+	"indoorsq/internal/obs"
 	"indoorsq/internal/query"
 )
 
@@ -349,15 +350,19 @@ func joinChains(pc, qc []indoor.DoorID) []indoor.DoorID {
 
 // SPD implements query.Engine.
 func (t *Tree) SPD(p, q indoor.Point, st *query.Stats) (query.Path, error) {
+	endHost := st.Span(obs.StageHost)
 	vp, ok := t.sp.HostPartition(p)
 	if !ok {
+		endHost()
 		return query.Path{}, query.ErrNoHost
 	}
 	vq, ok := t.sp.HostPartition(q)
 	if !ok {
+		endHost()
 		return query.Path{}, query.ErrNoHost
 	}
 	Lp, Lq := t.leafOf(vp), t.leafOf(vq)
+	endHost()
 
 	best := math.Inf(1)
 	var chain []indoor.DoorID // access-door chain, expanded into legs below
@@ -372,13 +377,17 @@ func (t *Tree) SPD(p, q indoor.Point, st *query.Stats) (query.Path, error) {
 	}
 
 	if Lp == Lq {
-		if d, c := t.leafDijkstra(Lp, vp, p, vq, q, st); d < best {
+		endExpand := st.Span(obs.StageExpand)
+		d, c := t.leafDijkstra(Lp, vp, p, vq, q, st)
+		endExpand()
+		if d < best {
 			best, literal, isLiteral = d, c, true
 		}
 		if err := st.Interrupted(); err != nil {
 			return query.Path{}, err
 		}
 		// Out-and-back through the leaf's access doors.
+		endProbe := st.Span(obs.StageProbe)
 		pvec := t.pVecAt(Lp, Lp, vp, p, st)
 		qvec := t.qVecAt(Lq, Lq, vq, q, st)
 		for i := range pvec {
@@ -388,7 +397,10 @@ func (t *Tree) SPD(p, q indoor.Point, st *query.Stats) (query.Path, error) {
 				isLiteral = false
 			}
 		}
+		endProbe()
 	} else {
+		endProbe := st.Span(obs.StageProbe)
+		defer endProbe()
 		lcaID, cp, cq := t.lca(Lp, Lq)
 		lcaNode := &t.nodes[lcaID]
 		pvec := t.pVecAt(Lp, cp, vp, p, st)
@@ -418,6 +430,7 @@ func (t *Tree) SPD(p, q indoor.Point, st *query.Stats) (query.Path, error) {
 			}
 		}
 		st.Alloc(int64(len(adP)+len(adQ)) * 24)
+		endProbe()
 	}
 
 	if err := st.Interrupted(); err != nil {
@@ -426,6 +439,8 @@ func (t *Tree) SPD(p, q indoor.Point, st *query.Stats) (query.Path, error) {
 	if math.IsInf(best, 1) {
 		return query.Path{}, query.ErrUnreachable
 	}
+	endRefine := st.Span(obs.StageRefine)
+	defer endRefine()
 	doors := literal
 	if !isLiteral {
 		doors = t.expandChain(chain)

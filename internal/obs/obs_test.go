@@ -1,0 +1,242 @@
+package obs_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"indoorsq/internal/obs"
+)
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	var h obs.Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	// 90 fast samples in bucket 0, 10 slow ones four buckets up: the p50
+	// lands in the fast bucket, the p95/p99 in the slow one.
+	for i := 0; i < 90; i++ {
+		h.Observe(500 * time.Nanosecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10 * time.Microsecond)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count = %d, want 100", got)
+	}
+	if got := h.Bucket(0); got != 90 {
+		t.Fatalf("bucket 0 = %d, want 90", got)
+	}
+	if got := h.Quantile(0.5); got != obs.BucketBound(0) {
+		t.Fatalf("p50 = %v, want %v", got, obs.BucketBound(0))
+	}
+	slow := h.Quantile(0.95)
+	if slow <= obs.BucketBound(0) || slow < 10*time.Microsecond {
+		t.Fatalf("p95 = %v, want a bound covering 10µs", slow)
+	}
+	if h.Quantile(0.99) != slow {
+		t.Fatalf("p99 = %v, want %v", h.Quantile(0.99), slow)
+	}
+	// Negative durations clamp to zero instead of corrupting a bucket index.
+	h.Observe(-time.Second)
+	if got := h.Bucket(0); got != 91 {
+		t.Fatalf("bucket 0 after negative observe = %d, want 91", got)
+	}
+}
+
+func TestHistogramOverflow(t *testing.T) {
+	var h obs.Histogram
+	h.Observe(1000 * time.Hour) // far beyond the largest finite bound
+	if got := h.Bucket(obs.NumBuckets); got != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", got)
+	}
+	if got := h.Quantile(0.99); got != obs.BucketBound(obs.NumBuckets-1) {
+		t.Fatalf("overflow quantile = %v, want largest finite bound %v",
+			got, obs.BucketBound(obs.NumBuckets-1))
+	}
+}
+
+func TestRegistrySeries(t *testing.T) {
+	r := obs.NewRegistry()
+	a := r.Series("CIndex", obs.OpSPD)
+	if a == nil {
+		t.Fatal("Series returned nil on a live registry")
+	}
+	if b := r.Series("CIndex", obs.OpSPD); b != a {
+		t.Fatal("Series not stable for the same key")
+	}
+	r.Series("CIndex", obs.OpRange)
+	r.Series("IDModel", obs.OpKNN)
+	keys := r.Keys()
+	if len(keys) != 3 {
+		t.Fatalf("keys = %v, want 3 entries", keys)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1].Engine > keys[i].Engine ||
+			(keys[i-1].Engine == keys[i].Engine && keys[i-1].Op > keys[i].Op) {
+			t.Fatalf("keys not sorted: %v", keys)
+		}
+	}
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *obs.Registry
+	if r.Series("x", "y") != nil {
+		t.Fatal("nil registry Series should be nil")
+	}
+	if r.Keys() != nil {
+		t.Fatal("nil registry Keys should be nil")
+	}
+	r.RegisterGauge("g", func() float64 { return 1 })
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry WriteText wrote %q, err %v", sb.String(), err)
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry Snapshot should be nil")
+	}
+}
+
+func TestSeriesObserveAndPeakMax(t *testing.T) {
+	var s obs.Series
+	s.Observe(time.Millisecond, 10, 1000, 3, 1, false)
+	s.Observe(2*time.Millisecond, 5, 400, 0, 2, true)
+	if got := s.Count.Load(); got != 2 {
+		t.Fatalf("count = %d", got)
+	}
+	if got := s.Errs.Load(); got != 1 {
+		t.Fatalf("errs = %d", got)
+	}
+	if got := s.VisitedDoors.Load(); got != 15 {
+		t.Fatalf("visited doors = %d", got)
+	}
+	if got := s.WorkBytes.Load(); got != 1400 {
+		t.Fatalf("work bytes = %d, want sum 1400", got)
+	}
+	if got := s.PeakWorkBytes.Load(); got != 1000 {
+		t.Fatalf("peak work bytes = %d, want max 1000", got)
+	}
+	if got := s.CacheHits.Load(); got != 3 {
+		t.Fatalf("cache hits = %d", got)
+	}
+	if got := s.CacheMisses.Load(); got != 3 {
+		t.Fatalf("cache misses = %d", got)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Series("CIndex", obs.OpSPD).Observe(time.Millisecond, 7, 512, 2, 1, false)
+	r.RegisterGauge("isq_test_gauge", func() float64 { return 42 })
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`isq_queries_total{engine="CIndex",op="spd"} 1`,
+		`isq_query_errors_total{engine="CIndex",op="spd"} 0`,
+		`isq_visited_doors_total{engine="CIndex",op="spd"} 7`,
+		`isq_work_bytes_total{engine="CIndex",op="spd"} 512`,
+		`isq_peak_work_bytes{engine="CIndex",op="spd"} 512`,
+		`isq_cache_hits_total{engine="CIndex",op="spd"} 2`,
+		`isq_cache_misses_total{engine="CIndex",op="spd"} 1`,
+		`isq_query_latency_seconds{engine="CIndex",op="spd",quantile="0.5"}`,
+		`isq_query_latency_seconds{engine="CIndex",op="spd",quantile="0.95"}`,
+		`isq_query_latency_seconds{engine="CIndex",op="spd",quantile="0.99"}`,
+		`isq_query_latency_seconds_count{engine="CIndex",op="spd"} 1`,
+		"isq_test_gauge 42",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceSpansIdempotentEnd(t *testing.T) {
+	tr := obs.NewTrace()
+	end := tr.StartSpan(obs.StageExpand)
+	end()
+	end() // second call must not record a duplicate
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(spans))
+	}
+	if spans[0].Stage != obs.StageExpand {
+		t.Fatalf("stage = %v", spans[0].Stage)
+	}
+	if spans[0].Dur < 0 || spans[0].Start < 0 {
+		t.Fatalf("negative offsets: %+v", spans[0])
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *obs.Trace
+	tr.StartSpan(obs.StageHost)() // must not panic
+	tr.FinishQuery(obs.QuerySummary{})
+	if tr.Spans() != nil || tr.Queries() != nil {
+		t.Fatal("nil trace should report nothing")
+	}
+}
+
+func TestStageNames(t *testing.T) {
+	want := map[obs.Stage]string{
+		obs.StageHost:   "host_lookup",
+		obs.StageProbe:  "index_probe",
+		obs.StageExpand: "graph_expand",
+		obs.StageRefine: "refine",
+	}
+	for s, name := range want {
+		if s.String() != name {
+			t.Fatalf("stage %d = %q, want %q", s, s.String(), name)
+		}
+	}
+	if obs.Stage(200).String() != "unknown" {
+		t.Fatal("out-of-range stage should be unknown")
+	}
+}
+
+func TestBindComposition(t *testing.T) {
+	if _, ok := obs.From(nil); ok {
+		t.Fatal("nil context should carry no binding")
+	}
+	ctx := context.Background()
+	if _, ok := obs.From(ctx); ok {
+		t.Fatal("fresh context should carry no binding")
+	}
+	reg := obs.NewRegistry()
+	tr := obs.NewTrace()
+	// Order must not matter: each With* keeps the other half.
+	ctx1 := obs.WithTrace(obs.WithRegistry(ctx, reg), tr)
+	ctx2 := obs.WithRegistry(obs.WithTrace(ctx, tr), reg)
+	for i, c := range []context.Context{ctx1, ctx2} {
+		b, ok := obs.From(c)
+		if !ok || b.Reg != reg || b.Trace != tr {
+			t.Fatalf("ctx%d binding = %+v ok=%v, want both halves", i+1, b, ok)
+		}
+	}
+	// Re-binding a registry replaces it but keeps the trace.
+	reg2 := obs.NewRegistry()
+	b, _ := obs.From(obs.WithRegistry(ctx1, reg2))
+	if b.Reg != reg2 || b.Trace != tr {
+		t.Fatalf("rebind = %+v, want new registry and original trace", b)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Series("IPTree", obs.OpKNN).Observe(time.Millisecond, 1, 2, 0, 0, false)
+	r.RegisterGauge("isq_snap_gauge", func() float64 { return 7 })
+	snap := r.Snapshot()
+	ent, ok := snap["IPTree/knn"].(map[string]any)
+	if !ok {
+		t.Fatalf("snapshot missing series entry: %v", snap)
+	}
+	if ent["count"] != int64(1) {
+		t.Fatalf("snapshot count = %v", ent["count"])
+	}
+	if snap["isq_snap_gauge"] != float64(7) {
+		t.Fatalf("snapshot gauge = %v", snap["isq_snap_gauge"])
+	}
+}

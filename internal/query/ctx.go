@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"indoorsq/internal/indoor"
+	"indoorsq/internal/obs"
 )
 
 // ErrBudgetExhausted is returned when a query exceeds the work budget
@@ -163,6 +164,64 @@ func (st *Stats) Stop() func() bool {
 	}
 }
 
+// Begin arms st for one observed query: it runs Track (cancellation,
+// deadlines, budgets) and, when ctx carries an obs binding (obs.With*),
+// attaches the trace to st so engine hot paths can open stage spans, and
+// resolves the registry series for (engine, op). The returned done must be
+// called exactly once at query completion when non-nil; it publishes the
+// query's latency and Stats deltas into the registry and appends a summary
+// to the trace. done is nil when ctx carries no binding, so unobserved
+// queries pay one context lookup beyond Track and nothing else.
+func Begin(ctx context.Context, engine, op string, st *Stats) (*Stats, func(err error)) {
+	st = Track(ctx, st)
+	if ctx == nil {
+		return st, nil
+	}
+	b, ok := obs.From(ctx)
+	if !ok || (b.Reg == nil && b.Trace == nil) {
+		return st, nil
+	}
+	if st == nil {
+		st = &Stats{}
+	}
+	st.tr = b.Trace
+	var ser *obs.Series
+	if b.Reg != nil {
+		ser = b.Reg.Series(engine, op)
+		ser.InFlight.Add(1)
+	}
+	base := *st // counter snapshot; deltas below are this query's own work
+	t0 := time.Now()
+	return st, func(err error) {
+		dur := time.Since(t0)
+		doors := st.VisitedDoors - base.VisitedDoors
+		work := st.WorkBytes - base.WorkBytes
+		hits := st.CacheHits - base.CacheHits
+		misses := st.CacheMisses - base.CacheMisses
+		if ser != nil {
+			ser.InFlight.Add(-1)
+			ser.Observe(dur, int64(doors), work, hits, misses, err != nil)
+		}
+		if b.Trace != nil {
+			q := obs.QuerySummary{
+				Engine:        engine,
+				Op:            op,
+				Dur:           dur,
+				VisitedDoors:  doors,
+				WorkBytes:     work,
+				PeakWorkBytes: work, // within one query the peak is the final working set
+				CacheHits:     hits,
+				CacheMisses:   misses,
+			}
+			if err != nil {
+				q.Err = err.Error()
+			}
+			b.Trace.FinishQuery(q)
+			st.tr = nil
+		}
+	}
+}
+
 // EngineCtx extends Engine with context-aware entry points. All five engines
 // implement it natively; AsCtx adapts anything else. The contract: the
 // query observes ctx cancellation, ctx deadline, and any WithBudget budget
@@ -192,26 +251,38 @@ func AsCtx(e Engine) EngineCtx {
 // ctxShim adapts a plain Engine to EngineCtx via Track.
 type ctxShim struct{ Engine }
 
-func (s ctxShim) RangeCtx(ctx context.Context, p indoor.Point, r float64, st *Stats) ([]int32, error) {
-	st = Track(ctx, st)
-	if err := st.Interrupted(); err != nil {
+func (s ctxShim) RangeCtx(ctx context.Context, p indoor.Point, r float64, st *Stats) (ids []int32, err error) {
+	st, done := Begin(ctx, s.Engine.Name(), obs.OpRange, st)
+	if done != nil {
+		defer func() { done(err) }()
+	}
+	if err = st.Interrupted(); err != nil {
 		return nil, err
 	}
-	return s.Engine.Range(p, r, st)
+	ids, err = s.Engine.Range(p, r, st)
+	return ids, err
 }
 
-func (s ctxShim) KNNCtx(ctx context.Context, p indoor.Point, k int, st *Stats) ([]Neighbor, error) {
-	st = Track(ctx, st)
-	if err := st.Interrupted(); err != nil {
+func (s ctxShim) KNNCtx(ctx context.Context, p indoor.Point, k int, st *Stats) (nn []Neighbor, err error) {
+	st, done := Begin(ctx, s.Engine.Name(), obs.OpKNN, st)
+	if done != nil {
+		defer func() { done(err) }()
+	}
+	if err = st.Interrupted(); err != nil {
 		return nil, err
 	}
-	return s.Engine.KNN(p, k, st)
+	nn, err = s.Engine.KNN(p, k, st)
+	return nn, err
 }
 
-func (s ctxShim) SPDCtx(ctx context.Context, p, q indoor.Point, st *Stats) (Path, error) {
-	st = Track(ctx, st)
-	if err := st.Interrupted(); err != nil {
+func (s ctxShim) SPDCtx(ctx context.Context, p, q indoor.Point, st *Stats) (path Path, err error) {
+	st, done := Begin(ctx, s.Engine.Name(), obs.OpSPD, st)
+	if done != nil {
+		defer func() { done(err) }()
+	}
+	if err = st.Interrupted(); err != nil {
 		return Path{}, err
 	}
-	return s.Engine.SPD(p, q, st)
+	path, err = s.Engine.SPD(p, q, st)
+	return path, err
 }

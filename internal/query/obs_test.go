@@ -1,0 +1,135 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"indoorsq/internal/obs"
+)
+
+func TestBeginDisabledPathIsFree(t *testing.T) {
+	// No binding on the context: Begin must behave exactly like Track —
+	// same Stats pointer, nil done, nothing allocated for observation.
+	var st Stats
+	got, done := Begin(context.Background(), "e", obs.OpRange, &st)
+	if got != &st {
+		t.Fatal("Begin changed the Stats pointer on the disabled path")
+	}
+	if done != nil {
+		t.Fatal("Begin returned a done closure without a binding")
+	}
+	if got, done := Begin(context.Background(), "e", obs.OpRange, nil); got != nil || done != nil {
+		t.Fatal("nil Stats on an untracked, unobserved context should stay nil")
+	}
+	if got, done := Begin(nil, "e", obs.OpRange, &st); got != &st || done != nil {
+		t.Fatal("nil context should be a no-op")
+	}
+}
+
+func TestBeginObservesRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctx := obs.WithRegistry(context.Background(), reg)
+
+	var st Stats
+	st.Door() // pre-existing counts must not leak into the query's deltas
+	st.Alloc(64)
+	st.Cache(true)
+	pre := st
+
+	got, done := Begin(ctx, "stub", obs.OpKNN, &st)
+	if got != &st || done == nil {
+		t.Fatal("Begin should keep the Stats pointer and arm a done closure")
+	}
+	ser := reg.Series("stub", obs.OpKNN)
+	if ser.InFlight.Load() != 1 {
+		t.Fatalf("in-flight = %d during the query", ser.InFlight.Load())
+	}
+	for i := 0; i < 5; i++ {
+		st.Door()
+	}
+	st.Alloc(100)
+	st.Cache(true)
+	st.Cache(false)
+	done(nil)
+
+	if ser.InFlight.Load() != 0 {
+		t.Fatalf("in-flight = %d after done", ser.InFlight.Load())
+	}
+	if ser.Count.Load() != 1 || ser.Errs.Load() != 0 {
+		t.Fatalf("count/errs = %d/%d", ser.Count.Load(), ser.Errs.Load())
+	}
+	if got := ser.VisitedDoors.Load(); got != 5 {
+		t.Fatalf("visited doors delta = %d, want 5 (pre-existing %d excluded)", got, pre.VisitedDoors)
+	}
+	if got := ser.WorkBytes.Load(); got != 100 {
+		t.Fatalf("work delta = %d, want 100", got)
+	}
+	if got := ser.CacheHits.Load(); got != 1 {
+		t.Fatalf("cache hits delta = %d, want 1", got)
+	}
+	if got := ser.CacheMisses.Load(); got != 1 {
+		t.Fatalf("cache misses delta = %d, want 1", got)
+	}
+	if got := ser.Latency.Count(); got != 1 {
+		t.Fatalf("latency count = %d", got)
+	}
+
+	// A failed query increments Errs.
+	_, done2 := Begin(ctx, "stub", obs.OpKNN, &st)
+	done2(errors.New("boom"))
+	if ser.Errs.Load() != 1 {
+		t.Fatalf("errs = %d after failure", ser.Errs.Load())
+	}
+}
+
+func TestBeginTraceSummaryAndSpans(t *testing.T) {
+	tr := obs.NewTrace()
+	ctx := obs.WithTrace(context.Background(), tr)
+
+	st, done := Begin(ctx, "stub", obs.OpSPD, nil)
+	if st == nil || done == nil {
+		t.Fatal("Begin with a trace binding should allocate Stats and arm done")
+	}
+	end := st.Span(obs.StageExpand)
+	st.Door()
+	st.Alloc(48)
+	end()
+	done(ErrUnreachable)
+
+	qs := tr.Queries()
+	if len(qs) != 1 {
+		t.Fatalf("trace queries = %d", len(qs))
+	}
+	q := qs[0]
+	if q.Engine != "stub" || q.Op != obs.OpSPD {
+		t.Fatalf("summary = %+v", q)
+	}
+	if q.Err != ErrUnreachable.Error() {
+		t.Fatalf("summary err = %q", q.Err)
+	}
+	if q.VisitedDoors != 1 || q.WorkBytes != 48 || q.PeakWorkBytes != 48 {
+		t.Fatalf("summary costs = %+v", q)
+	}
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Stage != obs.StageExpand {
+		t.Fatalf("spans = %+v", spans)
+	}
+
+	// done must disarm the trace so a pooled Stats reused afterwards does
+	// not keep writing spans into a finished trace.
+	if st.tr != nil {
+		t.Fatal("done did not clear the trace from the Stats")
+	}
+	st.Span(obs.StageHost)()
+	if got := len(tr.Spans()); got != 1 {
+		t.Fatalf("span after done leaked into the trace: %d spans", got)
+	}
+}
+
+func TestSpanUntracedIsNop(t *testing.T) {
+	var st Stats
+	st.Span(obs.StageHost)() // must not panic or record anywhere
+	var nilStats *Stats
+	nilStats.Span(obs.StageRefine)()
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"indoorsq/internal/indoor"
+	"indoorsq/internal/obs"
 )
 
 // Errors returned by query processing.
@@ -38,6 +39,11 @@ type Stats struct {
 	// arrays, priority queues, candidate sets (part of metric b2; the
 	// resident index size is added by the harness).
 	WorkBytes int64
+	// PeakWorkBytes is the high-water mark of WorkBytes. Within a single
+	// query it tracks WorkBytes (which only grows), but under Add it folds
+	// with max instead of +: the peak working set of a batch fanned over
+	// workers is the largest single shard, not the sum of all of them.
+	PeakWorkBytes int64
 	// CacheHits / CacheMisses count door-pair distance-cache lookups during
 	// this query that were served from the memo vs. had to compute (engines
 	// running uncached record neither).
@@ -49,6 +55,9 @@ type Stats struct {
 	// Door/Alloc/Stop can interrupt the traversal. Untracked queries leave
 	// it nil and pay a single nil-check per counted event.
 	ctl *ctl
+	// tr, when non-nil, is the per-query trace armed by Begin; Span consults
+	// it. Untraced queries leave it nil and pay one nil-check per Span call.
+	tr *obs.Trace
 }
 
 // Reset zeroes the counters and disarms any cancellation tracking.
@@ -61,6 +70,9 @@ func (st *Stats) Alloc(b int64) {
 		return
 	}
 	st.WorkBytes += b
+	if st.WorkBytes > st.PeakWorkBytes {
+		st.PeakWorkBytes = st.WorkBytes
+	}
 	if c := st.ctl; c != nil && c.err == nil && c.hasBudget &&
 		c.budget.MaxWorkBytes > 0 && st.WorkBytes >= c.budget.MaxWorkBytes {
 		c.err = ErrBudgetExhausted
@@ -92,15 +104,33 @@ func (st *Stats) Cache(hit bool) {
 }
 
 // Add merges another accumulator into st — used to fold per-worker Stats
-// shards back together after a concurrent batch.
+// shards back together after a concurrent batch. Sums fold with +, but
+// PeakWorkBytes folds with max: the shards ran concurrently, each within
+// its own transient working set, so the batch peak is the largest shard
+// peak, not their sum.
 func (st *Stats) Add(o Stats) {
 	if st != nil {
 		st.VisitedDoors += o.VisitedDoors
 		st.WorkBytes += o.WorkBytes
 		st.CacheHits += o.CacheHits
 		st.CacheMisses += o.CacheMisses
+		if o.PeakWorkBytes > st.PeakWorkBytes {
+			st.PeakWorkBytes = o.PeakWorkBytes
+		}
 	}
 }
+
+// Span opens a trace span for stage s and returns its idempotent end
+// function. On untraced queries (no obs.Trace bound via Begin) it returns a
+// shared no-op, so hot paths pay two branches per stage.
+func (st *Stats) Span(s obs.Stage) func() {
+	if st == nil || st.tr == nil {
+		return nopSpan
+	}
+	return st.tr.StartSpan(s)
+}
+
+var nopSpan = func() {}
 
 // Path is the answer of a shortest path/distance query: the door sequence
 // from source to target and the total indoor distance (Definition 3).

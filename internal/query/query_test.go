@@ -134,8 +134,9 @@ func TestTopKMatchesBruteForce(t *testing.T) {
 			t.Fatalf("trial %d: got %d results, want %d", trial, len(got), len(want))
 		}
 		for i := range got {
-			// Ids may differ on distance ties; distances must match.
-			if got[i].Dist != want[i].Dist {
+			// The (dist, id) tie-break makes the result set exact: it is the
+			// first k of the brute-force order, ids included.
+			if got[i] != want[i] {
 				t.Fatalf("trial %d: got %v, want %v", trial, got, want)
 			}
 		}

@@ -37,8 +37,15 @@ func (t *TopK) Offer(id int32, d float64) bool {
 		t.shrink()
 		return true
 	}
-	if len(t.best) >= t.k && d >= t.Bound() {
-		return false
+	if len(t.best) >= t.k {
+		bd, bid := t.boundEntry()
+		// Ties on the k-th distance break by object id: a new candidate at
+		// exactly the bound enters only when its id beats the incumbent's,
+		// so the surviving set is independent of offer order (and therefore
+		// identical across engines with different iteration orders).
+		if d > bd || (d == bd && id >= bid) {
+			return false
+		}
 	}
 	t.best[id] = d
 	heap.Push(&t.h, tkEntry{id: id, dist: d})
@@ -69,11 +76,18 @@ func (t *TopK) shrink() {
 // Bound returns the current k-th nearest distance, or +Inf while fewer than
 // k distinct objects are known.
 func (t *TopK) Bound() float64 {
+	d, _ := t.boundEntry()
+	return d
+}
+
+// boundEntry returns the current k-th nearest (distance, id) — the eviction
+// candidate — or (+Inf, MaxInt32) while fewer than k objects are known.
+func (t *TopK) boundEntry() (float64, int32) {
 	if len(t.best) < t.k {
-		return math.Inf(1)
+		return math.Inf(1), math.MaxInt32
 	}
 	t.clean()
-	return t.h[0].dist
+	return t.h[0].dist, t.h[0].id
 }
 
 // Len returns the number of distinct objects currently held (at most k).
@@ -105,11 +119,18 @@ type tkEntry struct {
 	dist float64
 }
 
-// tkHeap is a max-heap on distance.
+// tkHeap is a max-heap on (distance, id): among equidistant entries the
+// largest id surfaces first, making it the eviction candidate and the
+// tie-break incumbent consulted by Offer.
 type tkHeap []tkEntry
 
-func (h tkHeap) Len() int            { return len(h) }
-func (h tkHeap) Less(i, j int) bool  { return h[i].dist > h[j].dist }
+func (h tkHeap) Len() int { return len(h) }
+func (h tkHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist > h[j].dist
+	}
+	return h[i].id > h[j].id
+}
 func (h tkHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *tkHeap) Push(x interface{}) { *h = append(*h, x.(tkEntry)) }
 func (h *tkHeap) Pop() interface{} {

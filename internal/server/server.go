@@ -14,6 +14,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -23,7 +24,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"indoorsq/internal/doorgraph"
 	"indoorsq/internal/indoor"
+	"indoorsq/internal/obs"
 	"indoorsq/internal/query"
 )
 
@@ -44,10 +47,13 @@ type Server struct {
 	// budget, when non-zero, is attached to every query context
 	// (SetBudget) as the admission-control work cap.
 	budget query.Budget
-	// encodeErrs counts responses whose JSON encoding failed mid-write
-	// (the status line was already sent, so the error can only be
-	// observed out of band; /v1/info surfaces the counter).
+	// encodeErrs counts responses whose body failed to encode; the client
+	// receives a 500 instead (the body is buffered before any byte or the
+	// status line goes out) and /v1/info surfaces the counter.
 	encodeErrs atomic.Int64
+	// obs is the server's metrics registry: every query emits into it via
+	// the context binding, and GET /metrics scrapes it.
+	obs *obs.Registry
 }
 
 // New wires a server around pre-built engines keyed by name; def is the
@@ -59,11 +65,28 @@ func New(name string, sp *indoor.Space, engines map[string]query.Engine, def str
 	if _, ok := engines[def]; !ok {
 		return nil, fmt.Errorf("server: default engine %q not provided", def)
 	}
-	return &Server{
+	srv := &Server{
 		sp: sp, name: name, engines: engines, def: def, gamma: gamma,
 		timeouts: make(map[string]time.Duration),
-	}, nil
+		obs:      obs.NewRegistry(),
+	}
+	// Layer gauges: distance-cache effectiveness and footprint, plus the
+	// process-wide door-graph sweep counters, scraped next to the per-query
+	// series so /metrics shows every layer of a query's cost.
+	if dc := sp.DistCache(); dc != nil {
+		srv.obs.RegisterGauge("isq_distcache_hits_total", func() float64 { return float64(dc.Stats().Hits) })
+		srv.obs.RegisterGauge("isq_distcache_misses_total", func() float64 { return float64(dc.Stats().Misses) })
+		srv.obs.RegisterGauge("isq_distcache_fills_total", func() float64 { return float64(dc.Stats().Fills) })
+		srv.obs.RegisterGauge("isq_distcache_size_bytes", func() float64 { return float64(dc.SizeBytes()) })
+	}
+	srv.obs.RegisterGauge("isq_doorgraph_sweeps_total", func() float64 { return float64(doorgraph.Metrics.Sweeps.Load()) })
+	srv.obs.RegisterGauge("isq_doorgraph_settled_total", func() float64 { return float64(doorgraph.Metrics.Settled.Load()) })
+	return srv, nil
 }
+
+// Registry exposes the server's metrics registry (for the isqserve debug
+// listener's expvar export and for tests).
+func (s *Server) Registry() *obs.Registry { return s.obs }
 
 // SetTimeout bounds queries of one endpoint ("range", "knn", "route") with
 // a per-request deadline; d <= 0 removes the bound. Call before the handler
@@ -96,6 +119,7 @@ func (s *Server) queryCtx(r *http.Request, endpoint string) (context.Context, co
 	if b := s.budget; b != (query.Budget{}) {
 		ctx = query.WithBudget(ctx, b)
 	}
+	ctx = obs.WithRegistry(ctx, s.obs)
 	return ctx, cancel
 }
 
@@ -107,6 +131,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/knn", s.handleKNN)
 	mux.HandleFunc("GET /v1/route", s.handleRoute)
 	mux.HandleFunc("GET /v1/partitions", s.handlePartitions)
+	mux.HandleFunc("GET /v1/trace", s.handleTrace)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
@@ -120,11 +146,22 @@ type httpError struct {
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	// Encode into a buffer first: encoding straight into w would send the
+	// status line on the first byte, so a payload that fails to encode
+	// mid-body would leave the client a truncated 2xx and the server a
+	// superfluous-WriteHeader log when the error path tried to respond.
+	// Buffering makes status + body atomic either way.
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		s.encodeErrs.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = w.Write([]byte(`{"error":"response encoding failed"}` + "\n"))
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		s.encodeErrs.Add(1)
-	}
+	_, _ = w.Write(buf.Bytes())
 }
 
 func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
@@ -342,6 +379,129 @@ type partitionJSON struct {
 	Kind  string       `json:"kind"`
 	Floor int16        `json:"floor"`
 	Poly  [][2]float64 `json:"poly"`
+}
+
+// handleMetrics scrapes the registry in plain-text format: per-engine ×
+// per-query-type counters and p50/p95/p99 latency quantiles, followed by
+// the layer gauges.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	if err := s.obs.WriteText(&buf); err != nil {
+		s.fail(w, http.StatusInternalServerError, "metrics: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}
+
+type traceSpan struct {
+	Stage   string `json:"stage"`
+	StartNs int64  `json:"startNs"`
+	DurNs   int64  `json:"durNs"`
+}
+
+type traceResponse struct {
+	Engine        string      `json:"engine"`
+	Op            string      `json:"op"`
+	Error         string      `json:"error,omitempty"`
+	DurNs         int64       `json:"durNs"`
+	VisitedDoors  int         `json:"visitedDoors"`
+	WorkBytes     int64       `json:"workBytes"`
+	PeakWorkBytes int64       `json:"peakWorkBytes"`
+	CacheHits     int64       `json:"cacheHits"`
+	CacheMisses   int64       `json:"cacheMisses"`
+	Spans         []traceSpan `json:"spans"`
+	Result        any         `json:"result,omitempty"`
+}
+
+// handleTrace runs one query with per-stage tracing and returns the span
+// breakdown instead of the full result: GET /v1/trace?op=range|knn|route
+// plus the target endpoint's usual parameters. Query-level failures (no
+// host, unreachable, budget) still produce a 200 — the trace of a failed
+// query is the point of the endpoint — with the error recorded in the
+// payload; only parameter errors are 4xx.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	eng, ok := s.engineFor(w, r)
+	if !ok {
+		return
+	}
+	op := r.URL.Query().Get("op")
+	p, err := pointParam(r, "")
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	tr := obs.NewTrace()
+	ctx, cancel := s.queryCtx(r, op)
+	defer cancel()
+	ctx = obs.WithTrace(ctx, tr)
+	var st query.Stats
+	var qerr error
+	var result any
+	switch op {
+	case "range":
+		var radius float64
+		if radius, err = floatParam(r, "r"); err != nil || radius < 0 {
+			s.fail(w, http.StatusBadRequest, "bad radius")
+			return
+		}
+		var ids []int32
+		ids, qerr = eng.RangeCtx(ctx, p, radius, &st)
+		result = map[string]any{"objects": len(ids)}
+	case "knn":
+		k := 5
+		if raw := r.URL.Query().Get("k"); raw != "" {
+			if k, err = strconv.Atoi(raw); err != nil || k < 0 {
+				s.fail(w, http.StatusBadRequest, "bad k")
+				return
+			}
+		}
+		var nn []query.Neighbor
+		nn, qerr = eng.KNNCtx(ctx, p, k, &st)
+		result = map[string]any{"neighbors": len(nn)}
+	case "route":
+		var q indoor.Point
+		if q, err = pointParam(r, "2"); err != nil {
+			s.fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		var path query.Path
+		path, qerr = eng.SPDCtx(ctx, p, q, &st)
+		result = map[string]any{"dist": path.Dist, "doors": len(path.Doors)}
+	default:
+		s.fail(w, http.StatusBadRequest, "bad op %q (want range, knn, or route)", op)
+		return
+	}
+	queries := tr.Queries()
+	if len(queries) == 0 {
+		s.fail(w, http.StatusInternalServerError, "trace recorded no query")
+		return
+	}
+	q0 := queries[0]
+	resp := traceResponse{
+		Engine:        q0.Engine,
+		Op:            q0.Op,
+		Error:         q0.Err,
+		DurNs:         q0.Dur.Nanoseconds(),
+		VisitedDoors:  q0.VisitedDoors,
+		WorkBytes:     q0.WorkBytes,
+		PeakWorkBytes: q0.PeakWorkBytes,
+		CacheHits:     q0.CacheHits,
+		CacheMisses:   q0.CacheMisses,
+		Spans:         make([]traceSpan, 0, len(tr.Spans())),
+	}
+	if qerr == nil {
+		resp.Result = result
+	}
+	for _, sp := range tr.Spans() {
+		resp.Spans = append(resp.Spans, traceSpan{
+			Stage:   sp.Stage.String(),
+			StartNs: sp.Start.Nanoseconds(),
+			DurNs:   sp.Dur.Nanoseconds(),
+		})
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handlePartitions(w http.ResponseWriter, r *http.Request) {

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"indoorsq/internal/indoor"
+	"indoorsq/internal/obs"
 	"indoorsq/internal/pq"
 	"indoorsq/internal/query"
 )
@@ -219,7 +220,9 @@ func (g *Graph) pruneByEuclid(v indoor.PartitionID, p indoor.Point, radius float
 
 // Range answers RQ(p, r) over the given object store.
 func (g *Graph) Range(store *query.ObjectStore, p indoor.Point, r float64, st *query.Stats) ([]int32, error) {
+	endHost := st.Span(obs.StageHost)
 	v0, ok := g.host(p)
+	endHost()
 	if !ok {
 		return nil, query.ErrNoHost
 	}
@@ -228,6 +231,8 @@ func (g *Graph) Range(store *query.ObjectStore, p indoor.Point, r float64, st *q
 		res[n.ID] = struct{}{}
 	}
 
+	endExpand := st.Span(obs.StageExpand)
+	defer endExpand()
 	s := g.newState()
 	defer g.putState(s)
 	g.seed(s, v0, p)
@@ -254,8 +259,11 @@ func (g *Graph) Range(store *query.ObjectStore, p indoor.Point, r float64, st *q
 			}
 		})
 	}
+	endExpand()
 	st.Alloc(s.bytes() + int64(len(res))*8)
 
+	endRefine := st.Span(obs.StageRefine)
+	defer endRefine()
 	out := make([]int32, 0, len(res))
 	for id := range res {
 		out = append(out, id)
@@ -269,7 +277,9 @@ func (g *Graph) KNN(store *query.ObjectStore, p indoor.Point, k int, st *query.S
 	if k <= 0 {
 		return nil, nil
 	}
+	endHost := st.Span(obs.StageHost)
 	v0, ok := g.host(p)
+	endHost()
 	if !ok {
 		return nil, query.ErrNoHost
 	}
@@ -282,6 +292,8 @@ func (g *Graph) KNN(store *query.ObjectStore, p indoor.Point, k int, st *query.S
 		tk.Offer(o.ID, g.sp.WithinPoints(v0, p, o.Loc))
 	}
 
+	endExpand := st.Span(obs.StageExpand)
+	defer endExpand()
 	s := g.newState()
 	defer g.putState(s)
 	g.seed(s, v0, p)
@@ -313,17 +325,23 @@ func (g *Graph) KNN(store *query.ObjectStore, p indoor.Point, k int, st *query.S
 			}
 		})
 	}
+	endExpand()
 	st.Alloc(s.bytes() + tk.SizeBytes())
+	endRefine := st.Span(obs.StageRefine)
+	defer endRefine()
 	return tk.Results(), nil
 }
 
 // SPD answers the fused shortest path + distance query SPDQ(p, q).
 func (g *Graph) SPD(p, q indoor.Point, st *query.Stats) (query.Path, error) {
+	endHost := st.Span(obs.StageHost)
 	vp, ok := g.host(p)
 	if !ok {
+		endHost()
 		return query.Path{}, query.ErrNoHost
 	}
 	vq, ok := g.host(q)
+	endHost()
 	if !ok {
 		return query.Path{}, query.ErrNoHost
 	}
@@ -345,6 +363,8 @@ func (g *Graph) SPD(p, q indoor.Point, st *query.Stats) (query.Path, error) {
 		tail[d] = g.sp.WithinPointDoor(vq, q, d)
 	}
 
+	endExpand := st.Span(obs.StageExpand)
+	defer endExpand()
 	s := g.newState()
 	defer g.putState(s)
 	g.seed(s, vp, p)
@@ -369,6 +389,7 @@ func (g *Graph) SPD(p, q indoor.Point, st *query.Stats) (query.Path, error) {
 		}
 		g.relax(s, d, dd, st, nil)
 	}
+	endExpand()
 	st.Alloc(s.bytes() + int64(len(tail))*16)
 
 	if err := st.Interrupted(); err != nil {
@@ -379,6 +400,8 @@ func (g *Graph) SPD(p, q indoor.Point, st *query.Stats) (query.Path, error) {
 	if math.IsInf(best, 1) {
 		return query.Path{}, query.ErrUnreachable
 	}
+	endRefine := st.Span(obs.StageRefine)
+	defer endRefine()
 	var doors []indoor.DoorID
 	for d := bestDoor; d != indoor.NoDoor; d = s.prevAt(d) {
 		doors = append(doors, d)
