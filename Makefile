@@ -1,12 +1,25 @@
 # Development workflow. `make verify` is the tier-1 gate: build, vet,
 # formatting, the full test suite, and the race subset that hammers the
-# engines and the batch executor concurrently.
+# engines and the batch executor concurrently. `make verify-full` adds
+# the per-package coverage report and a fuzz smoke pass over every
+# native fuzz target.
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: verify build vet fmt-check test race bench-pr2 bench-pr3 bench-pr4
+# pkg:Target pairs smoke-tested by fuzz-smoke.
+FUZZ_TARGETS = \
+	./internal/geom:FuzzSegmentInside \
+	./internal/geom:FuzzVGraphDist \
+	./internal/query:FuzzTopK \
+	./internal/spacegen:FuzzGenerate \
+	./internal/enginetest:FuzzDifferentialEngines
+
+.PHONY: verify verify-full build vet fmt-check test race cover fuzz-smoke bench-pr2 bench-pr3 bench-pr4
 
 verify: build vet fmt-check test race
+
+verify-full: verify cover fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -24,7 +37,21 @@ test:
 	$(GO) test -shuffle=on -count=1 ./...
 
 race:
-	$(GO) test -race ./internal/enginetest/ ./internal/exec/ ./internal/obs/ ./internal/server/
+	$(GO) test -race ./internal/enginetest/ ./internal/exec/ ./internal/obs/ ./internal/server/ ./internal/spacegen/ ./internal/oracle/
+
+# Per-package coverage, teed to COVER_REPORT.txt for review.
+cover:
+	$(GO) test -count=1 -coverprofile=cover.out ./... | tee COVER_REPORT.txt
+	$(GO) tool cover -func=cover.out | tail -1 | tee -a COVER_REPORT.txt
+
+# Short fuzz pass over every native fuzz target ($(FUZZTIME) each);
+# -short keeps the non-fuzz parts of each package out of the run.
+fuzz-smoke:
+	@set -e; for entry in $(FUZZ_TARGETS); do \
+		pkg=$${entry%:*}; fn=$${entry#*:}; \
+		echo "fuzz $$pkg $$fn"; \
+		$(GO) test -short -run '^$$' -fuzz="^$$fn$$" -fuzztime=$(FUZZTIME) $$pkg; \
+	done
 
 # Regenerates the distance-cache before/after report of PR 2.
 bench-pr2:

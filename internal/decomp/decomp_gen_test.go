@@ -1,0 +1,229 @@
+package decomp_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"indoorsq/internal/decomp"
+	"indoorsq/internal/geom"
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/oracle"
+	"indoorsq/internal/spacegen"
+)
+
+// histogramPoly builds a random rectilinear "histogram" polygon: cols
+// columns of integer widths and heights over a common baseline, with
+// adjacent heights forced distinct so every column contributes a reflex
+// or convex corner. Returns the CCW polygon and its exact area.
+func histogramPoly(rng *rand.Rand, cols int) (geom.Polygon, float64) {
+	xs := make([]float64, cols+1)
+	hs := make([]float64, cols)
+	area := 0.0
+	for c := 0; c < cols; c++ {
+		w := float64(1 + rng.Intn(4))
+		xs[c+1] = xs[c] + w
+		h := float64(1 + rng.Intn(6))
+		for c > 0 && h == hs[c-1] {
+			h = float64(1 + rng.Intn(6))
+		}
+		hs[c] = h
+		area += w * h
+	}
+	W := xs[cols]
+	poly := geom.Polygon{geom.Pt(0, 0), geom.Pt(W, 0), geom.Pt(W, hs[cols-1])}
+	for c := cols - 1; c >= 1; c-- {
+		poly = append(poly, geom.Pt(xs[c], hs[c]), geom.Pt(xs[c], hs[c-1]))
+	}
+	poly = append(poly, geom.Pt(0, hs[0]))
+	return poly, area
+}
+
+// TestDecomposeHistograms runs the slab sweep over generated concave
+// histogram polygons and checks the structural invariants: exact area
+// preservation, connectivity, piece containment and disjointness, and
+// junctions that really sit on the shared boundary of their two pieces.
+func TestDecomposeHistograms(t *testing.T) {
+	for seed := int64(1); seed <= 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cols := 2 + rng.Intn(5)
+		poly, area := histogramPoly(rng, cols)
+		name := fmt.Sprintf("seed=%d cols=%d poly=%v", seed, cols, poly)
+
+		res, err := decomp.Decompose(poly)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := res.Union(); math.Abs(got-area) > 1e-9 {
+			t.Fatalf("%s: union area %.12g, polygon area %.12g", name, got, area)
+		}
+		if !res.Connected() {
+			t.Fatalf("%s: decomposition is disconnected", name)
+		}
+		for i, r := range res.Pieces {
+			if r.Area() <= 0 {
+				t.Fatalf("%s: piece %d has non-positive area %g", name, i, r.Area())
+			}
+			for _, p := range []geom.Point{
+				geom.Pt(r.MinX, r.MinY), geom.Pt(r.MaxX, r.MinY),
+				geom.Pt(r.MinX, r.MaxY), geom.Pt(r.MaxX, r.MaxY),
+				geom.Pt((r.MinX+r.MaxX)/2, (r.MinY+r.MaxY)/2),
+			} {
+				if !poly.Contains(p) {
+					t.Fatalf("%s: piece %d point %v escapes the polygon", name, i, p)
+				}
+			}
+			for j := i + 1; j < len(res.Pieces); j++ {
+				o := res.Pieces[j]
+				w := math.Min(r.MaxX, o.MaxX) - math.Max(r.MinX, o.MinX)
+				h := math.Min(r.MaxY, o.MaxY) - math.Max(r.MinY, o.MinY)
+				if w > geom.Eps && h > geom.Eps {
+					t.Fatalf("%s: pieces %d and %d overlap with area %g", name, i, j, w*h)
+				}
+			}
+		}
+		for _, jn := range res.Junctions {
+			if jn.A == jn.B || jn.A < 0 || jn.B < 0 || jn.A >= len(res.Pieces) || jn.B >= len(res.Pieces) {
+				t.Fatalf("%s: junction indexes out of range: %+v", name, jn)
+			}
+			ra, rb := res.Pieces[jn.A], res.Pieces[jn.B]
+			if math.Abs(ra.MaxX-rb.MinX) > geom.Eps && math.Abs(rb.MaxX-ra.MinX) > geom.Eps {
+				t.Fatalf("%s: junction %+v joins non-adjacent slabs", name, jn)
+			}
+			lo := math.Max(ra.MinY, rb.MinY)
+			hi := math.Min(ra.MaxY, rb.MaxY)
+			if jn.P.Y < lo || jn.P.Y > hi {
+				t.Fatalf("%s: junction point %v outside shared segment [%g,%g]", name, jn.P, lo, hi)
+			}
+			if !poly.Contains(jn.P) {
+				t.Fatalf("%s: junction point %v escapes the polygon", name, jn.P)
+			}
+		}
+	}
+}
+
+// TestDecomposedHallwayNoShortcut compares the brute-force oracle over
+// the same generated building with its L-shaped hallway kept concave
+// versus decomposed into rectangular pieces joined by a virtual door.
+// Decomposition constrains hallway crossings to pass through the virtual
+// door point, so it may lengthen a path slightly but must never create a
+// shortcut, and it must preserve reachability exactly.
+func TestDecomposedHallwayNoShortcut(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		params := spacegen.Params{Floors: 1 + int(seed%2), Rows: 2, Cols: 3,
+			Hall: spacegen.HallL, ExtraDoors: 3, Imbalance: 0.7}
+		conc, err := spacegen.Generate(seed, params)
+		if err != nil {
+			t.Fatalf("seed=%d params=%s: %v", seed, params, err)
+		}
+		params.Decompose = true
+		dec, err := spacegen.Generate(seed, params)
+		if err != nil {
+			t.Fatalf("seed=%d params=%s: %v", seed, params, err)
+		}
+		if dec.NumPartitions() <= conc.NumPartitions() {
+			t.Fatalf("seed=%d params=%s: decomposition added no partitions (%d vs %d)",
+				seed, params, dec.NumPartitions(), conc.NumPartitions())
+		}
+		oc, od := oracle.New(conc), oracle.New(dec)
+		rng := rand.New(rand.NewSource(seed * 53))
+		for trial := 0; trial < 6; trial++ {
+			// The two spaces cover the same indoor point set, so a point
+			// sampled in the concave space is valid in the decomposed one.
+			p := spacegen.Point(conc, rng)
+			q := spacegen.Point(conc, rng)
+			cp, errC := oc.SPD(p, q, nil)
+			dp, errD := od.SPD(p, q, nil)
+			if (errC == nil) != (errD == nil) {
+				t.Fatalf("seed=%d params=%s: reachability differs for %v -> %v: %v vs %v",
+					seed, params, p, q, errC, errD)
+			}
+			if errC != nil {
+				continue
+			}
+			if dp.Dist < cp.Dist-1e-6 {
+				t.Fatalf("seed=%d params=%s: decomposition created a shortcut %v -> %v: %.12g < %.12g",
+					seed, params, p, q, dp.Dist, cp.Dist)
+			}
+		}
+	}
+}
+
+// TestSplitLongCorridorExact pins the one subfamily where decomposition
+// must preserve distances exactly: a straight corridor sliced by
+// SplitLong has all its virtual doors on the centerline, so a path
+// entering and leaving through centered end doors telescopes to the same
+// length as in the unsliced corridor.
+func TestSplitLongCorridorExact(t *testing.T) {
+	const (
+		L    = 30.0
+		hall = 4.0
+	)
+	build := func(slices decomp.Result) (*indoor.Space, error) {
+		b := indoor.NewBuilder("corridor", 1)
+		roomA := b.AddRoom(0, geom.RectPoly(geom.R(-5, 0, 0, hall)))
+		roomB := b.AddRoom(0, geom.RectPoly(geom.R(L, 0, L+5, hall)))
+		ids := make([]indoor.PartitionID, len(slices.Pieces))
+		for i, r := range slices.Pieces {
+			ids[i] = b.AddHallway(0, geom.RectPoly(r))
+		}
+		for _, jn := range slices.Junctions {
+			vd := b.AddVirtualDoor(jn.P, 0)
+			b.ConnectBoth(vd, ids[jn.A], ids[jn.B])
+		}
+		at := func(p geom.Point) indoor.PartitionID {
+			for i, r := range slices.Pieces {
+				if r.Contains(p) {
+					return ids[i]
+				}
+			}
+			return ids[0]
+		}
+		da := b.AddDoor(geom.Pt(0, hall/2), 0)
+		b.ConnectBoth(da, roomA, at(geom.Pt(0, hall/2)))
+		db := b.AddDoor(geom.Pt(L, hall/2), 0)
+		b.ConnectBoth(db, roomB, at(geom.Pt(L, hall/2)))
+		return b.Build()
+	}
+
+	whole, err := decomp.Decompose(geom.RectPoly(geom.R(0, 0, L, hall)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sliced := decomp.SplitLong(whole, 7) // 30/7 -> 5 slices of width 6
+	if len(sliced.Pieces) != 5 || len(sliced.Junctions) != 4 {
+		t.Fatalf("SplitLong = %d pieces, %d junctions; want 5 and 4", len(sliced.Pieces), len(sliced.Junctions))
+	}
+	if math.Abs(sliced.Union()-L*hall) > 1e-9 || !sliced.Connected() {
+		t.Fatalf("SplitLong union %g connected %t; want %g and true", sliced.Union(), sliced.Connected(), L*hall)
+	}
+	for _, jn := range sliced.Junctions {
+		if jn.P.Y != hall/2 {
+			t.Fatalf("junction %v off the corridor centerline", jn.P)
+		}
+	}
+
+	plain, err := build(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := build(sliced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := indoor.At(-2.5, hall/2, 0)
+	q := indoor.At(L+2.5, hall/2, 0)
+	const want = 2.5 + L + 2.5
+	a, err := oracle.New(plain).SPD(p, q, nil)
+	if err != nil || math.Abs(a.Dist-want) > 1e-9 {
+		t.Fatalf("unsliced SPD = %+v, %v; want %g", a, err, want)
+	}
+	bres, err := oracle.New(fine).SPD(p, q, nil)
+	if err != nil || math.Abs(bres.Dist-want) > 1e-9 {
+		t.Fatalf("sliced SPD = %+v, %v; want %g exactly (centerline telescoping)", bres, err, want)
+	}
+	if len(bres.Doors) != 6 { // two real doors + four virtual doors
+		t.Fatalf("sliced path doors = %v; want 6 doors", bres.Doors)
+	}
+}

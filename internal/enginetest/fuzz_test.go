@@ -1,0 +1,93 @@
+package enginetest
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"indoorsq/internal/oracle"
+	"indoorsq/internal/query"
+	"indoorsq/internal/spacegen"
+)
+
+// FuzzDifferentialEngines lets the fuzzer drive the differential harness:
+// arbitrary bytes decode into generator parameters (clamped small so each
+// execution stays fast), and all five engines must agree with the oracle
+// on range, kNN, and shortest-path queries over the resulting space.
+func FuzzDifferentialEngines(f *testing.F) {
+	f.Add(int64(1), []byte{})
+	f.Add(int64(7), []byte{1, 2, 3, 1, 4, 2, 3, 1, 5, 20})
+	f.Add(int64(-3), []byte{2, 1, 2, 2, 0, 0, 9, 1, 7, 12})
+	f.Fuzz(func(t *testing.T, seed int64, raw []byte) {
+		p := spacegen.ParamsFromBytes(raw)
+		// Keep fuzz executions cheap: the oracle is O(D^2) per query.
+		if p.Floors > 2 {
+			p.Floors = 2
+		}
+		if p.Rows > 2 {
+			p.Rows = 2
+		}
+		if p.Cols > 3 {
+			p.Cols = 3
+		}
+		if p.Objects > 12 {
+			p.Objects = 12
+		}
+		p = p.Normalize()
+		sp, err := spacegen.Generate(seed, p)
+		if err != nil {
+			t.Fatalf("seed=%d params=%s: %v", seed, p, err)
+		}
+		objs := spacegen.Objects(sp, seed+1, p.Objects)
+		ref := oracle.New(sp)
+		ref.SetObjects(objs)
+		engines := allEngines(sp)
+		for _, e := range engines {
+			e.SetObjects(objs)
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x0ddba11))
+		var st query.Stats
+		pt := randomPoint(sp, rng)
+		q := randomPoint(sp, rng)
+		all, err := ref.AllDists(pt)
+		if err != nil {
+			t.Fatalf("seed=%d params=%s: oracle AllDists: %v", seed, p, err)
+		}
+		radii := snapRadii(all, rng)
+		ks := snapKs(all, len(objs), rng)
+		wantPath, wantErr := ref.SPD(pt, q, nil)
+		for _, e := range engines {
+			for _, r := range radii {
+				wantIDs, _ := ref.Range(pt, r, nil)
+				gotIDs, err := e.Range(pt, r, &st)
+				if err != nil || !sameIDs(gotIDs, wantIDs) {
+					t.Fatalf("seed=%d params=%s: %s Range(r=%g) = %v (%v), oracle %v",
+						seed, p, e.Name(), r, gotIDs, err, wantIDs)
+				}
+			}
+			for _, k := range ks {
+				wantKNN, _ := ref.KNN(pt, k, nil)
+				gotKNN, err := e.KNN(pt, k, &st)
+				if err != nil || !sameIDs(knnIDs(gotKNN), knnIDs(wantKNN)) {
+					t.Fatalf("seed=%d params=%s: %s KNN(k=%d) = %v (%v), oracle %v",
+						seed, p, e.Name(), k, gotKNN, err, wantKNN)
+				}
+			}
+			gotPath, err := e.SPD(pt, q, &st)
+			if wantErr != nil {
+				if !errors.Is(err, query.ErrUnreachable) {
+					t.Fatalf("seed=%d params=%s: %s SPD err = %v, oracle %v", seed, p, e.Name(), err, wantErr)
+				}
+				continue
+			}
+			if err != nil || math.Abs(gotPath.Dist-wantPath.Dist) > tol {
+				t.Fatalf("seed=%d params=%s: %s SPD dist %.12g (%v), oracle %.12g",
+					seed, p, e.Name(), gotPath.Dist, err, wantPath.Dist)
+			}
+			if err := checkPathSum(sp, gotPath); err != nil {
+				t.Fatalf("seed=%d params=%s: %s path %v: %v", seed, p, e.Name(), gotPath.Doors, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,205 @@
+package enginetest
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/oracle"
+	"indoorsq/internal/query"
+	"indoorsq/internal/spacegen"
+
+	"math/rand"
+)
+
+// metamorphicSeeds is the number of generated spaces each metamorphic
+// property is exercised on.
+const metamorphicSeeds = 24
+
+func metaSpace(t *testing.T, seed int64, p spacegen.Params) (*indoor.Space, []query.Object) {
+	t.Helper()
+	p = p.Normalize()
+	sp, err := spacegen.Generate(seed, p)
+	if err != nil {
+		t.Fatalf("seed=%d params=%s: %v", seed, p, err)
+	}
+	return sp, spacegen.Objects(sp, seed+1, p.Objects)
+}
+
+// TestMetamorphicRangeMonotone: growing the radius can only grow the
+// result set, and every smaller-radius result survives in the larger one.
+func TestMetamorphicRangeMonotone(t *testing.T) {
+	for seed := int64(1); seed <= metamorphicSeeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			params := diffParams(seed)
+			sp, objs := metaSpace(t, seed, params)
+			rng := rand.New(rand.NewSource(seed * 31))
+			p := randomPoint(sp, rng)
+			var st query.Stats
+			for _, e := range allEngines(sp) {
+				e.SetObjects(objs)
+				prev := map[int32]bool{}
+				prevLen := 0
+				for _, r := range []float64{0, 5, 15, 40, 120, 1e6} {
+					ids, err := e.Range(p, r, &st)
+					if err != nil {
+						t.Fatalf("seed=%d params=%s: %s Range(r=%g): %v", seed, params, e.Name(), r, err)
+					}
+					if len(ids) < prevLen {
+						t.Fatalf("seed=%d params=%s: %s Range shrank from %d to %d at r=%g",
+							seed, params, e.Name(), prevLen, len(ids), r)
+					}
+					cur := map[int32]bool{}
+					for _, id := range ids {
+						cur[id] = true
+					}
+					for id := range prev {
+						if !cur[id] {
+							t.Fatalf("seed=%d params=%s: %s Range(r=%g) lost object %d present at a smaller radius",
+								seed, params, e.Name(), r, id)
+						}
+					}
+					prev, prevLen = cur, len(ids)
+				}
+			}
+		})
+	}
+}
+
+// TestMetamorphicKNNNested: the k nearest neighbors are a prefix of the
+// k+1 nearest — same ids, same distances, in the same order.
+func TestMetamorphicKNNNested(t *testing.T) {
+	for seed := int64(1); seed <= metamorphicSeeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			params := diffParams(seed)
+			sp, objs := metaSpace(t, seed, params)
+			rng := rand.New(rand.NewSource(seed * 37))
+			p := randomPoint(sp, rng)
+			var st query.Stats
+			for _, e := range allEngines(sp) {
+				e.SetObjects(objs)
+				var prev []query.Neighbor
+				for k := 1; k <= len(objs)+1; k++ {
+					nn, err := e.KNN(p, k, &st)
+					if err != nil {
+						t.Fatalf("seed=%d params=%s: %s KNN(k=%d): %v", seed, params, e.Name(), k, err)
+					}
+					if len(nn) > k || len(nn) < len(prev) {
+						t.Fatalf("seed=%d params=%s: %s KNN(k=%d) returned %d neighbors after %d at k-1",
+							seed, params, e.Name(), k, len(nn), len(prev))
+					}
+					for i := range prev {
+						// Equal-distance neighbors are ordered by id, so the
+						// prefix must be bit-for-bit stable as k grows.
+						if nn[i] != prev[i] {
+							t.Fatalf("seed=%d params=%s: %s KNN(k=%d)[%d] = %+v, was %+v at k-1",
+								seed, params, e.Name(), k, i, nn[i], prev[i])
+						}
+					}
+					prev = nn
+				}
+			}
+		})
+	}
+}
+
+// TestMetamorphicSPDSymmetry: on spaces with no one-way doors, indoor
+// distance is a metric and d(p,q) must equal d(q,p) for every engine.
+func TestMetamorphicSPDSymmetry(t *testing.T) {
+	for seed := int64(1); seed <= metamorphicSeeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			params := diffParams(seed)
+			params.OneWayFrac = 0 // all doors bidirectional => symmetric metric
+			sp, _ := metaSpace(t, seed, params)
+			rng := rand.New(rand.NewSource(seed * 41))
+			var st query.Stats
+			for _, e := range allEngines(sp) {
+				for trial := 0; trial < 3; trial++ {
+					p := randomPoint(sp, rng)
+					q := randomPoint(sp, rng)
+					fwd, err1 := e.SPD(p, q, &st)
+					back, err2 := e.SPD(q, p, &st)
+					if err1 != nil || err2 != nil {
+						t.Fatalf("seed=%d params=%s: %s SPD errs %v / %v on a bidirectional space",
+							seed, params, e.Name(), err1, err2)
+					}
+					if math.Abs(fwd.Dist-back.Dist) > tol {
+						t.Fatalf("seed=%d params=%s: %s asymmetric: d(p,q)=%.12g d(q,p)=%.12g",
+							seed, params, e.Name(), fwd.Dist, back.Dist)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMetamorphicTriangleInequality: the oracle's door-to-door distance
+// vectors must satisfy d(a,c) <= d(a,b) + d(b,c) — Dijkstra over any
+// graph yields a shortest-path quasi-metric, so a violation means the
+// relaxation (and hence every engine trusting it) is broken.
+func TestMetamorphicTriangleInequality(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			params := diffParams(seed)
+			sp, _ := metaSpace(t, seed, params)
+			ref := oracle.New(sp)
+			from := make([][]float64, sp.NumDoors())
+			for d := 0; d < sp.NumDoors(); d++ {
+				from[d] = ref.FromDoor(indoor.DoorID(d))
+			}
+			rng := rand.New(rand.NewSource(seed * 43))
+			for trial := 0; trial < 200; trial++ {
+				a := rng.Intn(sp.NumDoors())
+				b := rng.Intn(sp.NumDoors())
+				c := rng.Intn(sp.NumDoors())
+				ab, bc, ac := from[a][b], from[b][c], from[a][c]
+				if math.IsInf(ab, 1) || math.IsInf(bc, 1) {
+					continue
+				}
+				if ac > ab+bc+1e-6 {
+					t.Fatalf("seed=%d params=%s: triangle violation: d(%d,%d)=%.12g > d(%d,%d)+d(%d,%d)=%.12g",
+						seed, params, a, c, ac, a, b, b, c, ab+bc)
+				}
+			}
+		})
+	}
+}
+
+// TestMetamorphicCacheBitIdentity: WithinDoorsCached must return values
+// bit-identical to the uncached WithinDoors, both on the fill pass and on
+// the memo-hit pass.
+func TestMetamorphicCacheBitIdentity(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			params := diffParams(seed)
+			sp, _ := metaSpace(t, seed, params)
+			for pass := 0; pass < 2; pass++ {
+				for v := 0; v < sp.NumPartitions(); v++ {
+					part := sp.Partition(indoor.PartitionID(v))
+					for _, di := range part.Enter {
+						for _, dj := range part.Leave {
+							want := sp.WithinDoors(indoor.PartitionID(v), di, dj)
+							got, _ := sp.WithinDoorsCached(indoor.PartitionID(v), di, dj)
+							if math.Float64bits(got) != math.Float64bits(want) {
+								t.Fatalf("seed=%d params=%s: pass %d: cached dist(v=%d, %d->%d) = %x, uncached %x",
+									seed, params, pass, v, di, dj,
+									math.Float64bits(got), math.Float64bits(want))
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -3,7 +3,6 @@ package geom
 import (
 	"math"
 	"testing"
-	"testing/quick"
 )
 
 func TestPointDist(t *testing.T) {
@@ -21,9 +20,7 @@ func TestPointDist2MatchesDist(t *testing.T) {
 		d, d2 := a.Dist(b), a.Dist2(b)
 		return math.Abs(d*d-d2) <= 1e-6*(1+d2)
 	}
-	if err := quick.Check(f, nil); err != nil {
-		t.Fatal(err)
-	}
+	checkQuick(t, f)
 }
 
 func TestPointMid(t *testing.T) {
@@ -116,9 +113,7 @@ func TestRectMinDistNeverExceedsMaxDist(t *testing.T) {
 		p := Pt(math.Mod(px, 100), math.Mod(py, 100))
 		return r.MinDist(p) <= r.MaxDist(p)+Eps
 	}
-	if err := quick.Check(f, nil); err != nil {
-		t.Fatal(err)
-	}
+	checkQuick(t, f)
 }
 
 func TestSegmentIntersects(t *testing.T) {
@@ -166,7 +161,5 @@ func TestSegmentIntersectsIsSymmetric(t *testing.T) {
 		u := Seg(Pt(float64(cx), float64(cy)), Pt(float64(dx), float64(dy)))
 		return s.Intersects(u) == u.Intersects(s)
 	}
-	if err := quick.Check(f, nil); err != nil {
-		t.Fatal(err)
-	}
+	checkQuick(t, f)
 }

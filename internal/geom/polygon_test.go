@@ -3,7 +3,6 @@ package geom
 import (
 	"math"
 	"testing"
-	"testing/quick"
 )
 
 // lShape is a concave rectilinear polygon:
@@ -134,9 +133,7 @@ func TestSegmentInsideConvex(t *testing.T) {
 		b := Pt(float64(bx%11), float64(by%11))
 		return p.SegmentInside(a, b)
 	}
-	if err := quick.Check(f, nil); err != nil {
-		t.Fatal(err)
-	}
+	checkQuick(t, f)
 }
 
 func TestMaxDistFrom(t *testing.T) {

@@ -3,7 +3,6 @@ package geom
 import (
 	"math"
 	"testing"
-	"testing/quick"
 )
 
 func TestVGraphStraightLineWhenVisible(t *testing.T) {
@@ -87,9 +86,7 @@ func TestVGraphSymmetry(t *testing.T) {
 		d1, d2 := g.Dist(a, b), g.Dist(b, a)
 		return math.Abs(d1-d2) <= 1e-6
 	}
-	if err := quick.Check(f, nil); err != nil {
-		t.Fatal(err)
-	}
+	checkQuick(t, f)
 }
 
 func TestVGraphTriangleInequality(t *testing.T) {

@@ -1,0 +1,176 @@
+package oracle_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"indoorsq/internal/geom"
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/oracle"
+	"indoorsq/internal/query"
+	"indoorsq/internal/testspaces"
+)
+
+const tol = 1e-9
+
+// stripObjects places four objects in the Strip fixture whose distances
+// from (7.5, 2) in R6 are hand-computable:
+//
+//	o0 (7.5,3) in R6:  1
+//	o1 (15,2)  in R7:  7.5          (through the one-way door D8)
+//	o2 (1,5)   in Hall: 2 + sqrt(43.25)
+//	o3 (2.5,8) in R1:  2 + sqrt(29) + 2
+func stripObjects(f *testspaces.Strip) []query.Object {
+	return []query.Object{
+		{ID: 0, Loc: indoor.At(7.5, 3, 0), Part: f.R6},
+		{ID: 1, Loc: indoor.At(15, 2, 0), Part: f.R7},
+		{ID: 2, Loc: indoor.At(1, 5, 0), Part: f.Hall},
+		{ID: 3, Loc: indoor.At(2.5, 8, 0), Part: f.R1},
+	}
+}
+
+func TestOracleStripHandComputed(t *testing.T) {
+	f := testspaces.NewStrip()
+	e := oracle.New(f.Space)
+	e.SetObjects(stripObjects(f))
+	p := indoor.At(7.5, 2, 0) // in R6
+
+	// Same-partition SPD is the direct geodesic with no doors.
+	path, err := e.SPD(indoor.At(1, 5, 0), indoor.At(9, 5, 0), nil)
+	if err != nil || math.Abs(path.Dist-8) > tol || len(path.Doors) != 0 {
+		t.Fatalf("hall SPD = %+v, %v; want dist 8 with no doors", path, err)
+	}
+
+	// Cross-partition SPD through the hallway.
+	path, err = e.SPD(indoor.At(2.5, 8, 0), indoor.At(2.5, 2, 0), nil)
+	if err != nil || math.Abs(path.Dist-6) > tol {
+		t.Fatalf("R1->R5 SPD = %+v, %v; want dist 6", path, err)
+	}
+	if len(path.Doors) != 2 || path.Doors[0] != f.D1 || path.Doors[1] != f.D5 {
+		t.Fatalf("R1->R5 doors = %v, want [D1 D5]", path.Doors)
+	}
+
+	// The one-way door D8 makes R6->R7 and R7->R6 asymmetric.
+	q := indoor.At(15, 2, 0)
+	fwd, err := e.SPD(p, q, nil)
+	if err != nil || math.Abs(fwd.Dist-7.5) > tol {
+		t.Fatalf("R6->R7 = %+v, %v; want 7.5 via D8", fwd, err)
+	}
+	back, err := e.SPD(q, p, nil)
+	if err != nil || math.Abs(back.Dist-11.5) > tol {
+		t.Fatalf("R7->R6 = %+v, %v; want 11.5 via D7,D6", back, err)
+	}
+
+	// Range and kNN against the hand-computed distance ladder.
+	d2 := 2 + math.Sqrt(43.25)
+	d3 := 4 + math.Sqrt(29)
+	ids, err := e.Range(p, 7.5, nil)
+	if err != nil || len(ids) != 2 || ids[0] != 0 || ids[1] != 1 {
+		t.Fatalf("Range(7.5) = %v, %v; want [0 1]", ids, err)
+	}
+	ids, err = e.Range(p, d2+tol, nil)
+	if err != nil || len(ids) != 3 {
+		t.Fatalf("Range(%g) = %v, %v; want 3 ids", d2, ids, err)
+	}
+	nn, err := e.KNN(p, 2, nil)
+	if err != nil || len(nn) != 2 || nn[0].ID != 0 || nn[1].ID != 1 {
+		t.Fatalf("KNN(2) = %v, %v; want objects 0,1", nn, err)
+	}
+	if math.Abs(nn[0].Dist-1) > tol || math.Abs(nn[1].Dist-7.5) > tol {
+		t.Fatalf("KNN(2) dists = %v; want [1 7.5]", nn)
+	}
+	nn, err = e.KNN(p, 10, nil) // k > |O| returns everything reachable
+	if err != nil || len(nn) != 4 {
+		t.Fatalf("KNN(10) = %v, %v; want 4 neighbors", nn, err)
+	}
+	if math.Abs(nn[2].Dist-d2) > tol || math.Abs(nn[3].Dist-d3) > tol {
+		t.Fatalf("KNN(10) far dists = %v; want %g and %g", nn, d2, d3)
+	}
+	all, err := e.AllDists(p)
+	if err != nil || len(all) != 4 {
+		t.Fatalf("AllDists = %v, %v; want 4 entries", all, err)
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Dist < all[i-1].Dist {
+			t.Fatalf("AllDists not sorted: %v", all)
+		}
+	}
+
+	// Queries from a wall return ErrNoHost.
+	if _, err := e.Range(indoor.At(-5, -5, 0), 1, nil); !errors.Is(err, query.ErrNoHost) {
+		t.Fatalf("outdoor Range err = %v, want ErrNoHost", err)
+	}
+	if _, err := e.KNN(indoor.At(-5, -5, 0), 1, nil); !errors.Is(err, query.ErrNoHost) {
+		t.Fatalf("outdoor KNN err = %v, want ErrNoHost", err)
+	}
+	if _, err := e.SPD(p, indoor.At(-5, -5, 0), nil); !errors.Is(err, query.ErrNoHost) {
+		t.Fatalf("outdoor SPD err = %v, want ErrNoHost", err)
+	}
+	if nn, err := e.KNN(p, 0, nil); err != nil || nn != nil {
+		t.Fatalf("KNN(0) = %v, %v; want empty", nn, err)
+	}
+}
+
+func TestOracleTwoFloorStairDistance(t *testing.T) {
+	f := testspaces.NewTwoFloor()
+	e := oracle.New(f.Space)
+	p := indoor.At(2.5, 8, 0)
+	q := indoor.At(2.5, 8, 1)
+	// p -> DA0 (2) -> DS0 through hall0 -> stair (5) -> DS1 -> DA1
+	// through hall1 -> q (2), with each hall leg sqrt(17.5^2 + 1).
+	hallLeg := math.Sqrt(17.5*17.5 + 1)
+	want := 2 + hallLeg + 5 + hallLeg + 2
+	path, err := e.SPD(p, q, nil)
+	if err != nil || math.Abs(path.Dist-want) > tol {
+		t.Fatalf("cross-floor SPD = %+v, %v; want %g", path, err, want)
+	}
+	wantDoors := []indoor.DoorID{f.DA0, f.DS0, f.DS1, f.DA1}
+	if len(path.Doors) != len(wantDoors) {
+		t.Fatalf("cross-floor doors = %v, want %v", path.Doors, wantDoors)
+	}
+	for i := range wantDoors {
+		if path.Doors[i] != wantDoors[i] {
+			t.Fatalf("cross-floor doors = %v, want %v", path.Doors, wantDoors)
+		}
+	}
+}
+
+// TestOracleUnreachable builds two rooms joined by a single one-way door:
+// the reverse direction must report ErrUnreachable, range scans must
+// exclude the unreachable object, and kNN must omit it.
+func TestOracleUnreachable(t *testing.T) {
+	b := indoor.NewBuilder("oneway", 1)
+	a := b.AddRoom(0, geom.RectPoly(geom.R(0, 0, 5, 5)))
+	z := b.AddRoom(0, geom.RectPoly(geom.R(5, 0, 10, 5)))
+	d := b.AddDoor(geom.Pt(5, 2.5), 0)
+	b.ConnectOneWay(d, a, z)
+	sp, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := oracle.New(sp)
+	e.SetObjects([]query.Object{{ID: 0, Loc: indoor.At(2, 2, 0), Part: a}})
+	pa, pz := indoor.At(1, 1, 0), indoor.At(9, 1, 0)
+
+	if path, err := e.SPD(pa, pz, nil); err != nil || math.IsInf(path.Dist, 1) {
+		t.Fatalf("forward SPD = %+v, %v; want reachable", path, err)
+	}
+	if _, err := e.SPD(pz, pa, nil); !errors.Is(err, query.ErrUnreachable) {
+		t.Fatalf("reverse SPD err = %v, want ErrUnreachable", err)
+	}
+	if ids, err := e.Range(pz, 1e9, nil); err != nil || len(ids) != 0 {
+		t.Fatalf("Range from z = %v, %v; want empty", ids, err)
+	}
+	if nn, err := e.KNN(pz, 3, nil); err != nil || len(nn) != 0 {
+		t.Fatalf("KNN from z = %v, %v; want empty", nn, err)
+	}
+
+	// FromDoor reflects the asymmetry on the raw door graph: leaving z
+	// through d is impossible, so d cannot reach itself a second time,
+	// while from a's side it is its own origin at distance zero.
+	dist := e.FromDoor(d)
+	if dist[d] != 0 {
+		t.Fatalf("FromDoor self distance = %g, want 0", dist[d])
+	}
+}

@@ -1,0 +1,42 @@
+package spacegen
+
+import (
+	"bytes"
+	"testing"
+
+	"indoorsq/internal/indoor"
+)
+
+// FuzzGenerate lets the fuzzer explore the space of spaces: arbitrary
+// bytes decode into normalized generator parameters, and every decoded
+// space must pass deep validation and regenerate byte-identically.
+func FuzzGenerate(f *testing.F) {
+	f.Add(int64(1), []byte{})
+	f.Add(int64(2), []byte{1, 2, 3, 1, 4, 2, 3, 1, 5, 20})
+	f.Add(int64(3), []byte{3, 4, 4, 0, 7, 4, 4, 0, 9, 30})
+	f.Add(int64(-9), []byte{255, 255, 255, 255, 255, 255, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, seed int64, raw []byte) {
+		p := ParamsFromBytes(raw)
+		sp, err := Generate(seed, p)
+		if err != nil {
+			t.Fatalf("seed=%d params=%s: %v", seed, p, err)
+		}
+		if errs := sp.Check(); len(errs) != 0 {
+			t.Fatalf("seed=%d params=%s: Check: %v", seed, p, errs)
+		}
+		var a, b bytes.Buffer
+		if err := indoor.EncodeSpace(&a, sp); err != nil {
+			t.Fatalf("seed=%d params=%s: encode: %v", seed, p, err)
+		}
+		sp2, err := Generate(seed, p)
+		if err != nil {
+			t.Fatalf("seed=%d params=%s: regenerate: %v", seed, p, err)
+		}
+		if err := indoor.EncodeSpace(&b, sp2); err != nil {
+			t.Fatalf("seed=%d params=%s: re-encode: %v", seed, p, err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("seed=%d params=%s: regeneration is not byte-identical", seed, p)
+		}
+	})
+}

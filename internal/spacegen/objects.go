@@ -1,0 +1,51 @@
+package spacegen
+
+import (
+	"math/rand"
+
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/query"
+)
+
+// Objects deterministically scatters n objects over the non-staircase
+// partitions of sp by seeded rejection sampling. Object ids are dense
+// (0..n-1) and each Part field names the partition the point was drawn
+// in, matching what HostPartition resolves for interior points.
+func Objects(sp *indoor.Space, seed int64, n int) []query.Object {
+	rng := rand.New(rand.NewSource(seed))
+	objs := make([]query.Object, 0, n)
+	for guard := 0; len(objs) < n && guard < 1000*(n+1); guard++ {
+		v := indoor.PartitionID(rng.Intn(sp.NumPartitions()))
+		part := sp.Partition(v)
+		if part.Kind == indoor.Staircase {
+			continue
+		}
+		mbr := part.MBR
+		x := mbr.MinX + rng.Float64()*mbr.Width()
+		y := mbr.MinY + rng.Float64()*mbr.Height()
+		p := indoor.At(x, y, part.Floor)
+		if !part.Poly.Contains(p.XY()) {
+			continue
+		}
+		objs = append(objs, query.Object{ID: int32(len(objs)), Loc: p, Part: v})
+	}
+	return objs
+}
+
+// Point deterministically draws one valid indoor point of sp.
+func Point(sp *indoor.Space, rng *rand.Rand) indoor.Point {
+	for {
+		v := indoor.PartitionID(rng.Intn(sp.NumPartitions()))
+		part := sp.Partition(v)
+		if part.Kind == indoor.Staircase {
+			continue
+		}
+		mbr := part.MBR
+		x := mbr.MinX + rng.Float64()*mbr.Width()
+		y := mbr.MinY + rng.Float64()*mbr.Height()
+		p := indoor.At(x, y, part.Floor)
+		if part.Poly.Contains(p.XY()) {
+			return p
+		}
+	}
+}

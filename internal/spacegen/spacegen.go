@@ -1,0 +1,358 @@
+// Package spacegen generates seeded, fully deterministic random indoor
+// spaces for the generative correctness harness: parameterized floors,
+// room grids, hallway topologies (straight corridor, concave L, and
+// double-loaded comb), imbalanced partition widths, optional rectilinear
+// decomposition of the concave hallway into pieces joined by virtual
+// doors, unidirectional extra doors, and staircases.
+//
+// Every space Generate emits passes the Builder's structural validation
+// and the deep diagnostics of Space.Check: rooms form a bidirectional
+// spanning tree onto the hallway (so every partition keeps nonempty
+// enter/leave sets), doors sit at shared-wall midpoints (on the boundary
+// of both partitions), one-way doors are only ever added on top of the
+// tree, and staircases alternate their footprint slot by floor parity so
+// consecutive stairwells never overlap on their shared floor.
+//
+// Generation is single-threaded and driven by one rand.Rand seeded from
+// the caller's seed, so identical (seed, Params) pairs produce
+// byte-identical spaces regardless of GOMAXPROCS.
+package spacegen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"indoorsq/internal/decomp"
+	"indoorsq/internal/geom"
+	"indoorsq/internal/indoor"
+)
+
+// HallKind selects the hallway topology of each floor.
+type HallKind uint8
+
+const (
+	// HallStraight is a convex corridor below the room grid.
+	HallStraight HallKind = iota
+	// HallL is a concave L: the corridor plus a west arm running up the
+	// full height of the floor, giving every floor a concave partition.
+	HallL
+	// HallComb is a double-loaded corridor: one extra row of rooms south
+	// of the corridor, the grid north of it.
+	HallComb
+
+	numHallKinds = 3
+)
+
+// String implements fmt.Stringer.
+func (k HallKind) String() string {
+	switch k {
+	case HallStraight:
+		return "straight"
+	case HallL:
+		return "L"
+	case HallComb:
+		return "comb"
+	default:
+		return fmt.Sprintf("HallKind(%d)", uint8(k))
+	}
+}
+
+// Params parameterizes one generated space. The zero value normalizes to
+// a small single-floor straight-corridor venue.
+type Params struct {
+	// Floors is the number of floors (1..4); consecutive floors are
+	// linked by staircases.
+	Floors int
+	// Rows and Cols shape the room grid north of the hallway
+	// (Rows 1..5, Cols 2..6).
+	Rows, Cols int
+	// Hall selects the hallway topology.
+	Hall HallKind
+	// ExtraDoors is the number of extra room-to-room door attempts per
+	// floor beyond the spanning tree (0..10). Duplicate walls are skipped.
+	ExtraDoors int
+	// OneWayFrac is the probability that an extra door is unidirectional.
+	// It never applies to tree doors, so validity is preserved.
+	OneWayFrac float64
+	// Imbalance in [0,1] scales the random variation of column widths:
+	// 0 gives a uniform grid, 1 columns between half and 1.5x base width.
+	Imbalance float64
+	// Decompose routes the concave hallway (HallL only) through
+	// decomp.Decompose: the hall becomes rectangular pieces joined by
+	// virtual doors instead of one concave partition.
+	Decompose bool
+	// StairLength is the walking length of each staircase (3..12).
+	StairLength float64
+	// Objects is the object count for Objects (0..64).
+	Objects int
+}
+
+// Normalize clamps every field into its documented range and fills
+// zero-value defaults, so arbitrary (e.g. fuzzer-decoded) parameters
+// always describe a generable space.
+func (p Params) Normalize() Params {
+	p.Floors = clampInt(p.Floors, 1, 4)
+	p.Rows = clampInt(p.Rows, 1, 5)
+	p.Cols = clampInt(p.Cols, 2, 6)
+	p.Hall = HallKind(uint8(p.Hall) % numHallKinds)
+	p.ExtraDoors = clampInt(p.ExtraDoors, 0, 10)
+	p.OneWayFrac = clampFloat(p.OneWayFrac, 0, 1)
+	p.Imbalance = clampFloat(p.Imbalance, 0, 1)
+	if p.StairLength == 0 {
+		p.StairLength = 6
+	}
+	p.StairLength = clampFloat(p.StairLength, 3, 12)
+	p.Objects = clampInt(p.Objects, 0, 64)
+	if p.Hall != HallL {
+		p.Decompose = false
+	}
+	return p
+}
+
+// String renders the parameters compactly for failure messages; a
+// failing (seed, Params) pair printed by the harness reproduces the
+// exact space.
+func (p Params) String() string {
+	return fmt.Sprintf("{floors=%d rows=%d cols=%d hall=%s extra=%d oneway=%.2f imbalance=%.2f decompose=%t stair=%.1f objects=%d}",
+		p.Floors, p.Rows, p.Cols, p.Hall, p.ExtraDoors, p.OneWayFrac,
+		p.Imbalance, p.Decompose, p.StairLength, p.Objects)
+}
+
+// ParamsFromBytes decodes fuzzer-provided bytes into normalized
+// parameters, so a native fuzz target explores the space of spaces.
+// Missing bytes fall back to small defaults.
+func ParamsFromBytes(b []byte) Params {
+	get := func(i int, def byte) byte {
+		if i < len(b) {
+			return b[i]
+		}
+		return def
+	}
+	p := Params{
+		Floors:      int(get(0, 0)%4) + 1,
+		Rows:        int(get(1, 1)%5) + 1,
+		Cols:        int(get(2, 1)%5) + 2,
+		Hall:        HallKind(get(3, 0) % numHallKinds),
+		ExtraDoors:  int(get(4, 2) % 8),
+		OneWayFrac:  float64(get(5, 0)%5) / 8,
+		Imbalance:   float64(get(6, 0)%5) / 4,
+		Decompose:   get(7, 0)%2 == 1,
+		StairLength: 3 + float64(get(8, 3)%10),
+		Objects:     int(get(9, 12)%32) + 4,
+	}
+	return p.Normalize()
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clampFloat(v, lo, hi float64) float64 {
+	if !(v >= lo) { // NaN clamps low
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Layout constants shared by every topology.
+const (
+	hallH  = 4.0 // corridor height
+	cellH  = 8.0 // room row height
+	baseW  = 8.0 // base column width before imbalance
+	armW   = 6.0 // west arm width of the L hallway
+	stairW = 3.0 // stairwell depth east of the corridor
+)
+
+// Generate builds the space described by (seed, p). The same pair always
+// yields a byte-identical space (see EncodeSpace); any normalized
+// parameters yield a space whose Check() is clean.
+func Generate(seed int64, p Params) (*indoor.Space, error) {
+	p = p.Normalize()
+	rng := rand.New(rand.NewSource(seed))
+	b := indoor.NewBuilder(fmt.Sprintf("spacegen-%d", seed), p.Floors)
+
+	// Column widths are drawn once and shared by all floors so staircase
+	// footprints line up across floors.
+	xs := make([]float64, p.Cols+1)
+	if p.Hall == HallL {
+		xs[0] = armW
+	}
+	for c := 0; c < p.Cols; c++ {
+		w := baseW * (1 - p.Imbalance*0.5 + p.Imbalance*rng.Float64())
+		xs[c+1] = xs[c] + w
+	}
+	W := xs[p.Cols]
+
+	// Vertical layout per topology.
+	hallY0 := 0.0
+	if p.Hall == HallComb {
+		hallY0 = cellH // one row of south rooms below the corridor
+	}
+	hallY1 := hallY0 + hallH
+	rowY := func(r int) float64 { return hallY1 + float64(r)*cellH }
+	H := rowY(p.Rows)
+
+	// hallPiece locates the hallway partition owning a boundary point —
+	// the identity map unless the hallway was decomposed.
+	type piece struct {
+		rect geom.Rect
+		id   indoor.PartitionID
+	}
+	hallPieces := make([][]piece, p.Floors)
+	hallAt := func(fl int, pt geom.Point) indoor.PartitionID {
+		ps := hallPieces[fl]
+		if len(ps) == 1 {
+			return ps[0].id
+		}
+		for _, pc := range ps {
+			if pc.rect.Contains(pt) {
+				return pc.id
+			}
+		}
+		// Unreachable for points on hallway walls; fall back to piece 0
+		// so the Builder reports the inconsistency instead of panicking.
+		return ps[0].id
+	}
+
+	rooms := make([][][]indoor.PartitionID, p.Floors)
+	for fl := 0; fl < p.Floors; fl++ {
+		floor := int16(fl)
+
+		// 1. Hallway (one partition, or decomposed pieces + virtual doors).
+		switch {
+		case p.Hall == HallL && p.Decompose:
+			res, err := decomp.Decompose(lHallPoly(W, H))
+			if err != nil {
+				return nil, fmt.Errorf("spacegen: decompose hallway: %w", err)
+			}
+			ids := make([]indoor.PartitionID, len(res.Pieces))
+			for i, r := range res.Pieces {
+				ids[i] = b.AddHallway(floor, geom.RectPoly(r))
+				hallPieces[fl] = append(hallPieces[fl], piece{rect: r, id: ids[i]})
+			}
+			for _, j := range res.Junctions {
+				vd := b.AddVirtualDoor(j.P, floor)
+				b.ConnectBoth(vd, ids[j.A], ids[j.B])
+			}
+		case p.Hall == HallL:
+			id := b.AddHallway(floor, lHallPoly(W, H))
+			hallPieces[fl] = []piece{{rect: geom.R(0, 0, W, H), id: id}}
+		default:
+			r := geom.R(0, hallY0, W, hallY1)
+			id := b.AddHallway(floor, geom.RectPoly(r))
+			hallPieces[fl] = []piece{{rect: r, id: id}}
+		}
+
+		// 2. Room grid north of the corridor.
+		rooms[fl] = make([][]indoor.PartitionID, p.Rows)
+		for r := 0; r < p.Rows; r++ {
+			rooms[fl][r] = make([]indoor.PartitionID, p.Cols)
+			for c := 0; c < p.Cols; c++ {
+				poly := geom.RectPoly(geom.R(xs[c], rowY(r), xs[c+1], rowY(r)+cellH))
+				rooms[fl][r][c] = b.AddRoom(floor, poly)
+			}
+		}
+
+		// 3. South rooms of the comb topology, each opening onto the
+		// corridor through its top wall.
+		if p.Hall == HallComb {
+			for c := 0; c < p.Cols; c++ {
+				poly := geom.RectPoly(geom.R(xs[c], 0, xs[c+1], cellH))
+				south := b.AddRoom(floor, poly)
+				pt := geom.Pt((xs[c]+xs[c+1])/2, hallY0)
+				d := b.AddDoor(pt, floor)
+				b.ConnectBoth(d, south, hallAt(fl, pt))
+			}
+		}
+
+		// 4. Spanning-tree doors: row 0 onto the corridor, every higher
+		// room onto the room below. All bidirectional, so every partition
+		// keeps nonempty Enter and Leave sets.
+		for c := 0; c < p.Cols; c++ {
+			pt := geom.Pt((xs[c]+xs[c+1])/2, hallY1)
+			d := b.AddDoor(pt, floor)
+			b.ConnectBoth(d, hallAt(fl, pt), rooms[fl][0][c])
+		}
+		for r := 1; r < p.Rows; r++ {
+			for c := 0; c < p.Cols; c++ {
+				pt := geom.Pt((xs[c]+xs[c+1])/2, rowY(r))
+				d := b.AddDoor(pt, floor)
+				b.ConnectBoth(d, rooms[fl][r-1][c], rooms[fl][r][c])
+			}
+		}
+
+		// 5. Arm doors of the L topology: west-column rooms may open onto
+		// the vertical arm, creating cycles through the concave hallway.
+		if p.Hall == HallL {
+			for r := 0; r < p.Rows; r++ {
+				if rng.Float64() >= 0.5 {
+					continue
+				}
+				pt := geom.Pt(armW, rowY(r)+cellH/2)
+				d := b.AddDoor(pt, floor)
+				b.ConnectBoth(d, hallAt(fl, pt), rooms[fl][r][0])
+			}
+		}
+
+		// 6. Extra room-to-room doors on vertical shared walls; only these
+		// may be unidirectional.
+		used := make(map[[2]int]bool)
+		for i := 0; i < p.ExtraDoors; i++ {
+			r := rng.Intn(p.Rows)
+			c := rng.Intn(p.Cols - 1)
+			if used[[2]int{r, c}] {
+				continue
+			}
+			used[[2]int{r, c}] = true
+			pt := geom.Pt(xs[c+1], rowY(r)+cellH/2)
+			d := b.AddDoor(pt, floor)
+			a, z := rooms[fl][r][c], rooms[fl][r][c+1]
+			if rng.Float64() < p.OneWayFrac {
+				if rng.Intn(2) == 0 {
+					a, z = z, a
+				}
+				b.ConnectOneWay(d, a, z)
+			} else {
+				b.ConnectBoth(d, a, z)
+			}
+		}
+	}
+
+	// 7. Staircases east of the corridor. Consecutive stairwells share a
+	// floor, so they alternate between the south and north half of the
+	// corridor's east wall to keep their footprints disjoint.
+	yMid := (hallY0 + hallY1) / 2
+	for fl := 0; fl+1 < p.Floors; fl++ {
+		y0, y1 := hallY0, yMid
+		if fl%2 == 1 {
+			y0, y1 = yMid, hallY1
+		}
+		st := b.AddStair(int16(fl), int16(fl+1), geom.RectPoly(geom.R(W, y0, W+stairW, y1)), p.StairLength)
+		pt := geom.Pt(W, (y0+y1)/2)
+		dLo := b.AddDoor(pt, int16(fl))
+		b.ConnectBoth(dLo, hallAt(fl, pt), st)
+		dHi := b.AddDoor(pt, int16(fl+1))
+		b.ConnectBoth(dHi, hallAt(fl+1, pt), st)
+	}
+
+	return b.Build()
+}
+
+// lHallPoly returns the concave L hallway polygon: the corridor
+// [0,W]x[0,hallH] plus the west arm [0,armW]x[hallH,H], as one CCW
+// rectilinear polygon with a single reflex vertex.
+func lHallPoly(w, h float64) geom.Polygon {
+	return geom.Polygon{
+		geom.Pt(0, 0), geom.Pt(w, 0), geom.Pt(w, hallH),
+		geom.Pt(armW, hallH), geom.Pt(armW, h), geom.Pt(0, h),
+	}
+}

@@ -1,0 +1,150 @@
+package spacegen
+
+import (
+	"bytes"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"indoorsq/internal/indoor"
+)
+
+// sweepParams enumerates a varied parameter sample: every hallway
+// topology, with and without decomposition, one-way doors, imbalance,
+// and multiple floors.
+func sweepParams() []Params {
+	var out []Params
+	for _, hall := range []HallKind{HallStraight, HallL, HallComb} {
+		for _, dec := range []bool{false, true} {
+			if dec && hall != HallL {
+				continue
+			}
+			out = append(out,
+				Params{Floors: 1, Rows: 1, Cols: 2, Hall: hall, Decompose: dec},
+				Params{Floors: 2, Rows: 2, Cols: 3, Hall: hall, Decompose: dec,
+					ExtraDoors: 4, OneWayFrac: 0.5, Imbalance: 0.8},
+				Params{Floors: 4, Rows: 3, Cols: 4, Hall: hall, Decompose: dec,
+					ExtraDoors: 8, OneWayFrac: 1, Imbalance: 1, StairLength: 9},
+			)
+		}
+	}
+	return out
+}
+
+// TestGeneratedSpacesPassCheck is the generator's core contract: every
+// normalized parameter set over many seeds yields a space whose deep
+// diagnostics (overlaps, door boundaries, reachability) are clean.
+func TestGeneratedSpacesPassCheck(t *testing.T) {
+	for _, p := range sweepParams() {
+		for seed := int64(1); seed <= 8; seed++ {
+			sp, err := Generate(seed, p)
+			if err != nil {
+				t.Fatalf("seed=%d params=%s: %v", seed, p, err)
+			}
+			if errs := sp.Check(); len(errs) != 0 {
+				t.Fatalf("seed=%d params=%s: Check: %v", seed, p, errs)
+			}
+		}
+	}
+}
+
+// TestGenerateDeterministicAcrossGOMAXPROCS locks the PR 1 determinism
+// guarantee onto the generator: identical (seed, Params) produce
+// byte-identical serialized spaces regardless of GOMAXPROCS.
+func TestGenerateDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	p := Params{Floors: 3, Rows: 3, Cols: 4, Hall: HallL, Decompose: true,
+		ExtraDoors: 6, OneWayFrac: 0.4, Imbalance: 0.9}
+	for seed := int64(1); seed <= 5; seed++ {
+		prev := runtime.GOMAXPROCS(1)
+		one := encode(t, seed, p)
+		runtime.GOMAXPROCS(8)
+		eight := encode(t, seed, p)
+		runtime.GOMAXPROCS(prev)
+		if !bytes.Equal(one, eight) {
+			t.Fatalf("seed=%d params=%s: serialized space differs between GOMAXPROCS 1 and 8", seed, p)
+		}
+		if again := encode(t, seed, p); !bytes.Equal(one, again) {
+			t.Fatalf("seed=%d params=%s: serialized space differs between two runs", seed, p)
+		}
+	}
+	if bytes.Equal(encode(t, 1, p), encode(t, 2, p)) {
+		t.Fatalf("params=%s: different seeds produced identical spaces", p)
+	}
+}
+
+func encode(t *testing.T, seed int64, p Params) []byte {
+	t.Helper()
+	sp, err := Generate(seed, p)
+	if err != nil {
+		t.Fatalf("seed=%d params=%s: %v", seed, p, err)
+	}
+	var buf bytes.Buffer
+	if err := indoor.EncodeSpace(&buf, sp); err != nil {
+		t.Fatalf("seed=%d params=%s: encode: %v", seed, p, err)
+	}
+	return buf.Bytes()
+}
+
+// TestNormalizeClamps verifies arbitrary parameters land in documented
+// ranges and that ParamsFromBytes is idempotent under Normalize.
+func TestNormalizeClamps(t *testing.T) {
+	wild := Params{Floors: -3, Rows: 99, Cols: 0, Hall: HallKind(250),
+		ExtraDoors: -1, OneWayFrac: 7, Imbalance: -2, StairLength: 100, Objects: 1 << 20}
+	p := wild.Normalize()
+	if p.Floors < 1 || p.Floors > 4 || p.Rows < 1 || p.Rows > 5 || p.Cols < 2 || p.Cols > 6 {
+		t.Fatalf("grid out of range: %s", p)
+	}
+	if p.Hall >= numHallKinds {
+		t.Fatalf("hall kind out of range: %s", p)
+	}
+	if p.OneWayFrac < 0 || p.OneWayFrac > 1 || p.Imbalance < 0 || p.Imbalance > 1 {
+		t.Fatalf("fractions out of range: %s", p)
+	}
+	if p.StairLength < 3 || p.StairLength > 12 || p.Objects < 0 || p.Objects > 64 {
+		t.Fatalf("stair/objects out of range: %s", p)
+	}
+	if _, err := Generate(7, wild); err != nil {
+		t.Fatalf("Generate must normalize internally: %v", err)
+	}
+	raw := []byte{9, 200, 13, 77, 4, 250, 3, 1, 99, 31}
+	if got, want := ParamsFromBytes(raw), ParamsFromBytes(raw).Normalize(); got != want {
+		t.Fatalf("ParamsFromBytes not normalized: %s vs %s", got, want)
+	}
+}
+
+// TestObjectsDeterministicAndValid checks seeded object placement: the
+// same seed reproduces the same workload, every object lies in its
+// declared (non-staircase) partition, and ids are dense.
+func TestObjectsDeterministicAndValid(t *testing.T) {
+	sp, err := Generate(11, Params{Floors: 2, Rows: 2, Cols: 3, Hall: HallL, ExtraDoors: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Objects(sp, 42, 25)
+	b := Objects(sp, 42, 25)
+	if len(a) != 25 {
+		t.Fatalf("placed %d objects, want 25", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("object %d differs across identically-seeded runs: %+v vs %+v", i, a[i], b[i])
+		}
+		part := sp.Partition(a[i].Part)
+		if part.Kind == indoor.Staircase {
+			t.Fatalf("object %d placed in a staircase", i)
+		}
+		if !part.Poly.Contains(a[i].Loc.XY()) || a[i].Loc.Floor != part.Floor {
+			t.Fatalf("object %d at %+v outside its partition %d", i, a[i].Loc, a[i].Part)
+		}
+		if a[i].ID != int32(i) {
+			t.Fatalf("object ids not dense: %d at index %d", a[i].ID, i)
+		}
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		p := Point(sp, rng)
+		if !sp.Contains(p) {
+			t.Fatalf("Point returned non-indoor point %+v", p)
+		}
+	}
+}
