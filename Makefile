@@ -15,11 +15,11 @@ FUZZ_TARGETS = \
 	./internal/spacegen:FuzzGenerate \
 	./internal/enginetest:FuzzDifferentialEngines
 
-.PHONY: verify verify-full build vet fmt-check test race cover fuzz-smoke bench-pr2 bench-pr3 bench-pr4
+.PHONY: verify verify-full build vet fmt-check test race cover fuzz-smoke bench-smoke bench-pr2 bench-pr3 bench-pr4 bench-pr6
 
 verify: build vet fmt-check test race
 
-verify-full: verify cover fuzz-smoke
+verify-full: verify cover fuzz-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -37,7 +37,7 @@ test:
 	$(GO) test -shuffle=on -count=1 ./...
 
 race:
-	$(GO) test -race ./internal/enginetest/ ./internal/exec/ ./internal/obs/ ./internal/server/ ./internal/spacegen/ ./internal/oracle/
+	$(GO) test -race ./internal/enginetest/ ./internal/exec/ ./internal/obs/ ./internal/server/ ./internal/spacegen/ ./internal/oracle/ ./internal/doorgraph/
 
 # Per-package coverage, teed to COVER_REPORT.txt for review.
 cover:
@@ -64,3 +64,13 @@ bench-pr3:
 # Regenerates the observability-layer overhead report of PR 4.
 bench-pr4:
 	$(GO) run ./cmd/isqobsbench -o BENCH_PR4.json
+
+# Regenerates the CSR door-graph / Dijkstra hot-path report of PR 6.
+# Covers venues at ~10^3, 10^4 and 10^5 doors; the 100k build takes a while.
+bench-pr6:
+	$(GO) run ./cmd/isqgraphbench -o BENCH_PR6.json
+
+# Quick compile-and-run pass over the heap and door-graph benchmarks: a
+# handful of iterations each, just to keep the benchmark code from rotting.
+bench-smoke:
+	$(GO) test -run '^$$' -bench=. -benchtime=10x ./internal/pq/ ./internal/doorgraph/

@@ -4,6 +4,15 @@
 // it through d' — and runs single-source Dijkstra in either direction.
 // It is the construction-time substrate of IDINDEX and IP/VIP-TREE.
 //
+// Both directions are stored in compressed-sparse-row, struct-of-arrays
+// form: a row-offset array plus flat target and weight arrays. Compared to
+// the earlier [][]Edge slice-of-slices this removes one pointer chase per
+// row, drops the 4 padding bytes of every 16-byte Edge (12 payload bytes per
+// edge), and lays all edges out contiguously in source-door order, so a
+// Dijkstra sweep scans memory forward instead of hopping between per-row
+// heap allocations. Three flat arrays per direction are also exactly the
+// shape a snapshot codec can write and mmap back without pointer fixups.
+//
 // Dijkstra state (distance, predecessor and first-hop arrays plus the
 // frontier heap) lives in a reusable Scratch managed by a per-graph
 // sync.Pool, so repeated sweeps — one per door during index construction —
@@ -12,24 +21,27 @@ package doorgraph
 
 import (
 	"math"
-	"runtime"
-	"sync"
-	"unsafe"
 
+	"sync"
+
+	"indoorsq/internal/exec"
 	"indoorsq/internal/indoor"
 )
 
-// Edge is a weighted directed connection between doors.
-type Edge struct {
-	To int32
-	W  float64
+// csr is one direction's adjacency in compressed-sparse-row form: the
+// neighbors of door d are to[off[d]:off[d+1]] with weights at the same
+// positions of w.
+type csr struct {
+	off []int32 // len N+1, ascending; off[N] == len(to)
+	to  []int32
+	w   []float64
 }
 
-// Graph is the door graph with forward and reverse adjacency.
+// Graph is the door graph with forward and reverse CSR adjacency.
 type Graph struct {
 	N   int
-	Fwd [][]Edge // Fwd[d]: edges leaving door d
-	Rev [][]Edge // Rev[d]: reversed edges (for distances *to* a door)
+	fwd csr // edges leaving each door
+	rev csr // reversed edges (for distances *to* a door)
 
 	scratch sync.Pool // *Scratch sized for N
 }
@@ -38,86 +50,139 @@ type Graph struct {
 // CPU. The result is identical to a sequential build.
 func Build(sp *indoor.Space) *Graph { return BuildWorkers(sp, 0) }
 
+// chunkRows is one build chunk's forward rows, buffered in final edge order:
+// doors [lo, hi) contributed rowLen[di-lo] edges each, laid out back to back
+// in to/w. Because chunk contents depend only on the doors they cover, the
+// assembled CSR arrays are byte-identical for every worker count.
+type chunkRows struct {
+	lo, hi int
+	rowLen []int32
+	to     []int32
+	w      []float64
+}
+
 // BuildWorkers derives the door graph with an explicit worker count
-// (workers <= 0 means GOMAXPROCS). The forward rows are computed in
-// parallel — each worker owns disjoint Fwd rows — and the reverse adjacency
-// is then derived from them in source-door order, so the adjacency lists
-// are byte-identical regardless of the worker count.
+// (workers <= 0 means GOMAXPROCS). One chunked parallel pass computes every
+// edge weight exactly once, buffering each chunk's rows in final order;
+// row lengths are then prefix-summed into the offset array and the buffers
+// copied into the flat CSR arrays — no per-row append growth on the final
+// arrays and, more importantly, a single distance-cache lookup per edge
+// (a separate counting pass would double them, and at 10^5 doors the
+// lookups dominate the build). The reverse adjacency is then derived from
+// the forward rows in ascending source-door order, preserving the
+// historical edge order exactly.
 func BuildWorkers(sp *indoor.Space, workers int) *Graph {
 	n := sp.NumDoors()
-	g := &Graph{N: n, Fwd: make([][]Edge, n), Rev: make([][]Edge, n)}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	g := &Graph{N: n}
 
-	var wg sync.WaitGroup
-	next := make(chan int, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for di := range next {
-				d := indoor.DoorID(di)
-				for _, v := range sp.Door(d).Enterable {
-					for _, nd := range sp.Partition(v).Leave {
-						if nd == d {
-							continue
-						}
-						w, _ := sp.WithinDoorsCached(v, d, nd)
-						if math.IsInf(w, 1) {
-							continue
-						}
-						g.Fwd[di] = append(g.Fwd[di], Edge{To: int32(nd), W: w})
+	// Pass 1: enumerate and weigh every forward edge, chunk-buffered.
+	var mu sync.Mutex
+	var chunks []chunkRows
+	exec.Chunks(n, workers, func(lo, hi int) {
+		b := chunkRows{lo: lo, hi: hi, rowLen: make([]int32, hi-lo)}
+		for di := lo; di < hi; di++ {
+			d := indoor.DoorID(di)
+			var cnt int32
+			for _, v := range sp.Door(d).Enterable {
+				for _, nd := range sp.Partition(v).Leave {
+					if nd == d {
+						continue
 					}
+					w, _ := sp.WithinDoorsCached(v, d, nd)
+					if math.IsInf(w, 1) {
+						continue
+					}
+					b.to = append(b.to, int32(nd))
+					b.w = append(b.w, w)
+					cnt++
 				}
 			}
-		}()
+			b.rowLen[di-lo] = cnt
+		}
+		mu.Lock()
+		chunks = append(chunks, b)
+		mu.Unlock()
+	})
+
+	// Exact prefix sum over the buffered row lengths.
+	off := make([]int32, n+1)
+	for _, b := range chunks {
+		for i, c := range b.rowLen {
+			off[b.lo+i+1] = c
+		}
 	}
-	for di := 0; di < n; di++ {
-		next <- di
+	var total int64
+	for i := 0; i < n; i++ {
+		total += int64(off[i+1])
+		if total > math.MaxInt32 {
+			panic("doorgraph: edge count overflows int32 CSR offsets")
+		}
+		off[i+1] = int32(total)
 	}
-	close(next)
-	wg.Wait()
+	m := int(total)
+	g.fwd = csr{off: off, to: make([]int32, m), w: make([]float64, m)}
+
+	// Pass 2: each chunk's buffer is its doors' rows in final order, so
+	// assembly is one contiguous copy per array per chunk.
+	for _, b := range chunks {
+		copy(g.fwd.to[off[b.lo]:off[b.hi]], b.to)
+		copy(g.fwd.w[off[b.lo]:off[b.hi]], b.w)
+	}
 
 	// Reverse adjacency, derived deterministically: scanning sources in
-	// ascending order appends Rev entries in exactly the order the old
-	// sequential build produced.
-	cnt := make([]int32, n)
+	// ascending order writes each rev row in exactly the order the old
+	// sequential build appended it.
+	roff := make([]int32, n+1)
+	for _, t := range g.fwd.to {
+		roff[t+1]++
+	}
+	for i := 0; i < n; i++ {
+		roff[i+1] += roff[i]
+	}
+	g.rev = csr{off: roff, to: make([]int32, m), w: make([]float64, m)}
+	pos := make([]int32, n)
+	copy(pos, roff[:n])
 	for di := 0; di < n; di++ {
-		for _, e := range g.Fwd[di] {
-			cnt[e.To]++
+		for i := off[di]; i < off[di+1]; i++ {
+			t := g.fwd.to[i]
+			p := pos[t]
+			pos[t] = p + 1
+			g.rev.to[p] = int32(di)
+			g.rev.w[p] = g.fwd.w[i]
 		}
 	}
-	for di := 0; di < n; di++ {
-		if cnt[di] > 0 {
-			g.Rev[di] = make([]Edge, 0, cnt[di])
-		}
-	}
-	for di := 0; di < n; di++ {
-		for _, e := range g.Fwd[di] {
-			g.Rev[e.To] = append(g.Rev[e.To], Edge{To: int32(di), W: e.W})
-		}
-	}
+
+	Metrics.Doors.Store(int64(n))
+	Metrics.Edges.Store(int64(m))
+	Metrics.Bytes.Store(g.SizeBytes())
 	return g
 }
 
-// SizeBytes returns a deep size estimate of the adjacency lists.
+// NumEdges returns the number of directed edges (counted once; the reverse
+// adjacency mirrors the same edge set).
+func (g *Graph) NumEdges() int { return len(g.fwd.to) }
+
+// FwdRow returns door d's outgoing edges as parallel target/weight slices.
+// The slices alias the graph's CSR arrays and must not be modified.
+func (g *Graph) FwdRow(d int) (to []int32, w []float64) {
+	lo, hi := g.fwd.off[d], g.fwd.off[d+1]
+	return g.fwd.to[lo:hi], g.fwd.w[lo:hi]
+}
+
+// RevRow returns the reversed edges into door d (sources and weights of the
+// forward edges pointing at d), in ascending source order.
+func (g *Graph) RevRow(d int) (to []int32, w []float64) {
+	lo, hi := g.rev.off[d], g.rev.off[d+1]
+	return g.rev.to[lo:hi], g.rev.w[lo:hi]
+}
+
+// SizeBytes returns the exact CSR footprint: two offset arrays of N+1
+// int32s and, per direction, one int32 target plus one float64 weight per
+// edge. There are no per-row slice headers to estimate.
 func (g *Graph) SizeBytes() int64 {
-	const (
-		edgeSize   = int64(unsafe.Sizeof(Edge{}))
-		headerSize = int64(unsafe.Sizeof([]Edge(nil))) * 2 // Fwd[i] + Rev[i]
-	)
-	var sz int64
-	for i := range g.Fwd {
-		sz += int64(len(g.Fwd[i])+len(g.Rev[i])) * edgeSize
-	}
-	return sz + int64(g.N)*headerSize
+	m := int64(len(g.fwd.to))
+	offs := int64(len(g.fwd.off) + len(g.rev.off))
+	return offs*4 + 2*m*(4+8)
 }
 
 // Dijkstra computes single-source shortest distances over the door graph.

@@ -16,26 +16,33 @@ func TestBuildStrip(t *testing.T) {
 	}
 	// D1 enters the hall and R1; from the hall every other hall door is
 	// reachable in one hop: 6 hall doors + 0 from R1 (its only door is D1).
-	if len(g.Fwd[f.D1]) != 6 {
-		t.Fatalf("fwd(D1) = %d edges, want 6", len(g.Fwd[f.D1]))
+	if to, _ := g.FwdRow(int(f.D1)); len(to) != 6 {
+		t.Fatalf("fwd(D1) = %d edges, want 6", len(to))
 	}
 	// One-way D8 has forward edges only out of R7.
-	for _, e := range g.Fwd[f.D8] {
-		if indoor.DoorID(e.To) == f.D8 {
+	d8To, _ := g.FwdRow(int(f.D8))
+	for _, to := range d8To {
+		if indoor.DoorID(to) == f.D8 {
 			t.Fatal("self edge")
 		}
 	}
 	// D8 is reachable only by entering R6: only D6 has an edge to D8.
 	var into []int32
 	for d := 0; d < g.N; d++ {
-		for _, e := range g.Fwd[d] {
-			if indoor.DoorID(e.To) == f.D8 {
+		to, _ := g.FwdRow(d)
+		for _, t := range to {
+			if indoor.DoorID(t) == f.D8 {
 				into = append(into, int32(d))
 			}
 		}
 	}
 	if len(into) != 1 || indoor.DoorID(into[0]) != f.D6 {
 		t.Fatalf("edges into D8 from %v, want [D6]", into)
+	}
+	// The reverse rows must mirror the same edge set.
+	revTo, _ := g.RevRow(int(f.D8))
+	if len(revTo) != 1 || indoor.DoorID(revTo[0]) != f.D6 {
+		t.Fatalf("rev(D8) = %v, want [D6]", revTo)
 	}
 }
 
@@ -94,9 +101,32 @@ func TestDijkstraTriangle(t *testing.T) {
 	}
 }
 
-func TestSizeBytes(t *testing.T) {
+// TestSizeBytesExact pins SizeBytes to the exact CSR footprint: two int32
+// offset arrays of N+1 entries and, per direction, 12 bytes per edge.
+func TestSizeBytesExact(t *testing.T) {
 	g := Build(testspaces.NewStrip().Space)
-	if g.SizeBytes() <= 0 {
-		t.Fatal("SizeBytes must be positive")
+	m := int64(g.NumEdges())
+	want := 2*int64(g.N+1)*4 + 2*m*(4+8)
+	if got := g.SizeBytes(); got != want {
+		t.Fatalf("SizeBytes = %d, want exact CSR footprint %d (N=%d, edges=%d)",
+			got, want, g.N, m)
+	}
+	if m <= 0 {
+		t.Fatal("strip space must have edges")
+	}
+}
+
+// TestBuildPublishesMetrics asserts BuildWorkers records the last-built
+// graph's footprint in the process-wide gauges.
+func TestBuildPublishesMetrics(t *testing.T) {
+	g := Build(testspaces.NewStrip().Space)
+	if got := Metrics.Doors.Load(); got != int64(g.N) {
+		t.Fatalf("Metrics.Doors = %d, want %d", got, g.N)
+	}
+	if got := Metrics.Edges.Load(); got != int64(g.NumEdges()) {
+		t.Fatalf("Metrics.Edges = %d, want %d", got, g.NumEdges())
+	}
+	if got := Metrics.Bytes.Load(); got != g.SizeBytes() {
+		t.Fatalf("Metrics.Bytes = %d, want %d", got, g.SizeBytes())
 	}
 }

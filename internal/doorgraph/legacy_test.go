@@ -1,0 +1,299 @@
+package doorgraph
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/testspaces"
+)
+
+// This file keeps the pre-CSR door graph — [][]Edge slice-of-slices
+// adjacency and a binary-heap Dijkstra — verbatim as a reference
+// implementation. The equivalence tests pin down that the CSR layout stores
+// exactly the same edges in exactly the same order with bit-identical
+// weights, and that the overhauled sweep produces Float64bits-identical
+// distances. Predecessor and first-hop arrays are validated structurally
+// (every prev chain realizes the claimed distance) rather than bitwise:
+// when two shortest paths tie exactly, the 2-ary and 4-ary frontiers may
+// settle them in different orders, and either predecessor is correct.
+
+type legacyEdge struct {
+	To int32
+	W  float64
+}
+
+type legacyGraph struct {
+	n   int
+	fwd [][]legacyEdge
+	rev [][]legacyEdge
+}
+
+// legacyBuild is the old sequential derivation: per-row appends, then the
+// reverse adjacency appended in ascending source order.
+func legacyBuild(sp *indoor.Space) *legacyGraph {
+	n := sp.NumDoors()
+	g := &legacyGraph{n: n, fwd: make([][]legacyEdge, n), rev: make([][]legacyEdge, n)}
+	for di := 0; di < n; di++ {
+		d := indoor.DoorID(di)
+		for _, v := range sp.Door(d).Enterable {
+			for _, nd := range sp.Partition(v).Leave {
+				if nd == d {
+					continue
+				}
+				w, _ := sp.WithinDoorsCached(v, d, nd)
+				if math.IsInf(w, 1) {
+					continue
+				}
+				g.fwd[di] = append(g.fwd[di], legacyEdge{To: int32(nd), W: w})
+			}
+		}
+	}
+	for di := 0; di < n; di++ {
+		for _, e := range g.fwd[di] {
+			g.rev[e.To] = append(g.rev[e.To], legacyEdge{To: int32(di), W: e.W})
+		}
+	}
+	return g
+}
+
+// legacyDijkstra is the old sweep: binary heap, touch-then-relax.
+func legacyDijkstra(g *legacyGraph, src int32, reverse bool) (dist []float64, prev []int32) {
+	adj := g.fwd
+	if reverse {
+		adj = g.rev
+	}
+	dist = make([]float64, g.n)
+	prev = make([]int32, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	type item struct {
+		d int32
+		p float64
+	}
+	var heap []item
+	push := func(d int32, p float64) {
+		heap = append(heap, item{d, p})
+		i := len(heap) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if heap[parent].p <= heap[i].p {
+				break
+			}
+			heap[i], heap[parent] = heap[parent], heap[i]
+			i = parent
+		}
+	}
+	pop := func() item {
+		it := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		i, n := 0, len(heap)
+		for {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < n && heap[l].p < heap[small].p {
+				small = l
+			}
+			if r < n && heap[r].p < heap[small].p {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			heap[i], heap[small] = heap[small], heap[i]
+			i = small
+		}
+		return it
+	}
+	dist[src] = 0
+	push(src, 0)
+	for len(heap) > 0 {
+		it := pop()
+		if it.p > dist[it.d] {
+			continue
+		}
+		for _, e := range adj[it.d] {
+			if nd := it.p + e.W; nd < dist[e.To] {
+				dist[e.To] = nd
+				prev[e.To] = it.d
+				push(e.To, nd)
+			}
+		}
+	}
+	return dist, prev
+}
+
+// legacySpaces is the corpus the equivalence tests sweep: varied grids with
+// one-way doors, multiple floors, and a concave-hallway space.
+func legacySpaces() []*indoor.Space {
+	return []*indoor.Space{
+		testspaces.NewStrip().Space,
+		testspaces.RandomGrid(7, 4, 5, 2, 7, 0.25),
+		testspaces.RandomGrid(21, 5, 6, 3, 9, 0.4),
+		testspaces.RandomGridConcave(5, 4, 5, 2, 6),
+	}
+}
+
+// TestCSRMatchesLegacyEdgeOrder asserts both directions of the CSR layout
+// hold exactly the legacy adjacency: same rows, same in-row order, and
+// Float64bits-identical weights.
+func TestCSRMatchesLegacyEdgeOrder(t *testing.T) {
+	for si, sp := range legacySpaces() {
+		g := Build(sp)
+		ref := legacyBuild(sp)
+		if g.N != ref.n {
+			t.Fatalf("space %d: N = %d, want %d", si, g.N, ref.n)
+		}
+		total := 0
+		for d := 0; d < g.N; d++ {
+			for dir, rows := range [][][]legacyEdge{ref.fwd, ref.rev} {
+				to, w := g.FwdRow(d)
+				if dir == 1 {
+					to, w = g.RevRow(d)
+				}
+				want := rows[d]
+				if len(to) != len(want) {
+					t.Fatalf("space %d dir %d door %d: row has %d edges, legacy %d",
+						si, dir, d, len(to), len(want))
+				}
+				for i := range want {
+					if to[i] != want[i].To {
+						t.Fatalf("space %d dir %d door %d edge %d: to %d, legacy %d",
+							si, dir, d, i, to[i], want[i].To)
+					}
+					if math.Float64bits(w[i]) != math.Float64bits(want[i].W) {
+						t.Fatalf("space %d dir %d door %d edge %d: weight %x, legacy %x",
+							si, dir, d, i, math.Float64bits(w[i]), math.Float64bits(want[i].W))
+					}
+				}
+			}
+			fTo, _ := g.FwdRow(d)
+			total += len(fTo)
+		}
+		if total != g.NumEdges() {
+			t.Fatalf("space %d: NumEdges %d, rows sum to %d", si, g.NumEdges(), total)
+		}
+	}
+}
+
+// TestSweepMatchesLegacyDijkstra asserts the CSR sweep's distances are
+// Float64bits-identical to the legacy binary-heap sweep from every source,
+// in both directions, and that the new prev chains realize those distances
+// edge by edge.
+func TestSweepMatchesLegacyDijkstra(t *testing.T) {
+	for si, sp := range legacySpaces() {
+		g := Build(sp)
+		ref := legacyBuild(sp)
+		s := g.AcquireScratch()
+		for src := int32(0); src < int32(g.N); src++ {
+			for _, reverse := range []bool{false, true} {
+				s.Run(g, src, reverse)
+				wantDist, _ := legacyDijkstra(ref, src, reverse)
+				for d := 0; d < g.N; d++ {
+					if math.Float64bits(s.DistAt(d)) != math.Float64bits(wantDist[d]) {
+						t.Fatalf("space %d src %d rev %v: dist[%d] = %g, legacy %g",
+							si, src, reverse, d, s.DistAt(d), wantDist[d])
+					}
+				}
+				validatePrevChains(t, g, s, src, reverse)
+			}
+		}
+		g.ReleaseScratch(s)
+	}
+}
+
+// validatePrevChains walks every reached door's predecessor chain back to
+// the source, re-summing edge weights in chain order and requiring the
+// exact floating-point distance the sweep reported.
+func validatePrevChains(t *testing.T, g *Graph, s *Scratch, src int32, reverse bool) {
+	t.Helper()
+	edgeW := func(from, to int32) (float64, bool) {
+		rowTo, rowW := g.FwdRow(int(from))
+		if reverse {
+			rowTo, rowW = g.RevRow(int(from))
+		}
+		for i, cand := range rowTo {
+			if cand == to {
+				return rowW[i], true
+			}
+		}
+		return 0, false
+	}
+	for d := 0; d < g.N; d++ {
+		if math.IsInf(s.DistAt(d), 1) {
+			if s.PrevAt(d) != -1 || s.FirstAt(d) != -1 {
+				t.Fatalf("unreached door %d has prev %d first %d", d, s.PrevAt(d), s.FirstAt(d))
+			}
+			continue
+		}
+		// Collect the chain src -> ... -> d, then sum forward.
+		var chain []int32
+		for cur := int32(d); cur != src; cur = s.PrevAt(int(cur)) {
+			chain = append(chain, cur)
+			if len(chain) > g.N {
+				t.Fatalf("src %d: prev cycle at door %d", src, d)
+			}
+		}
+		sum := 0.0
+		at := src
+		for i := len(chain) - 1; i >= 0; i-- {
+			w, ok := edgeW(at, chain[i])
+			if !ok {
+				t.Fatalf("src %d door %d: prev chain uses nonexistent edge %d->%d",
+					src, d, at, chain[i])
+			}
+			sum += w
+			at = chain[i]
+		}
+		if math.Float64bits(sum) != math.Float64bits(s.DistAt(d)) {
+			t.Fatalf("src %d door %d: prev chain sums to %g, dist says %g",
+				src, d, sum, s.DistAt(d))
+		}
+		// First hop must be the chain's first step (src's own entry is src).
+		want := src
+		if len(chain) > 0 {
+			want = chain[len(chain)-1]
+		}
+		if got := s.FirstAt(d); got != want {
+			t.Fatalf("src %d door %d: first hop %d, chain says %d", src, d, got, want)
+		}
+	}
+}
+
+// TestConcurrentSweepsRace hammers one shared graph with pooled scratches
+// from many goroutines under -race, checking each sweep against a
+// sequentially computed reference.
+func TestConcurrentSweepsRace(t *testing.T) {
+	sp := testspaces.RandomGrid(3, 4, 5, 2, 8, 0.3)
+	g := Build(sp)
+	refs := make([][]float64, g.N)
+	for src := 0; src < g.N; src++ {
+		refs[src], _ = g.Dijkstra(int32(src), false)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := g.AcquireScratch()
+			defer g.ReleaseScratch(s)
+			for rep := 0; rep < 40; rep++ {
+				src := (w*31 + rep*7) % g.N
+				s.Run(g, int32(src), false)
+				for d := 0; d < g.N; d++ {
+					if math.Float64bits(s.DistAt(d)) != math.Float64bits(refs[src][d]) {
+						t.Errorf("worker %d src %d: dist[%d] = %g, want %g",
+							w, src, d, s.DistAt(d), refs[src][d])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -8,28 +8,45 @@ import (
 )
 
 // Metrics aggregates process-wide Dijkstra sweep counters across every
-// Scratch (build-time and query-time alike). The obs registry exposes them
-// as gauges; the counters are global because a Scratch is pooled and has no
-// natural owner to report through.
+// Scratch (build-time and query-time alike), plus the footprint of the most
+// recently built graph. The obs registry exposes them as gauges; the
+// counters are global because a Scratch is pooled and has no natural owner
+// to report through.
 var Metrics struct {
 	// Sweeps counts completed or aborted run() invocations.
 	Sweeps atomic.Int64
 	// Settled counts doors settled (popped final) across all sweeps.
 	Settled atomic.Int64
+	// Doors, Edges and Bytes describe the last graph BuildWorkers
+	// completed: door count, directed edge count, and exact CSR footprint.
+	Doors atomic.Int64
+	Edges atomic.Int64
+	Bytes atomic.Int64
+}
+
+// node is one door's sweep state. The fields are fused into a single record
+// padded to 32 bytes — half a cache line, and a size the compiler indexes
+// with one shift — so visiting an edge head touches exactly one scratch
+// line where the split dist/prev/first/stamp arrays of the old layout
+// touched up to four. The padding also keeps a record from ever straddling
+// a line boundary.
+type node struct {
+	dist  float64
+	prev  int32
+	first int32
+	stamp uint32
+	_     [12]byte
 }
 
 // Scratch is a reusable single-source Dijkstra working set. Distance,
 // predecessor and first-hop entries are epoch-stamped: a run bumps the
-// epoch instead of clearing the arrays, so resetting costs O(doors touched
+// epoch instead of clearing the records, so resetting costs O(doors touched
 // by the previous run), not O(N). Accessors treat unstamped entries as
 // unreached (+Inf distance, -1 predecessor).
 //
 // A Scratch is not safe for concurrent use; acquire one per goroutine.
 type Scratch struct {
-	dist  []float64
-	prev  []int32
-	first []int32 // first door after src on the shortest path src -> t
-	stamp []uint32
+	nodes []node
 	epoch uint32
 
 	// Early-exit target marks (RunTargets), stamped independently so the
@@ -37,18 +54,19 @@ type Scratch struct {
 	tmark  []uint32
 	tepoch uint32
 
-	h pq.Heap[int32]
+	h pq.Indexed
 }
 
-// NewScratch returns a Scratch for graphs with n doors.
+// NewScratch returns a Scratch for graphs with n doors. The frontier heap
+// is pre-grown to n entries so a full sweep performs no interleaved append
+// growth.
 func NewScratch(n int) *Scratch {
-	return &Scratch{
-		dist:  make([]float64, n),
-		prev:  make([]int32, n),
-		first: make([]int32, n),
-		stamp: make([]uint32, n),
+	s := &Scratch{
+		nodes: make([]node, n),
 		tmark: make([]uint32, n),
 	}
+	s.h.Grow(n)
+	return s
 }
 
 // AcquireScratch returns a pooled Scratch sized for the graph. Release it
@@ -63,79 +81,82 @@ func (g *Graph) AcquireScratch() *Scratch {
 
 // ReleaseScratch returns a Scratch to the graph's pool.
 func (g *Graph) ReleaseScratch(s *Scratch) {
-	if s != nil && len(s.stamp) == g.N {
+	if s != nil && len(s.nodes) == g.N {
 		g.scratch.Put(s)
 	}
 }
 
-// reset starts a new epoch, clearing the stamp arrays only on wraparound.
+// reset starts a new epoch, clearing the stamps only on wraparound.
 func (s *Scratch) reset() {
 	s.epoch++
 	if s.epoch == 0 {
-		for i := range s.stamp {
-			s.stamp[i] = 0
+		for i := range s.nodes {
+			s.nodes[i].stamp = 0
 		}
 		s.epoch = 1
 	}
 	s.h.Reset()
 }
 
-// touch stamps door d for the current epoch with unreached defaults.
-func (s *Scratch) touch(d int32) {
-	if s.stamp[d] != s.epoch {
-		s.stamp[d] = s.epoch
-		s.dist[d] = math.Inf(1)
-		s.prev[d] = -1
-		s.first[d] = -1
-	}
-}
-
 // DistAt returns the shortest distance of door d from the last run's
 // source (+Inf when unreached).
 func (s *Scratch) DistAt(d int) float64 {
-	if s.stamp[d] != s.epoch {
+	if s.nodes[d].stamp != s.epoch {
 		return math.Inf(1)
 	}
-	return s.dist[d]
+	return s.nodes[d].dist
 }
 
 // PrevAt returns door d's predecessor (successor for reverse runs) on the
 // shortest path, or -1 when unreached (and for the source itself).
 func (s *Scratch) PrevAt(d int) int32 {
-	if s.stamp[d] != s.epoch {
+	if s.nodes[d].stamp != s.epoch {
 		return -1
 	}
-	return s.prev[d]
+	return s.nodes[d].prev
 }
 
 // FirstAt returns the first door after the source on the shortest path to
 // d (d itself for the source's direct neighbors, the source for d == src),
 // or -1 when unreached.
 func (s *Scratch) FirstAt(d int) int32 {
-	if s.stamp[d] != s.epoch {
+	if s.nodes[d].stamp != s.epoch {
 		return -1
 	}
-	return s.first[d]
+	return s.nodes[d].first
 }
 
 // CopyDist fills dst (length >= N) with the per-door distances.
 func (s *Scratch) CopyDist(dst []float64) {
-	for i := range s.stamp {
-		dst[i] = s.DistAt(i)
+	inf := math.Inf(1)
+	for i := range s.nodes {
+		if s.nodes[i].stamp == s.epoch {
+			dst[i] = s.nodes[i].dist
+		} else {
+			dst[i] = inf
+		}
 	}
 }
 
 // CopyPrev fills dst (length >= N) with the per-door predecessors.
 func (s *Scratch) CopyPrev(dst []int32) {
-	for i := range s.stamp {
-		dst[i] = s.PrevAt(i)
+	for i := range s.nodes {
+		if s.nodes[i].stamp == s.epoch {
+			dst[i] = s.nodes[i].prev
+		} else {
+			dst[i] = -1
+		}
 	}
 }
 
 // CopyFirst fills dst (length >= N) with the per-door first hops.
 func (s *Scratch) CopyFirst(dst []int32) {
-	for i := range s.stamp {
-		dst[i] = s.FirstAt(i)
+	for i := range s.nodes {
+		if s.nodes[i].stamp == s.epoch {
+			dst[i] = s.nodes[i].first
+		} else {
+			dst[i] = -1
+		}
 	}
 }
 
@@ -143,7 +164,11 @@ func (s *Scratch) CopyFirst(dst []int32) {
 // for the forward/reverse semantics), leaving the results readable through
 // the accessors until the next run.
 func (s *Scratch) Run(g *Graph, src int32, reverse bool) {
-	s.run(g, src, reverse, 0, 0, nil)
+	adj := &g.fwd
+	if reverse {
+		adj = &g.rev
+	}
+	s.runFast(adj, src, -1)
 }
 
 // RunChecked is Run with an amortized cancellation probe: check is invoked
@@ -167,8 +192,18 @@ func (s *Scratch) RunChecked(g *Graph, src int32, reverse bool, every int, check
 // Unreachable targets cannot settle; the sweep then ends when the frontier
 // empties, exactly like Run.
 func (s *Scratch) RunTargets(g *Graph, src int32, reverse bool, targets []int32) {
+	adj := &g.fwd
+	if reverse {
+		adj = &g.rev
+	}
 	if len(targets) == 0 {
-		s.run(g, src, reverse, 0, 0, nil)
+		s.runFast(adj, src, -1)
+		return
+	}
+	// One target — the SPDQ case — keeps the goal in a register instead of
+	// paying two tmark loads on every pop of the general loop.
+	if len(targets) == 1 {
+		s.runFast(adj, src, targets[0])
 		return
 	}
 	s.tepoch++
@@ -188,18 +223,83 @@ func (s *Scratch) RunTargets(g *Graph, src int32, reverse bool, targets []int32)
 	s.run(g, src, reverse, remaining, 0, nil)
 }
 
-// run is the shared sweep; remainingTargets > 0 enables the early exit
-// against the tmark set, and a non-nil check is polled every `every`
-// settled doors (RunChecked).
-func (s *Scratch) run(g *Graph, src int32, reverse bool, remainingTargets, every int, check func() error) error {
-	adj := g.Fwd
-	if reverse {
-		adj = g.Rev
-	}
+// runFast is the specialized sweep behind Run and single-target RunTargets:
+// no cancellation probe and no target set, so the pop loop carries nothing
+// but the settle count (and, when target >= 0, one register compare for the
+// goal-directed early exit).
+//
+// The relaxation iterates one direction's CSR arrays directly: row bounds
+// come from one offset array and the target/weight scans are sequential, so
+// the hardware prefetcher can run ahead of the sweep. Each row is resliced
+// once (with the weight view pinned to the row length) so the inner loop is
+// bounds-check free. A door is stamped only when a strictly better distance
+// is written — the unstamped default (+Inf, -1) is never materialized — and
+// an improvement to an already-queued door is a decrease-key on the indexed
+// heap, so no stale entries exist and every Pop is final.
+func (s *Scratch) runFast(adj *csr, src, target int32) {
+	off, to, ws := adj.off, adj.to, adj.w
+	nodes := s.nodes
 	s.reset()
-	s.touch(src)
-	s.dist[src] = 0
-	s.first[src] = src
+	epoch := s.epoch
+	nodes[src] = node{dist: 0, prev: -1, first: src, stamp: epoch}
+	s.h.Push(src, 0)
+	settled := 0
+	for s.h.Len() > 0 {
+		d, dd := s.h.Pop()
+		settled++
+		if d == target {
+			break
+		}
+		isSrc := d == src
+		fd := nodes[d].first
+		row := to[off[d]:off[d+1]]
+		wr := ws[off[d]:off[d+1]]
+		wr = wr[:len(row)]
+		for i, t := range row {
+			nd := dd + wr[i]
+			nt := &nodes[t]
+			if nt.stamp == epoch {
+				if nd >= nt.dist {
+					continue
+				}
+				nt.dist = nd
+				nt.prev = d
+				if isSrc {
+					nt.first = t
+				} else {
+					nt.first = fd
+				}
+				s.h.Decrease(t, nd)
+				continue
+			}
+			nt.stamp = epoch
+			nt.dist = nd
+			nt.prev = d
+			if isSrc {
+				nt.first = t
+			} else {
+				nt.first = fd
+			}
+			s.h.Push(t, nd)
+		}
+	}
+	Metrics.Sweeps.Add(1)
+	Metrics.Settled.Add(int64(settled))
+}
+
+// run is the general sweep behind RunChecked and multi-target RunTargets;
+// remainingTargets > 0 enables the early exit against the tmark set, and a
+// non-nil check is polled every `every` settled doors.
+func (s *Scratch) run(g *Graph, src int32, reverse bool, remainingTargets, every int, check func() error) error {
+	adj := &g.fwd
+	if reverse {
+		adj = &g.rev
+	}
+	off, to, ws := adj.off, adj.to, adj.w
+	nodes := s.nodes
+	s.reset()
+	epoch := s.epoch
+	nodes[src] = node{dist: 0, prev: -1, first: src, stamp: epoch}
 	s.h.Push(src, 0)
 	settled := 0
 	defer func() {
@@ -208,9 +308,6 @@ func (s *Scratch) run(g *Graph, src int32, reverse bool, remainingTargets, every
 	}()
 	for s.h.Len() > 0 {
 		d, dd := s.h.Pop()
-		if dd > s.dist[d] {
-			continue
-		}
 		settled++
 		if check != nil && settled%every == 0 {
 			if err := check(); err != nil {
@@ -223,19 +320,37 @@ func (s *Scratch) run(g *Graph, src int32, reverse bool, remainingTargets, every
 				return nil
 			}
 		}
-		for _, e := range adj[d] {
-			nd := dd + e.W
-			s.touch(e.To)
-			if nd < s.dist[e.To] {
-				s.dist[e.To] = nd
-				s.prev[e.To] = d
-				if d == src {
-					s.first[e.To] = e.To
-				} else {
-					s.first[e.To] = s.first[d]
+		isSrc := d == src
+		fd := nodes[d].first
+		row := to[off[d]:off[d+1]]
+		wr := ws[off[d]:off[d+1]]
+		wr = wr[:len(row)]
+		for i, t := range row {
+			nd := dd + wr[i]
+			nt := &nodes[t]
+			if nt.stamp == epoch {
+				if nd >= nt.dist {
+					continue
 				}
-				s.h.Push(e.To, nd)
+				nt.dist = nd
+				nt.prev = d
+				if isSrc {
+					nt.first = t
+				} else {
+					nt.first = fd
+				}
+				s.h.Decrease(t, nd)
+				continue
 			}
+			nt.stamp = epoch
+			nt.dist = nd
+			nt.prev = d
+			if isSrc {
+				nt.first = t
+			} else {
+				nt.first = fd
+			}
+			s.h.Push(t, nd)
 		}
 	}
 	return nil

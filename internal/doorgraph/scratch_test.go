@@ -9,17 +9,17 @@ import (
 )
 
 // TestBuildWorkersDeterministic asserts the parallel edge derivation yields
-// byte-identical adjacency regardless of the worker count.
+// byte-identical CSR arrays regardless of the worker count.
 func TestBuildWorkersDeterministic(t *testing.T) {
 	sp := testspaces.RandomGrid(7, 4, 5, 2, 7, 0.25)
 	ref := BuildWorkers(sp, 1)
 	for _, w := range []int{2, 4, 8} {
 		g := BuildWorkers(sp, w)
-		if !reflect.DeepEqual(ref.Fwd, g.Fwd) {
-			t.Fatalf("Fwd adjacency differs at workers=%d", w)
+		if !reflect.DeepEqual(ref.fwd, g.fwd) {
+			t.Fatalf("Fwd CSR differs at workers=%d", w)
 		}
-		if !reflect.DeepEqual(ref.Rev, g.Rev) {
-			t.Fatalf("Rev adjacency differs at workers=%d", w)
+		if !reflect.DeepEqual(ref.rev, g.rev) {
+			t.Fatalf("Rev CSR differs at workers=%d", w)
 		}
 	}
 }
@@ -106,16 +106,22 @@ func TestRunTargetsEarlyExit(t *testing.T) {
 	}
 }
 
-// TestSizeBytesPositive sanity-checks the unsafe.Sizeof-derived accounting.
-func TestSizeBytesPositive(t *testing.T) {
+// TestSizeBytesCoversEdgePayload sanity-checks the CSR accounting against
+// the accessor-visible edge count.
+func TestSizeBytesCoversEdgePayload(t *testing.T) {
 	f := testspaces.NewStrip()
 	g := Build(f.Space)
 	edges := 0
-	for i := range g.Fwd {
-		edges += len(g.Fwd[i]) + len(g.Rev[i])
+	for i := 0; i < g.N; i++ {
+		fTo, _ := g.FwdRow(i)
+		rTo, _ := g.RevRow(i)
+		edges += len(fTo) + len(rTo)
 	}
-	if got := g.SizeBytes(); got < int64(edges)*16 {
-		t.Fatalf("SizeBytes %d smaller than edge payload %d", got, edges*16)
+	if edges != 2*g.NumEdges() {
+		t.Fatalf("row iteration saw %d edges, NumEdges reports %d", edges, g.NumEdges())
+	}
+	if got := g.SizeBytes(); got < int64(edges)*12 {
+		t.Fatalf("SizeBytes %d smaller than edge payload %d", got, edges*12)
 	}
 }
 

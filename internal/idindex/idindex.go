@@ -13,11 +13,10 @@ package idindex
 import (
 	"context"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 
 	"indoorsq/internal/doorgraph"
+	"indoorsq/internal/exec"
 	"indoorsq/internal/indoor"
 	"indoorsq/internal/obs"
 	"indoorsq/internal/pq"
@@ -69,61 +68,42 @@ func build(sp *indoor.Space, compact bool, workers int) *Index {
 	// worker budget.
 	dg := doorgraph.BuildWorkers(sp, workers)
 
-	// One Dijkstra per source door, parallel across workers: every worker
-	// writes disjoint matrix rows, so no synchronization is needed beyond
-	// the work queue; the merge is deterministic because row src depends
-	// only on src. Each worker reuses one pooled scratch across all its
-	// sources, so the sweep allocates nothing per source.
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	next := make(chan int, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			s := dg.AcquireScratch()
-			defer dg.ReleaseScratch(s)
-			dist := make([]float64, n)
-			for src := range next {
-				s.Run(dg, int32(src), false)
-				s.CopyDist(dist)
-				if compact {
-					row := ix.d2d32[src*n : (src+1)*n]
-					for i, v := range dist {
-						row[i] = float32(v)
-					}
-				} else {
-					copy(ix.d2d[src*n:(src+1)*n], dist)
+	// One Dijkstra per source door, fanned out as chunked source ranges
+	// (exec.Chunks): every chunk writes disjoint matrix rows, so no
+	// synchronization is needed beyond the range counter, and the merge is
+	// deterministic because row src depends only on src. Each chunk reuses
+	// a pooled scratch across its sources, so the sweeps allocate nothing
+	// per source.
+	exec.Chunks(n, workers, func(lo, hi int) {
+		s := dg.AcquireScratch()
+		defer dg.ReleaseScratch(s)
+		dist := make([]float64, n)
+		for src := lo; src < hi; src++ {
+			s.Run(dg, int32(src), false)
+			s.CopyDist(dist)
+			if compact {
+				row := ix.d2d32[src*n : (src+1)*n]
+				for i, v := range dist {
+					row[i] = float32(v)
 				}
-				s.CopyFirst(ix.fh[src*n : (src+1)*n])
-
-				order := ix.idx[src*n : (src+1)*n]
-				for i := range order {
-					order[i] = int32(i)
-				}
-				sort.Slice(order, func(a, b int) bool {
-					da, db := dist[order[a]], dist[order[b]]
-					if da != db {
-						return da < db
-					}
-					return order[a] < order[b]
-				})
+			} else {
+				copy(ix.d2d[src*n:(src+1)*n], dist)
 			}
-		}()
-	}
-	for src := 0; src < n; src++ {
-		next <- src
-	}
-	close(next)
-	wg.Wait()
+			s.CopyFirst(ix.fh[src*n : (src+1)*n])
+
+			order := ix.idx[src*n : (src+1)*n]
+			for i := range order {
+				order[i] = int32(i)
+			}
+			sort.Slice(order, func(a, b int) bool {
+				da, db := dist[order[a]], dist[order[b]]
+				if da != db {
+					return da < db
+				}
+				return order[a] < order[b]
+			})
+		}
+	})
 	cell := int64(8)
 	if compact {
 		cell = 4

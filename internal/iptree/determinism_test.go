@@ -1,9 +1,12 @@
 package iptree
 
 import (
+	"math"
+	"math/rand"
 	"reflect"
 	"testing"
 
+	"indoorsq/internal/spacegen"
 	"indoorsq/internal/testspaces"
 )
 
@@ -43,6 +46,74 @@ func TestParallelBuildDeterministic(t *testing.T) {
 				rb, ok := par.routes[d]
 				if !ok || !reflect.DeepEqual(ra.next, rb.next) || !reflect.DeepEqual(ra.prev, rb.prev) {
 					t.Fatalf("vip=%v workers=%d: routes differ at door %d", vip, w, d)
+				}
+			}
+		}
+	}
+}
+
+// eqBits reports whether two float64 slices are Float64bits-identical,
+// element for element.
+func eqBits(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelBuildDeterministicSpacegen repeats the VIP-tree matrix
+// identity check over generated venues from the same corpus family the
+// differential harness sweeps, comparing every leaf, non-leaf, and VIP
+// materialization matrix at the Float64bits level across worker counts.
+func TestParallelBuildDeterministicSpacegen(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := spacegen.Params{
+			Floors:     1 + rng.Intn(3),
+			Rows:       1 + rng.Intn(3),
+			Cols:       2 + rng.Intn(3),
+			Hall:       spacegen.HallKind(rng.Intn(3)),
+			ExtraDoors: rng.Intn(6),
+			OneWayFrac: float64(rng.Intn(3)) / 2,
+			Imbalance:  rng.Float64(),
+			Decompose:  rng.Intn(2) == 1,
+		}.Normalize()
+		sp, err := spacegen.Generate(seed, p)
+		if err != nil {
+			t.Fatalf("seed=%d: generate: %v", seed, err)
+		}
+		opt := Options{LeafSize: 3, Fanout: 2, Gamma: 4, VIP: true, Workers: 1}
+		seq := New(sp, opt)
+		for _, w := range []int{3, 8} {
+			optPar := opt
+			optPar.Workers = w
+			par := New(sp, optPar)
+			if len(seq.nodes) != len(par.nodes) {
+				t.Fatalf("seed=%d workers=%d: node count %d != %d", seed, w, len(par.nodes), len(seq.nodes))
+			}
+			for i := range seq.nodes {
+				a, b := &seq.nodes[i], &par.nodes[i]
+				if !eqBits(a.md2a, b.md2a) || !eqBits(a.ma2d, b.ma2d) || !eqBits(a.m, b.m) {
+					t.Fatalf("seed=%d workers=%d: matrices differ at node %d", seed, w, i)
+				}
+				if len(a.vipD2A) != len(b.vipD2A) || len(a.vipA2D) != len(b.vipA2D) {
+					t.Fatalf("seed=%d workers=%d: VIP level count differs at node %d", seed, w, i)
+				}
+				for li := range a.vipD2A {
+					if !eqBits(a.vipD2A[li], b.vipD2A[li]) || !eqBits(a.vipA2D[li], b.vipA2D[li]) {
+						t.Fatalf("seed=%d workers=%d: VIP matrices differ at node %d level %d", seed, w, i, li)
+					}
+				}
+			}
+			for d, ra := range seq.routes {
+				rb, ok := par.routes[d]
+				if !ok || !reflect.DeepEqual(ra.next, rb.next) || !reflect.DeepEqual(ra.prev, rb.prev) {
+					t.Fatalf("seed=%d workers=%d: routes differ at door %d", seed, w, d)
 				}
 			}
 		}

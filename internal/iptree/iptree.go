@@ -21,11 +21,10 @@ package iptree
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 
 	"indoorsq/internal/doorgraph"
+	"indoorsq/internal/exec"
 	"indoorsq/internal/indoor"
 	"indoorsq/internal/query"
 )
@@ -474,78 +473,60 @@ func (t *Tree) fillMatrices() {
 	sort.Slice(doors, func(i, j int) bool { return doors[i] < doors[j] })
 	routesArr := make([]*route, len(doors))
 
-	workers := t.opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(doors) {
-		workers = len(doors)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	jobs := make(chan int, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// Two pooled scratches per worker: the forward and reverse
-			// sweeps of one door must be readable at the same time while
-			// the matrices are filled.
-			sFwd := dg.AcquireScratch()
-			defer dg.ReleaseScratch(sFwd)
-			sRev := dg.AcquireScratch()
-			defer dg.ReleaseScratch(sRev)
-			for ji := range jobs {
-				a := doors[ji]
-				sFwd.Run(dg, int32(a), false) // a -> d
-				sRev.Run(dg, int32(a), true)  // d -> a
-				// The routing tables outlive the scratch; copy them out.
-				r := &route{next: make([]int32, dg.N), prev: make([]int32, dg.N)}
-				sRev.CopyPrev(r.next)
-				sFwd.CopyPrev(r.prev)
-				routesArr[ji] = r
+	// Chunked index ranges instead of one channel op per door; each chunk
+	// writes matrix rows owned by its doors only, so any worker count
+	// produces identical matrices.
+	exec.Chunks(len(doors), t.opt.Workers, func(lo, hi int) {
+		// Two pooled scratches per chunk: the forward and reverse
+		// sweeps of one door must be readable at the same time while
+		// the matrices are filled.
+		sFwd := dg.AcquireScratch()
+		defer dg.ReleaseScratch(sFwd)
+		sRev := dg.AcquireScratch()
+		defer dg.ReleaseScratch(sRev)
+		for ji := lo; ji < hi; ji++ {
+			a := doors[ji]
+			sFwd.Run(dg, int32(a), false) // a -> d
+			sRev.Run(dg, int32(a), true)  // d -> a
+			// The routing tables outlive the scratch; copy them out.
+			r := &route{next: make([]int32, dg.N), prev: make([]int32, dg.N)}
+			sRev.CopyPrev(r.next)
+			sFwd.CopyPrev(r.prev)
+			routesArr[ji] = r
 
-				for i := range t.nodes {
-					n := &t.nodes[i]
-					if n.leaf {
-						if ai, ok := n.adIdx[a]; ok {
-							na := len(n.ad)
-							for dIdx, d := range n.doors {
-								n.md2a[dIdx*na+int(ai)] = sRev.DistAt(int(d))
-								n.ma2d[int(ai)*len(n.doors)+dIdx] = sFwd.DistAt(int(d))
-							}
+			for i := range t.nodes {
+				n := &t.nodes[i]
+				if n.leaf {
+					if ai, ok := n.adIdx[a]; ok {
+						na := len(n.ad)
+						for dIdx, d := range n.doors {
+							n.md2a[dIdx*na+int(ai)] = sRev.DistAt(int(d))
+							n.ma2d[int(ai)*len(n.doors)+dIdx] = sFwd.DistAt(int(d))
 						}
-						if t.opt.VIP {
-							for li, aid := range t.ancestors(n.id) {
-								anc := &t.nodes[aid]
-								if ai, ok := anc.adIdx[a]; ok {
-									na := len(anc.ad)
-									for dIdx, d := range n.doors {
-										n.vipD2A[li][dIdx*na+int(ai)] = sRev.DistAt(int(d))
-										n.vipA2D[li][int(ai)*len(n.doors)+dIdx] = sFwd.DistAt(int(d))
-									}
+					}
+					if t.opt.VIP {
+						for li, aid := range t.ancestors(n.id) {
+							anc := &t.nodes[aid]
+							if ai, ok := anc.adIdx[a]; ok {
+								na := len(anc.ad)
+								for dIdx, d := range n.doors {
+									n.vipD2A[li][dIdx*na+int(ai)] = sRev.DistAt(int(d))
+									n.vipA2D[li][int(ai)*len(n.doors)+dIdx] = sFwd.DistAt(int(d))
 								}
 							}
 						}
-					} else if ri, ok := n.uadIdx[a]; ok {
-						// Row a -> every uad door; the reverse direction is
-						// covered by that door's own worker writing its row.
-						nu := len(n.uad)
-						for ci, c := range n.uad {
-							n.m[int(ri)*nu+ci] = sFwd.DistAt(int(c))
-						}
+					}
+				} else if ri, ok := n.uadIdx[a]; ok {
+					// Row a -> every uad door; the reverse direction is
+					// covered by that door's own worker writing its row.
+					nu := len(n.uad)
+					for ci, c := range n.uad {
+						n.m[int(ri)*nu+ci] = sFwd.DistAt(int(c))
 					}
 				}
 			}
-		}()
-	}
-	for ji := range doors {
-		jobs <- ji
-	}
-	close(jobs)
-	wg.Wait()
+		}
+	})
 
 	t.routes = make(map[indoor.DoorID]*route, len(doors))
 	for ji, a := range doors {

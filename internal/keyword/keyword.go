@@ -278,6 +278,9 @@ func (x *Index) Route(p, q indoor.Point, st *query.Stats, words ...string) (Rout
 	dist := make(map[routeState]float64)
 	prev := make(map[routeState]routeHop)
 	var h pq.Heap[routeState]
+	// The frontier holds (door, collected-words) states — at least one per
+	// reachable door; pre-grow both heap arrays to that floor in one step.
+	h.Grow(x.sp.NumDoors())
 
 	relaxTo := func(s routeState, d float64, hop routeHop) {
 		if old, ok := dist[s]; !ok || d < old {

@@ -5,18 +5,163 @@ import (
 	"testing"
 )
 
-func BenchmarkPushPop(b *testing.B) {
+// heap2 is the pre-PR-6 binary (2-ary) heap, kept verbatim as the reference
+// side of the arity benchmarks below. The exported Heap is 4-ary.
+type heap2[T any] struct {
+	vs []T
+	ps []float64
+}
+
+func (h *heap2[T]) Len() int { return len(h.vs) }
+
+func (h *heap2[T]) Push(v T, p float64) {
+	h.vs = append(h.vs, v)
+	h.ps = append(h.ps, p)
+	i := len(h.vs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.ps[parent] <= h.ps[i] {
+			break
+		}
+		h.vs[i], h.vs[parent] = h.vs[parent], h.vs[i]
+		h.ps[i], h.ps[parent] = h.ps[parent], h.ps[i]
+		i = parent
+	}
+}
+
+func (h *heap2[T]) Pop() (T, float64) {
+	v, p := h.vs[0], h.ps[0]
+	last := len(h.vs) - 1
+	h.vs[0], h.ps[0] = h.vs[last], h.ps[last]
+	var zero T
+	h.vs[last] = zero
+	h.vs = h.vs[:last]
+	h.ps = h.ps[:last]
+	n := len(h.vs)
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.ps[l] < h.ps[small] {
+			small = l
+		}
+		if r < n && h.ps[r] < h.ps[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.vs[i], h.vs[small] = h.vs[small], h.vs[i]
+		h.ps[i], h.ps[small] = h.ps[small], h.ps[i]
+		i = small
+	}
+	return v, p
+}
+
+// benchPriorities is a shared deterministic workload: uniformly random
+// priorities stress sift depth; Dijkstra frontiers look closer to
+// mostly-ascending, covered by the drain benchmarks.
+func benchPriorities(n int) []float64 {
 	rng := rand.New(rand.NewSource(1))
-	ps := make([]float64, 1024)
+	ps := make([]float64, n)
 	for i := range ps {
 		ps[i] = rng.Float64()
 	}
+	return ps
+}
+
+// BenchmarkPushPop4ary is the steady-state mixed workload on the exported
+// 4-ary heap: push always, pop past a 512-entry floor.
+func BenchmarkPushPop4ary(b *testing.B) {
+	ps := benchPriorities(1024)
 	var h Heap[int32]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Push(int32(i), ps[i%1024])
 		if h.Len() > 512 {
 			h.Pop()
+		}
+	}
+}
+
+// BenchmarkPushPop2ary is the same workload on the binary reference heap.
+func BenchmarkPushPop2ary(b *testing.B) {
+	ps := benchPriorities(1024)
+	var h heap2[int32]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Push(int32(i), ps[i%1024])
+		if h.Len() > 512 {
+			h.Pop()
+		}
+	}
+}
+
+// BenchmarkFillDrain4ary fills a heap of the given size and drains it —
+// the shape of one Dijkstra sweep's frontier life cycle.
+func BenchmarkFillDrain4ary(b *testing.B) {
+	const size = 4096
+	ps := benchPriorities(size)
+	var h Heap[int32]
+	h.Grow(size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < size; j++ {
+			h.Push(int32(j), ps[j])
+		}
+		for h.Len() > 0 {
+			h.Pop()
+		}
+	}
+}
+
+// BenchmarkFillDrain2ary is the fill/drain cycle on the binary reference.
+func BenchmarkFillDrain2ary(b *testing.B) {
+	const size = 4096
+	ps := benchPriorities(size)
+	var h heap2[int32]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < size; j++ {
+			h.Push(int32(j), ps[j])
+		}
+		for h.Len() > 0 {
+			h.Pop()
+		}
+	}
+}
+
+// BenchmarkGrowThenFill measures the preallocated fill against
+// BenchmarkAppendFill's interleaved growth of vs and ps.
+func BenchmarkGrowThenFill(b *testing.B) {
+	const size = 4096
+	ps := benchPriorities(size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var h Heap[int32]
+		h.Grow(size)
+		for j := 0; j < size; j++ {
+			h.Push(int32(j), ps[j])
+		}
+	}
+}
+
+// BenchmarkAppendFill fills a zero-value heap, paying append growth on both
+// arrays as the frontier expands.
+func BenchmarkAppendFill(b *testing.B) {
+	const size = 4096
+	ps := benchPriorities(size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var h Heap[int32]
+		for j := 0; j < size; j++ {
+			h.Push(int32(j), ps[j])
 		}
 	}
 }

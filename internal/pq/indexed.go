@@ -1,0 +1,135 @@
+package pq
+
+// Indexed is a 4-ary min-heap of int32 keys with float64 priorities that
+// tracks each key's heap slot in an external position index. Knowing the
+// slot enables decrease-key: a relaxation that improves a queued key sifts
+// it up in place instead of pushing a duplicate, so the heap never exceeds
+// the frontier size and no stale entries are ever popped. On Dijkstra
+// frontiers over graphs with dense rows (the hall-partition cliques of a
+// door graph) this removes the bulk of the sift work the lazy-deletion
+// discipline pays.
+//
+// Keys must be in [0, n) for the n passed to Grow. The zero value is an
+// empty heap; call Grow before the first Push. Like Heap, every sift moves
+// the displaced element through a hole and stores it once at its final
+// slot.
+type Indexed struct {
+	vs  []int32
+	ps  []float64
+	pos []int32 // pos[key] = slot in vs/ps, -1 when not queued
+}
+
+// Len returns the number of queued keys.
+func (h *Indexed) Len() int { return len(h.vs) }
+
+// Cap returns the heap's current key-space size (for memory accounting).
+func (h *Indexed) Cap() int { return len(h.pos) }
+
+// Grow ensures the heap accepts keys in [0, n), resizing the slot arrays
+// and the position index together. It must be called while the heap is
+// empty.
+func (h *Indexed) Grow(n int) {
+	if len(h.pos) >= n {
+		return
+	}
+	if cap(h.vs) < n {
+		h.vs = make([]int32, 0, n)
+		h.ps = make([]float64, 0, n)
+	}
+	h.pos = make([]int32, n)
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+}
+
+// Reset empties the heap, clearing the position of any key still queued
+// (an early-exited sweep leaves its frontier behind) and retaining all
+// capacity.
+func (h *Indexed) Reset() {
+	for _, k := range h.vs {
+		h.pos[k] = -1
+	}
+	h.vs = h.vs[:0]
+	h.ps = h.ps[:0]
+}
+
+// Contains reports whether key k is currently queued.
+func (h *Indexed) Contains(k int32) bool { return h.pos[k] >= 0 }
+
+// Push queues key k with priority p. k must not already be queued.
+func (h *Indexed) Push(k int32, p float64) {
+	h.vs = append(h.vs, k)
+	h.ps = append(h.ps, p)
+	h.siftUp(len(h.vs)-1, k, p)
+}
+
+// Decrease lowers queued key k's priority to p. k must be queued and p
+// must not exceed its current priority.
+func (h *Indexed) Decrease(k int32, p float64) {
+	h.siftUp(int(h.pos[k]), k, p)
+}
+
+func (h *Indexed) siftUp(i int, k int32, p float64) {
+	for i > 0 {
+		parent := (i - 1) >> 2
+		pp := h.ps[parent]
+		if pp <= p {
+			break
+		}
+		pk := h.vs[parent]
+		h.ps[i] = pp
+		h.vs[i] = pk
+		h.pos[pk] = int32(i)
+		i = parent
+	}
+	h.ps[i] = p
+	h.vs[i] = k
+	h.pos[k] = int32(i)
+}
+
+// Pop removes and returns the key with the smallest priority. It must not
+// be called on an empty heap.
+func (h *Indexed) Pop() (int32, float64) {
+	k, p := h.vs[0], h.ps[0]
+	h.pos[k] = -1
+	last := len(h.vs) - 1
+	lk, lp := h.vs[last], h.ps[last]
+	h.vs = h.vs[:last]
+	h.ps = h.ps[:last]
+	if last > 0 {
+		vs, ps := h.vs, h.ps
+		i := 0
+		for {
+			first := (i << 2) + 1
+			if first >= last {
+				break
+			}
+			end := first + 4
+			if end > last {
+				end = last
+			}
+			small, sp := first, ps[first]
+			for c := first + 1; c < end; c++ {
+				if cp := ps[c]; cp < sp {
+					small, sp = c, cp
+				}
+			}
+			if lp <= sp {
+				break
+			}
+			sk := vs[small]
+			ps[i] = sp
+			vs[i] = sk
+			h.pos[sk] = int32(i)
+			i = small
+		}
+		ps[i] = lp
+		vs[i] = lk
+		h.pos[lk] = int32(i)
+	}
+	return k, p
+}
+
+// Peek returns the smallest priority without removing its key. It must not
+// be called on an empty heap.
+func (h *Indexed) Peek() float64 { return h.ps[0] }

@@ -64,6 +64,67 @@ func TestHeapPeekAndReset(t *testing.T) {
 	}
 }
 
+func TestGrowKeepsContentsAndCapacity(t *testing.T) {
+	var h Heap[int]
+	h.Push(1, 5)
+	h.Push(2, 3)
+	h.Grow(1000)
+	if h.Cap() < 1000 {
+		t.Fatalf("Cap = %d after Grow(1000)", h.Cap())
+	}
+	if h.Len() != 2 || h.Peek() != 3 {
+		t.Fatalf("Grow lost contents: len=%d peek=%g", h.Len(), h.Peek())
+	}
+	// Filling up to the grown capacity must not reallocate.
+	before := h.Cap()
+	for i := 0; i < 998; i++ {
+		h.Push(i, float64(i))
+	}
+	if h.Cap() != before {
+		t.Fatalf("push within grown capacity reallocated: %d -> %d", before, h.Cap())
+	}
+	// Shrinking requests are no-ops.
+	h.Grow(1)
+	if h.Cap() != before {
+		t.Fatalf("Grow(1) changed capacity: %d -> %d", before, h.Cap())
+	}
+	want := -1.0
+	for h.Len() > 0 {
+		_, p := h.Pop()
+		if p < want {
+			t.Fatalf("order violated after Grow: %g after %g", p, want)
+		}
+		want = p
+	}
+}
+
+// TestFourAryMatchesBinaryReference drains the exported 4-ary heap and the
+// 2-ary reference (bench_test.go) side by side: the popped priority
+// sequences must be identical on any input.
+func TestFourAryMatchesBinaryReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		var a Heap[int]
+		var b heap2[int]
+		n := 1 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			p := float64(rng.Intn(20))
+			a.Push(i, p)
+			b.Push(i, p)
+		}
+		for a.Len() > 0 {
+			_, pa := a.Pop()
+			_, pb := b.Pop()
+			if pa != pb {
+				t.Fatalf("trial %d: 4-ary popped %g, 2-ary popped %g", trial, pa, pb)
+			}
+		}
+		if b.Len() != 0 {
+			t.Fatalf("trial %d: reference heap left with %d items", trial, b.Len())
+		}
+	}
+}
+
 func TestHeapDuplicatePriorities(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	var h Heap[int]

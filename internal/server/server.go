@@ -81,6 +81,9 @@ func New(name string, sp *indoor.Space, engines map[string]query.Engine, def str
 	}
 	srv.obs.RegisterGauge("isq_doorgraph_sweeps_total", func() float64 { return float64(doorgraph.Metrics.Sweeps.Load()) })
 	srv.obs.RegisterGauge("isq_doorgraph_settled_total", func() float64 { return float64(doorgraph.Metrics.Settled.Load()) })
+	srv.obs.RegisterGauge("isq_doorgraph_doors", func() float64 { return float64(doorgraph.Metrics.Doors.Load()) })
+	srv.obs.RegisterGauge("isq_doorgraph_edges", func() float64 { return float64(doorgraph.Metrics.Edges.Load()) })
+	srv.obs.RegisterGauge("isq_doorgraph_size_bytes", func() float64 { return float64(doorgraph.Metrics.Bytes.Load()) })
 	return srv, nil
 }
 
@@ -259,6 +262,14 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		"engines":      engines,
 		"default":      s.def,
 		"encodeErrors": s.encodeErrs.Load(),
+		// Footprint of the last door graph built in this process (CSR
+		// layout): node and directed-edge counts plus the exact byte size
+		// of the offset/target/weight arrays.
+		"doorGraph": map[string]int64{
+			"doors": doorgraph.Metrics.Doors.Load(),
+			"edges": doorgraph.Metrics.Edges.Load(),
+			"bytes": doorgraph.Metrics.Bytes.Load(),
+		},
 	})
 }
 

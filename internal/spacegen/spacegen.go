@@ -64,7 +64,9 @@ type Params struct {
 	// linked by staircases.
 	Floors int
 	// Rows and Cols shape the room grid north of the hallway
-	// (Rows 1..5, Cols 2..6).
+	// (Rows 1..512, Cols 2..512). The correctness harnesses stay in the
+	// single-digit range; the upper bounds exist so benchmark tooling can
+	// generate venues up to ~10^5 doors per floor.
 	Rows, Cols int
 	// Hall selects the hallway topology.
 	Hall HallKind
@@ -92,8 +94,8 @@ type Params struct {
 // always describe a generable space.
 func (p Params) Normalize() Params {
 	p.Floors = clampInt(p.Floors, 1, 4)
-	p.Rows = clampInt(p.Rows, 1, 5)
-	p.Cols = clampInt(p.Cols, 2, 6)
+	p.Rows = clampInt(p.Rows, 1, 512)
+	p.Cols = clampInt(p.Cols, 2, 512)
 	p.Hall = HallKind(uint8(p.Hall) % numHallKinds)
 	p.ExtraDoors = clampInt(p.ExtraDoors, 0, 10)
 	p.OneWayFrac = clampFloat(p.OneWayFrac, 0, 1)

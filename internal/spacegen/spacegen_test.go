@@ -88,10 +88,10 @@ func encode(t *testing.T, seed int64, p Params) []byte {
 // TestNormalizeClamps verifies arbitrary parameters land in documented
 // ranges and that ParamsFromBytes is idempotent under Normalize.
 func TestNormalizeClamps(t *testing.T) {
-	wild := Params{Floors: -3, Rows: 99, Cols: 0, Hall: HallKind(250),
+	wild := Params{Floors: -3, Rows: 9999, Cols: 0, Hall: HallKind(250),
 		ExtraDoors: -1, OneWayFrac: 7, Imbalance: -2, StairLength: 100, Objects: 1 << 20}
 	p := wild.Normalize()
-	if p.Floors < 1 || p.Floors > 4 || p.Rows < 1 || p.Rows > 5 || p.Cols < 2 || p.Cols > 6 {
+	if p.Floors < 1 || p.Floors > 4 || p.Rows < 1 || p.Rows > 512 || p.Cols < 2 || p.Cols > 512 {
 		t.Fatalf("grid out of range: %s", p)
 	}
 	if p.Hall >= numHallKinds {

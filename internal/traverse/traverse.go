@@ -113,6 +113,9 @@ func (g *Graph) newState() *state {
 			touched: make([]uint32, n),
 			settled: make([]uint32, n),
 		}
+		// Size the frontier heap once: its value and priority arrays grow
+		// together here instead of through interleaved appends mid-query.
+		s.h.Grow(n)
 	}
 	s.epoch++
 	if s.epoch == 0 {

@@ -211,6 +211,7 @@ func (g *Generator) distFrom(p indoor.Point, vp indoor.PartitionID, limit float6
 		dist[i] = math.Inf(1)
 	}
 	var h pq.Heap[int32]
+	h.Grow(dg.N)
 	for _, d := range g.sp.Partition(vp).Leave {
 		w := g.sp.WithinPointDoor(vp, p, d)
 		if w < dist[d] {
@@ -223,10 +224,11 @@ func (g *Generator) distFrom(p indoor.Point, vp indoor.PartitionID, limit float6
 		if dd > dist[d] || dd > limit {
 			continue
 		}
-		for _, e := range dg.Fwd[d] {
-			if nd := dd + e.W; nd < dist[e.To] {
-				dist[e.To] = nd
-				h.Push(e.To, nd)
+		to, w := dg.FwdRow(int(d))
+		for i, t := range to {
+			if nd := dd + w[i]; nd < dist[t] {
+				dist[t] = nd
+				h.Push(t, nd)
 			}
 		}
 	}
