@@ -15,11 +15,11 @@ FUZZ_TARGETS = \
 	./internal/spacegen:FuzzGenerate \
 	./internal/enginetest:FuzzDifferentialEngines
 
-.PHONY: verify verify-full build vet fmt-check test race cover fuzz-smoke bench-smoke bench-pr2 bench-pr3 bench-pr4 bench-pr6
+.PHONY: verify verify-full build vet fmt-check test race cover fuzz-smoke bench-smoke bench-pr2 bench-pr3 bench-pr4 bench-pr6 bench-pr7 bench-pr7-smoke
 
 verify: build vet fmt-check test race
 
-verify-full: verify cover fuzz-smoke bench-smoke
+verify-full: verify cover fuzz-smoke bench-smoke bench-pr7-smoke
 
 build:
 	$(GO) build ./...
@@ -37,7 +37,7 @@ test:
 	$(GO) test -shuffle=on -count=1 ./...
 
 race:
-	$(GO) test -race ./internal/enginetest/ ./internal/exec/ ./internal/obs/ ./internal/server/ ./internal/spacegen/ ./internal/oracle/ ./internal/doorgraph/
+	$(GO) test -race ./internal/enginetest/ ./internal/exec/ ./internal/obs/ ./internal/server/ ./internal/spacegen/ ./internal/oracle/ ./internal/doorgraph/ ./internal/reach/ ./internal/temporal/
 
 # Per-package coverage, teed to COVER_REPORT.txt for review.
 cover:
@@ -69,6 +69,17 @@ bench-pr4:
 # Covers venues at ~10^3, 10^4 and 10^5 doors; the 100k build takes a while.
 bench-pr6:
 	$(GO) run ./cmd/isqgraphbench -o BENCH_PR6.json
+
+# Regenerates the reachability-pruning report of PR 7: visited doors and
+# ns/op, pruned vs unpruned, across one-way fractions and a closed-wing
+# temporal schedule. Answers are asserted identical in-tool.
+bench-pr7:
+	$(GO) run ./cmd/isqreachbench -o BENCH_PR7.json
+
+# Tiny-venue run of the same tool; keeps it from rotting and re-asserts
+# pruned/unpruned answer equality under verify-full.
+bench-pr7-smoke:
+	$(GO) run ./cmd/isqreachbench -smoke
 
 # Quick compile-and-run pass over the heap and door-graph benchmarks: a
 # handful of iterations each, just to keep the benchmark code from rotting.

@@ -1,0 +1,400 @@
+// Command isqreachbench measures the reachability-aware pruning of PR 7
+// (SCC condensation + spatial reach summaries, internal/reach) and writes
+// the pruned-vs-unpruned comparison to a JSON report (BENCH_PR7.json).
+//
+// Venues are single-floor spacegen buildings at one-way door fractions 0,
+// 0.25 and 0.5, each measured under two door regimes:
+//
+//   - open: every door open. The spanning tree of a generated venue is
+//     bidirectional, so the door graph is one SCC and every pruning gate is
+//     off — this regime measures the overhead of carrying the summaries
+//     (the acceptance bound is <= 2% ns/op at OneWayFrac = 0).
+//   - night: a temporal schedule closes every bidirectional door crossing a
+//     vertical cut at 60% of the venue width, leaving one-way crossings
+//     open. The east wing becomes one-way-reachable or fully severed, the
+//     filtered condensation splits, and the gates go live.
+//
+// Both sides of every row run the identical query list — shortest-path
+// queries emphasizing sources inside the severed wing (the case the SPD
+// reachability gate short-circuits), plus range and kNN queries on both
+// sides of the cut — and their answers are asserted identical (bitwise
+// distances, equal id sets, equal errors) before any timing: pruning must
+// never change an answer, only its cost. Visited-door counts come from
+// query.Stats; timings are interleaved best-of-N with GC off.
+//
+// Usage:
+//
+//	isqreachbench [-o BENCH_PR7.json] [-smoke]
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"indoorsq/internal/cindex"
+	"indoorsq/internal/idmodel"
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/query"
+	"indoorsq/internal/reach"
+	"indoorsq/internal/spacegen"
+	"indoorsq/internal/temporal"
+)
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "isqreachbench:", err)
+	os.Exit(1)
+}
+
+// op is one query of the benchmark mix.
+type op struct {
+	kind byte // 'S', 'R', 'K'
+	p, q indoor.Point
+	r    float64
+	k    int
+}
+
+// mix builds the query list for one venue: SPD pairs weighted toward
+// wing-side sources (the sweeps the reachability gate can short-circuit
+// when the wing is severed), plus range and kNN probes on both sides.
+func mix(main, wing []indoor.Point, smoke bool) []op {
+	pick := func(pts []indoor.Point, i int) indoor.Point { return pts[i%len(pts)] }
+	nS, nRK := 16, 6
+	if smoke {
+		nS, nRK = 4, 2
+	}
+	var ops []op
+	for i := 0; i < nS; i++ {
+		ops = append(ops, op{kind: 'S', p: pick(wing, i), q: pick(main, i+3)})
+	}
+	for i := 0; i < nS/2; i++ {
+		ops = append(ops, op{kind: 'S', p: pick(main, i), q: pick(wing, i+5)})
+		ops = append(ops, op{kind: 'S', p: pick(main, i), q: pick(main, i+7)})
+	}
+	for i := 0; i < nRK; i++ {
+		ops = append(ops, op{kind: 'R', p: pick(main, i), r: 30})
+		ops = append(ops, op{kind: 'R', p: pick(wing, i), r: 30})
+		ops = append(ops, op{kind: 'K', p: pick(main, i+1), k: 8})
+		ops = append(ops, op{kind: 'K', p: pick(wing, i+1), k: 8})
+	}
+	return ops
+}
+
+// runOps executes the list once, accumulating visited-door counts.
+func runOps(e query.Engine, ops []op) (visited int64) {
+	for _, o := range ops {
+		var st query.Stats
+		var err error
+		switch o.kind {
+		case 'S':
+			_, err = e.SPD(o.p, o.q, &st)
+		case 'R':
+			_, err = e.Range(o.p, o.r, &st)
+		case 'K':
+			_, err = e.KNN(o.p, o.k, &st)
+		}
+		if err != nil && !errors.Is(err, query.ErrUnreachable) {
+			die(fmt.Errorf("%s: query failed: %w", e.Name(), err))
+		}
+		visited += int64(st.VisitedDoors)
+	}
+	return visited
+}
+
+// assertSame runs the list on both engines and requires identical answers:
+// equal range id sets, bitwise-equal kNN and SPD distances, equal errors.
+func assertSame(pruned, unpruned query.Engine, ops []op) {
+	var st query.Stats
+	for _, o := range ops {
+		switch o.kind {
+		case 'S':
+			gp, ep := pruned.SPD(o.p, o.q, &st)
+			gu, eu := unpruned.SPD(o.p, o.q, &st)
+			if (ep == nil) != (eu == nil) || (ep != nil && !errors.Is(ep, eu) && !errors.Is(eu, ep)) {
+				die(fmt.Errorf("SPD err diverges: pruned %v, unpruned %v", ep, eu))
+			}
+			if ep == nil && math.Float64bits(gp.Dist) != math.Float64bits(gu.Dist) {
+				die(fmt.Errorf("SPD dist diverges: %.17g vs %.17g", gp.Dist, gu.Dist))
+			}
+		case 'R':
+			gp, ep := pruned.Range(o.p, o.r, &st)
+			gu, eu := unpruned.Range(o.p, o.r, &st)
+			if (ep == nil) != (eu == nil) {
+				die(fmt.Errorf("Range err diverges: %v vs %v", ep, eu))
+			}
+			sp := append([]int32(nil), gp...)
+			su := append([]int32(nil), gu...)
+			sort.Slice(sp, func(i, j int) bool { return sp[i] < sp[j] })
+			sort.Slice(su, func(i, j int) bool { return su[i] < su[j] })
+			if len(sp) != len(su) {
+				die(fmt.Errorf("Range size diverges: %d vs %d", len(sp), len(su)))
+			}
+			for i := range sp {
+				if sp[i] != su[i] {
+					die(fmt.Errorf("Range ids diverge at %d: %d vs %d", i, sp[i], su[i]))
+				}
+			}
+		case 'K':
+			gp, ep := pruned.KNN(o.p, o.k, &st)
+			gu, eu := unpruned.KNN(o.p, o.k, &st)
+			if (ep == nil) != (eu == nil) || len(gp) != len(gu) {
+				die(fmt.Errorf("KNN diverges: %d results (%v) vs %d (%v)", len(gp), ep, len(gu), eu))
+			}
+			for i := range gp {
+				if gp[i].ID != gu[i].ID ||
+					math.Float64bits(gp[i].Dist) != math.Float64bits(gu[i].Dist) {
+					die(fmt.Errorf("KNN diverges at %d: %v vs %v", i, gp[i], gu[i]))
+				}
+			}
+		}
+	}
+}
+
+// wingSchedule closes every bidirectional door crossing the vertical line
+// x = cut during night hours, leaving one-way crossings (and everything
+// else) open.
+func wingSchedule(sp *indoor.Space, cut float64) *temporal.Schedule {
+	sch := temporal.NewSchedule()
+	for di := 0; di < sp.NumDoors(); di++ {
+		d := sp.Door(indoor.DoorID(di))
+		if len(d.Parts) != 2 || len(d.Enterable) < 2 {
+			continue
+		}
+		a := sp.Partition(d.Parts[0]).MBR.Center()
+		b := sp.Partition(d.Parts[1]).MBR.Center()
+		if (a.X < cut) != (b.X < cut) {
+			sch.Set(indoor.DoorID(di), temporal.Interval{Open: 8, Close: 20})
+		}
+	}
+	return sch
+}
+
+// benchNs times one full pass over the query list, interleaving the two
+// sides rounds times and keeping each side's fastest observation, with the
+// GC off for the duration.
+func benchNs(rounds int, pruned, unpruned query.Engine, ops []op) (nsP, nsU float64) {
+	prev := debug.SetGCPercent(-1)
+	defer debug.SetGCPercent(prev)
+	one := func(e query.Engine) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runOps(e, ops)
+			}
+		})
+		return float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	nsP, nsU = math.Inf(1), math.Inf(1)
+	for i := 0; i < rounds; i++ {
+		nsP = math.Min(nsP, one(pruned))
+		nsU = math.Min(nsU, one(unpruned))
+	}
+	return nsP, nsU
+}
+
+type row struct {
+	Engine          string  `json:"engine"`
+	VisitedPruned   int64   `json:"visited_doors_pruned"`
+	VisitedUnpruned int64   `json:"visited_doors_unpruned"`
+	VisitedDropPct  float64 `json:"visited_doors_reduction_pct"`
+	NsPruned        float64 `json:"ns_per_pass_pruned"`
+	NsUnpruned      float64 `json:"ns_per_pass_unpruned"`
+	NsDropPct       float64 `json:"ns_reduction_pct"`
+	SCCs            int     `json:"sccs"`
+	SummaryBytes    int64   `json:"summary_bytes"`
+	ReachBuildMs    float64 `json:"reach_build_ms"`
+}
+
+func drop(unpruned, pruned float64) float64 {
+	if unpruned == 0 {
+		return 0
+	}
+	return 100 * (unpruned - pruned) / unpruned
+}
+
+// measure produces one report row from a pruned/unpruned engine pair.
+func measure(name string, pruned, unpruned query.Engine, ops []op,
+	r *reach.Reach, buildMs float64, rounds int) row {
+	assertSame(pruned, unpruned, ops)
+	vp := runOps(pruned, ops)
+	vu := runOps(unpruned, ops)
+	nsP, nsU := benchNs(rounds, pruned, unpruned, ops)
+	rw := row{
+		Engine:          name,
+		VisitedPruned:   vp,
+		VisitedUnpruned: vu,
+		VisitedDropPct:  drop(float64(vu), float64(vp)),
+		NsPruned:        nsP,
+		NsUnpruned:      nsU,
+		NsDropPct:       drop(nsU, nsP),
+		SCCs:            r.NumSCCs(),
+		SummaryBytes:    r.SizeBytes(),
+		ReachBuildMs:    buildMs,
+	}
+	fmt.Printf("  %-7s visited %6d -> %6d (%+.1f%%) | ns/pass %11.0f -> %11.0f (%+.1f%%) | %d SCCs\n",
+		name, vu, vp, -rw.VisitedDropPct, nsU, nsP, -rw.NsDropPct, rw.SCCs)
+	return rw
+}
+
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return runtime.GOARCH
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "model name") {
+			if i := strings.Index(line, ":"); i >= 0 {
+				return strings.TrimSpace(line[i+1:])
+			}
+		}
+	}
+	return runtime.GOARCH
+}
+
+func main() {
+	var (
+		out   = flag.String("o", "", "output JSON path (empty: no file)")
+		smoke = flag.Bool("smoke", false, "tiny venue, one timing round, no report")
+	)
+	flag.Parse()
+
+	rows, cols, objects, rounds := 24, 48, 400, 3
+	if *smoke {
+		rows, cols, objects, rounds = 6, 12, 60, 1
+	}
+
+	var configs []map[string]any
+	for _, oneWay := range []float64{0, 0.25, 0.5} {
+		params := spacegen.Params{
+			Floors: 1, Rows: rows, Cols: cols, Hall: spacegen.HallStraight,
+			ExtraDoors: 10, OneWayFrac: oneWay, Imbalance: 0.3,
+		}.Normalize()
+		sp, err := spacegen.Generate(int64(7000+oneWay*100), params)
+		if err != nil {
+			die(err)
+		}
+		objs := spacegen.Objects(sp, 7001, objects)
+
+		// Classify room centers as main (west of the cut) or wing (east).
+		maxX := math.Inf(-1)
+		for i := 0; i < sp.NumPartitions(); i++ {
+			if x := sp.Partition(indoor.PartitionID(i)).MBR.MaxX; x > maxX {
+				maxX = x
+			}
+		}
+		cut := 0.6 * maxX
+		var main, wing []indoor.Point
+		for i := 0; i < sp.NumPartitions(); i++ {
+			part := sp.Partition(indoor.PartitionID(i))
+			if part.Kind != indoor.Room {
+				continue
+			}
+			c := part.MBR.Center()
+			pt := indoor.At(c.X, c.Y, part.Floor)
+			if c.X < cut {
+				main = append(main, pt)
+			} else {
+				wing = append(wing, pt)
+			}
+		}
+		ops := mix(main, wing, *smoke)
+		fmt.Printf("[oneway=%.2f] %d partitions, %d doors, %d queries\n",
+			oneWay, sp.NumPartitions(), sp.NumDoors(), len(ops))
+
+		for _, regime := range []string{"open", "night"} {
+			mP, mU := idmodel.New(sp), idmodel.New(sp)
+			cP, cU := cindex.New(sp), cindex.New(sp)
+			mU.SetReach(nil)
+			cU.SetReach(nil)
+			for _, e := range []query.Engine{mP, mU, cP, cU} {
+				e.SetObjects(objs)
+			}
+
+			var engines [2][2]query.Engine // [engine][pruned/unpruned]
+			var r *reach.Reach
+			var buildMs float64
+			if regime == "open" {
+				engines = [2][2]query.Engine{{mP, mU}, {cP, cU}}
+				r = mP.Reach()
+				start := time.Now()
+				reach.FromSpace(sp, nil, 0)
+				buildMs = float64(time.Since(start).Nanoseconds()) / 1e6
+			} else {
+				sch := wingSchedule(sp, cut)
+				if sch.Len() == 0 {
+					die(fmt.Errorf("oneway=%.2f: wing schedule closed no doors", oneWay))
+				}
+				const night = 23.0
+				open := sch.At(night)
+				start := time.Now()
+				r = reach.FromSpace(sp, open, 0)
+				buildMs = float64(time.Since(start).Nanoseconds()) / 1e6
+				eM := temporal.NewIDModel(mP, sch, night)
+				eC := temporal.NewCIndex(cP, sch, night)
+				uM := mU.WithOpen(open)
+				uC := cU.WithOpen(open)
+				uM.SetObjects(objs)
+				uC.SetObjects(objs)
+				engines = [2][2]query.Engine{{eM, uM}, {eC, uC}}
+				r = eM.Reach()
+			}
+
+			fmt.Printf("[oneway=%.2f %s]\n", oneWay, regime)
+			var rws []row
+			for i, name := range []string{"IDModel", "CIndex"} {
+				rws = append(rws, measure(name, engines[i][0], engines[i][1], ops, r, buildMs, rounds))
+			}
+			configs = append(configs, map[string]any{
+				"oneway_frac": oneWay,
+				"regime":      regime,
+				"doors":       sp.NumDoors(),
+				"partitions":  sp.NumPartitions(),
+				"rows":        rws,
+			})
+		}
+	}
+
+	if *smoke {
+		fmt.Println("smoke ok: pruned and unpruned answers identical on every row")
+		return
+	}
+	full := map[string]any{
+		"pr":    7,
+		"title": "Reachability-aware pruning: SCC condensation + spatial reach summaries",
+		"date":  time.Now().Format("2006-01-02"),
+		"runner": map[string]any{
+			"cpu":   cpuModel(),
+			"nproc": runtime.NumCPU(),
+			"note": "pruned = engines with their internal/reach summaries (per-hour filtered " +
+				"summaries under the night regime, via internal/temporal); unpruned = twin engines " +
+				"with SetReach(nil) (WithOpen views at night). Answers asserted identical per row " +
+				"before timing. open regime: every door open — the generated venue's door graph is " +
+				"one SCC, every gate is off, and the rows measure pure summary-carrying overhead. " +
+				"night regime: bidirectional doors crossing a 60%-width cut are closed, one-way " +
+				"crossings stay open; the query list emphasizes SPD sources inside the severed wing. " +
+				"ns_per_pass is one pass over the full query list, interleaved best-of-3 with GC off.",
+		},
+		"configs": configs,
+	}
+	data, err := json.MarshalIndent(full, "", "  ")
+	if err != nil {
+		die(err)
+	}
+	data = append(data, '\n')
+	path := *out
+	if path == "" {
+		path = "BENCH_PR7.json"
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		die(err)
+	}
+	fmt.Println("wrote", path)
+}

@@ -18,6 +18,7 @@ import (
 	"indoorsq/internal/geom"
 	"indoorsq/internal/indoor"
 	"indoorsq/internal/query"
+	"indoorsq/internal/reach"
 	"indoorsq/internal/rtree"
 	"indoorsq/internal/traverse"
 )
@@ -47,6 +48,7 @@ type Index struct {
 	links [][]Link // per partition
 	store *query.ObjectStore
 	g     *traverse.Graph
+	reach *reach.Reach
 	size  int64
 	opt   Options
 }
@@ -76,9 +78,32 @@ func NewOpts(sp *indoor.Space, opt Options) *Index {
 		}
 		ix.size += int64(len(ix.links[vi])) * 8
 	}
-	ix.size += ix.tree.SizeBytes() + sp.BaseSizeBytes() + sp.GeomSizeBytes()
-	ix.g = traverse.New(sp, ix.Host, ix.d2d, true)
+	ix.reach = reach.FromSpace(sp, nil, 0)
+	ix.size += ix.tree.SizeBytes() + sp.BaseSizeBytes() + sp.GeomSizeBytes() + ix.reach.SizeBytes()
+	ix.g = traverse.New(sp, ix.Host, ix.d2d, true).WithReach(ix.reach)
 	return ix
+}
+
+// Space returns the index's underlying indoor space.
+func (ix *Index) Space() *indoor.Space { return ix.sp }
+
+// Reach returns the index's reachability summary (nil after SetReach(nil)).
+func (ix *Index) Reach() *reach.Reach { return ix.reach }
+
+// SetReach swaps the reachability summary used to prune query processing —
+// an ablation knob (nil disables pruning) also used by the temporal engine,
+// which supplies per-hour summaries built under the schedule's door filter.
+// Results are bit-identical with or without a summary.
+func (ix *Index) SetReach(r *reach.Reach) {
+	ix.reach = r
+	ix.g = ix.g.WithReach(r)
+}
+
+// WithOpenReach is WithOpen with a reachability summary matched to the
+// filter: the view prunes with r (which must be conservative for the
+// filtered graph) instead of the index's full-graph summary.
+func (ix *Index) WithOpenReach(open func(indoor.DoorID) bool, r *reach.Reach) query.Engine {
+	return &openView{Index: ix, g: ix.g.WithOpen(open).WithReach(r)}
 }
 
 // Host locates the partition containing p using the geometric layer.
@@ -223,5 +248,5 @@ func (ix *Index) MoveObject(id int32, loc indoor.Point, part indoor.PartitionID)
 // paper evaluates (Sec. 6.2 B5 observes it rarely prunes under indoor
 // topology).
 func (ix *Index) SetEuclidPrune(on bool) {
-	ix.g = traverse.New(ix.sp, ix.Host, ix.d2d, on)
+	ix.g = traverse.New(ix.sp, ix.Host, ix.d2d, on).WithReach(ix.reach)
 }

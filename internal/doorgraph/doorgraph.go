@@ -191,6 +191,14 @@ func (g *Graph) SizeBytes() int64 {
 // distance from t to src and prev[t] is t's successor on that path.
 // Unreachable doors have dist +Inf and prev -1.
 //
+// The unreached encoding is exact, not approximate: the sweep stamps a
+// door's scratch record only on a strict distance improvement, so a door no
+// finite-weight path reaches is never stamped, and CopyDist/CopyPrev
+// synthesize exactly +Inf / -1 for it. Consumers may therefore treat
+// dist[t] == +Inf as "no path" with no epsilon, and reachability summaries
+// (internal/reach) built from the same CSR agree bit-for-bit with these
+// matrices. TestUnreachedEncoding pins this contract.
+//
 // The returned slices are freshly allocated; construction loops that sweep
 // many sources should use AcquireScratch and Scratch.Run instead.
 func (g *Graph) Dijkstra(src int32, reverse bool) (dist []float64, prev []int32) {

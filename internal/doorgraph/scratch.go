@@ -180,10 +180,26 @@ func (s *Scratch) RunChecked(g *Graph, src int32, reverse bool, every int, check
 		every = 64
 	}
 	if check == nil {
-		s.run(g, src, reverse, 0, 0, nil)
+		s.run(g, src, reverse, 0, 0, nil, nil)
 		return nil
 	}
-	return s.run(g, src, reverse, 0, every, check)
+	return s.run(g, src, reverse, 0, every, check, nil)
+}
+
+// RunPruned is Run with an edge filter: relaxations into doors for which
+// allow reports false are skipped, exactly as if those doors (and every
+// edge into them) were removed from the graph; they end up unreached (+Inf
+// distance, -1 predecessor). The filter is not applied to src itself. A nil
+// allow is Run. Conservative reachability filters (e.g. "door can reach the
+// goal" from internal/reach summaries) leave the distances of all surviving
+// doors bit-identical to an unfiltered sweep, because every door on a
+// shortest path to an allowed door must itself be allowed.
+func (s *Scratch) RunPruned(g *Graph, src int32, reverse bool, allow func(int32) bool) {
+	if allow == nil {
+		s.Run(g, src, reverse)
+		return
+	}
+	s.run(g, src, reverse, 0, 0, nil, allow)
 }
 
 // RunTargets is Run with an early exit: the sweep stops as soon as every
@@ -220,7 +236,7 @@ func (s *Scratch) RunTargets(g *Graph, src int32, reverse bool, targets []int32)
 			remaining++
 		}
 	}
-	s.run(g, src, reverse, remaining, 0, nil)
+	s.run(g, src, reverse, remaining, 0, nil, nil)
 }
 
 // runFast is the specialized sweep behind Run and single-target RunTargets:
@@ -287,10 +303,11 @@ func (s *Scratch) runFast(adj *csr, src, target int32) {
 	Metrics.Settled.Add(int64(settled))
 }
 
-// run is the general sweep behind RunChecked and multi-target RunTargets;
-// remainingTargets > 0 enables the early exit against the tmark set, and a
-// non-nil check is polled every `every` settled doors.
-func (s *Scratch) run(g *Graph, src int32, reverse bool, remainingTargets, every int, check func() error) error {
+// run is the general sweep behind RunChecked, RunPruned and multi-target
+// RunTargets; remainingTargets > 0 enables the early exit against the tmark
+// set, a non-nil check is polled every `every` settled doors, and a non-nil
+// allow drops relaxations into rejected doors.
+func (s *Scratch) run(g *Graph, src int32, reverse bool, remainingTargets, every int, check func() error, allow func(int32) bool) error {
 	adj := &g.fwd
 	if reverse {
 		adj = &g.rev
@@ -326,6 +343,9 @@ func (s *Scratch) run(g *Graph, src int32, reverse bool, remainingTargets, every
 		wr := ws[off[d]:off[d+1]]
 		wr = wr[:len(row)]
 		for i, t := range row {
+			if allow != nil && !allow(t) {
+				continue
+			}
 			nd := dd + wr[i]
 			nt := &nodes[t]
 			if nt.stamp == epoch {

@@ -1,0 +1,338 @@
+package enginetest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"indoorsq/internal/cindex"
+	"indoorsq/internal/geom"
+	"indoorsq/internal/idmodel"
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/oracle"
+	"indoorsq/internal/query"
+	"indoorsq/internal/reach"
+	"indoorsq/internal/spacegen"
+	"indoorsq/internal/temporal"
+)
+
+// reachSetter is implemented by every engine that prunes with a
+// reachability summary; SetReach(nil) is the unpruned ablation.
+type reachSetter interface {
+	SetReach(*reach.Reach)
+}
+
+// twoWing builds a 2x8 room grid severed between columns 3 and 4: the only
+// crossing is one one-way door (main -> wing), so the wing cannot reach the
+// main block at all. The door graph has multiple SCCs, which makes the
+// reachability pruning of every engine live (unlike spacegen venues, whose
+// bidirectional spanning tree keeps the door graph strongly connected).
+//
+//	y=8 +----+----+----+----+ ~~ +----+----+----+----+
+//	    | A4 | A5 | A6 | A7 | ~~ | B4 | B5 | B6 | B7 |
+//	y=4 +-d--+-d--+-d--+-d--+ ~~ +-d--+-d--+-d--+-d--+
+//	    | A0 - A1 - A2 - A3 |  > | B0 - B1 - B2 - B3 |
+//	y=0 +----+----+----+----+ ~~ +----+----+----+----+
+//	   x=0        (cut at x=20: one one-way door A3 -> B0)
+func twoWing(t *testing.T) (*indoor.Space, []query.Object) {
+	t.Helper()
+	b := indoor.NewBuilder("twowing", 1)
+	rect := func(x0, y0, x1, y1 float64) geom.Polygon {
+		return geom.RectPoly(geom.R(x0, y0, x1, y1))
+	}
+	var low, high [8]indoor.PartitionID
+	for i := 0; i < 8; i++ {
+		x0 := float64(i * 5)
+		low[i] = b.AddRoom(0, rect(x0, 0, x0+5, 4))
+		high[i] = b.AddRoom(0, rect(x0, 4, x0+5, 8))
+	}
+	for i := 0; i < 8; i++ {
+		d := b.AddDoor(geom.Pt(float64(i*5)+2.5, 4), 0)
+		b.ConnectBoth(d, low[i], high[i])
+	}
+	for i := 0; i < 7; i++ {
+		x := float64((i + 1) * 5)
+		if i == 3 {
+			d := b.AddDoor(geom.Pt(x, 2), 0)
+			b.ConnectOneWay(d, low[i], low[i+1]) // the only crossing: main -> wing
+			continue
+		}
+		d := b.AddDoor(geom.Pt(x, 2), 0)
+		b.ConnectBoth(d, low[i], low[i+1])
+	}
+	sp, err := b.Build()
+	if err != nil {
+		t.Fatalf("build twowing: %v", err)
+	}
+	var objs []query.Object
+	for i, v := range []indoor.PartitionID{low[1], high[2], low[4], high[6], low[7]} {
+		part := sp.Partition(v)
+		c := part.MBR.Center()
+		objs = append(objs, query.Object{ID: int32(i), Loc: indoor.At(c.X, c.Y, 0), Part: v})
+	}
+	return sp, objs
+}
+
+// prunedAndUnpruned builds the five engines twice over one space: the
+// default (pruned) set and a SetReach(nil) twin set.
+func prunedAndUnpruned(sp *indoor.Space, objs []query.Object) (pruned, unpruned []query.Engine) {
+	pruned = allEngines(sp)
+	unpruned = allEngines(sp)
+	for _, e := range unpruned {
+		e.(reachSetter).SetReach(nil)
+	}
+	for _, e := range pruned {
+		e.SetObjects(objs)
+	}
+	for _, e := range unpruned {
+		e.SetObjects(objs)
+	}
+	return pruned, unpruned
+}
+
+// assertBitIdentical drives one pruned/unpruned engine pair through
+// Range, KNN and SPD at the given points and requires bit-for-bit equal
+// answers: identical id slices, identical distance bit patterns, identical
+// door sequences and identical errors.
+func assertBitIdentical(t *testing.T, label string, p, u query.Engine, pts []indoor.Point, radii []float64, ks []int) {
+	t.Helper()
+	var st query.Stats
+	for _, pt := range pts {
+		for _, r := range radii {
+			gp, ep := p.Range(pt, r, &st)
+			gu, eu := u.Range(pt, r, &st)
+			if !errors.Is(ep, eu) && !errors.Is(eu, ep) {
+				t.Fatalf("%s %s: Range(%v, %g) err %v vs %v", label, p.Name(), pt, r, ep, eu)
+			}
+			if !reflect.DeepEqual(gp, gu) {
+				t.Fatalf("%s %s: Range(%v, %g) pruned %v != unpruned %v", label, p.Name(), pt, r, gp, gu)
+			}
+		}
+		for _, k := range ks {
+			gp, ep := p.KNN(pt, k, &st)
+			gu, eu := u.KNN(pt, k, &st)
+			if (ep == nil) != (eu == nil) {
+				t.Fatalf("%s %s: KNN(%v, %d) err %v vs %v", label, p.Name(), pt, k, ep, eu)
+			}
+			if len(gp) != len(gu) {
+				t.Fatalf("%s %s: KNN(%v, %d) %d vs %d results", label, p.Name(), pt, k, len(gp), len(gu))
+			}
+			for i := range gp {
+				if gp[i].ID != gu[i].ID ||
+					math.Float64bits(gp[i].Dist) != math.Float64bits(gu[i].Dist) {
+					t.Fatalf("%s %s: KNN(%v, %d)[%d] pruned %v != unpruned %v",
+						label, p.Name(), pt, k, i, gp[i], gu[i])
+				}
+			}
+		}
+		for _, qt := range pts {
+			pp, ep := p.SPD(pt, qt, &st)
+			pu, eu := u.SPD(pt, qt, &st)
+			if (ep == nil) != (eu == nil) || (ep != nil && !errors.Is(ep, eu)) {
+				t.Fatalf("%s %s: SPD(%v -> %v) err %v vs %v", label, p.Name(), pt, qt, ep, eu)
+			}
+			if ep != nil {
+				continue
+			}
+			if math.Float64bits(pp.Dist) != math.Float64bits(pu.Dist) {
+				t.Fatalf("%s %s: SPD(%v -> %v) dist %.17g != %.17g",
+					label, p.Name(), pt, qt, pp.Dist, pu.Dist)
+			}
+			if !reflect.DeepEqual(pp.Doors, pu.Doors) {
+				t.Fatalf("%s %s: SPD(%v -> %v) doors %v != %v",
+					label, p.Name(), pt, qt, pp.Doors, pu.Doors)
+			}
+		}
+	}
+}
+
+// TestReachPrunedVsUnpruned checks the tentpole exactness claim on a venue
+// where pruning is actually live (multiple SCCs): every engine with its
+// reachability summary must answer bit-identically to its SetReach(nil)
+// twin, and both must match the brute-force oracle.
+func TestReachPrunedVsUnpruned(t *testing.T) {
+	sp, objs := twoWing(t)
+	pruned, unpruned := prunedAndUnpruned(sp, objs)
+
+	// The venue must make pruning live, or this test proves nothing.
+	if r := pruned[0].(*idmodel.Model).Reach(); r.NumSCCs() <= 1 {
+		t.Fatalf("twoWing door graph has %d SCC(s), want several", r.NumSCCs())
+	}
+
+	pts := []indoor.Point{
+		indoor.At(2.5, 2, 0),  // main block, low row
+		indoor.At(17, 6, 0),   // main block, high row, near the cut
+		indoor.At(22.5, 2, 0), // wing, just past the one-way door
+		indoor.At(37, 6, 0),   // wing, far end
+	}
+	radii := []float64{0, 7, 25, 1000}
+	ks := []int{1, 3, 10}
+	assertBitIdentical(t, "twowing", pruned[0], unpruned[0], pts, radii, ks)
+	for i := 1; i < len(pruned); i++ {
+		assertBitIdentical(t, "twowing", pruned[i], unpruned[i], pts, radii, ks)
+	}
+
+	// Wing -> main must be ErrUnreachable (through the reach gate), and the
+	// oracle must agree with the pruned engines everywhere.
+	ref := oracle.New(sp)
+	ref.SetObjects(objs)
+	var st query.Stats
+	for _, e := range pruned {
+		if _, err := e.SPD(pts[2], pts[0], &st); !errors.Is(err, query.ErrUnreachable) {
+			t.Fatalf("%s: wing->main SPD err = %v, want ErrUnreachable", e.Name(), err)
+		}
+	}
+	for _, pt := range pts {
+		wantIDs, err := ref.Range(pt, 25, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range pruned {
+			gotIDs, err := e.Range(pt, 25, &st)
+			if err != nil || !sameIDs(gotIDs, wantIDs) {
+				t.Fatalf("%s: Range(%v) = %v (%v), oracle %v", e.Name(), pt, gotIDs, err, wantIDs)
+			}
+		}
+		for _, qt := range pts {
+			wantPath, wantErr := ref.SPD(pt, qt, nil)
+			for _, e := range pruned {
+				gotPath, err := e.SPD(pt, qt, &st)
+				comparePath(func(format string, args ...any) {
+					t.Helper()
+					t.Fatalf("oracle cross-check %s: %s", e.Name(), fmt.Sprintf(format, args...))
+				}, sp, 0, e.Name(), gotPath, err, wantPath, wantErr)
+			}
+		}
+	}
+}
+
+// TestDifferentialHighOneWay extends the oracle sweep with venues saturated
+// with one-way doors (every extra vertical-wall door directed), the regime
+// the reachability summaries are built for.
+func TestDifferentialHighOneWay(t *testing.T) {
+	for seed := int64(500); seed < 512; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			p := spacegen.Params{
+				Floors:      1 + int(seed%3),
+				Rows:        2,
+				Cols:        4,
+				Hall:        spacegen.HallKind(seed % 3),
+				ExtraDoors:  8,
+				OneWayFrac:  1,
+				Imbalance:   0.5,
+				StairLength: 5,
+				Objects:     12,
+			}
+			runDifferential(t, seed, p.Normalize(), 3)
+		})
+	}
+}
+
+// wingSchedule closes every bidirectional door crossing the vertical line
+// x = cut, leaving one-way crossings open — after hours the wing becomes
+// one-way or fully unreachable, so the filtered condensation splits.
+func wingSchedule(sp *indoor.Space, cut float64) *temporal.Schedule {
+	sch := temporal.NewSchedule()
+	for di := 0; di < sp.NumDoors(); di++ {
+		d := sp.Door(indoor.DoorID(di))
+		if len(d.Parts) != 2 || len(d.Enterable) < 2 {
+			continue // one-way (or degenerate) doors stay open
+		}
+		a := sp.Partition(d.Parts[0]).MBR.Center()
+		b := sp.Partition(d.Parts[1]).MBR.Center()
+		if (a.X < cut) != (b.X < cut) {
+			sch.Set(indoor.DoorID(di), temporal.Interval{Open: 8, Close: 20})
+		}
+	}
+	return sch
+}
+
+// TestTemporalClosedWingParity drives the temporal engines over a venue
+// whose wing is severed after hours: the per-hour filtered condensation
+// must keep IDMODEL and CINDEX bit-identical to their unpruned open-door
+// views, agreeing on ErrUnreachable, and actually split into several SCCs.
+func TestTemporalClosedWingParity(t *testing.T) {
+	params := spacegen.Params{
+		Floors: 1, Rows: 4, Cols: 10, Hall: spacegen.HallStraight,
+		ExtraDoors: 6, OneWayFrac: 0.5, StairLength: 5, Objects: 20,
+	}.Normalize()
+	sp, err := spacegen.Generate(42, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := spacegen.Objects(sp, 43, params.Objects)
+
+	maxX := math.Inf(-1)
+	for i := 0; i < sp.NumPartitions(); i++ {
+		if x := sp.Partition(indoor.PartitionID(i)).MBR.MaxX; x > maxX {
+			maxX = x
+		}
+	}
+	sch := wingSchedule(sp, 0.6*maxX)
+	if sch.Len() == 0 {
+		t.Fatal("wing schedule closed no doors; cut is wrong")
+	}
+
+	mP, mU := idmodel.New(sp), idmodel.New(sp)
+	cP, cU := cindex.New(sp), cindex.New(sp)
+	mU.SetReach(nil)
+	cU.SetReach(nil)
+	for _, e := range []query.Engine{mP, mU, cP, cU} {
+		e.SetObjects(objs)
+	}
+
+	const night = 23.0
+	eM := temporal.NewIDModel(mP, sch, night)
+	eC := temporal.NewCIndex(cP, sch, night)
+	if eM.Reach().NumSCCs() <= 1 {
+		t.Fatalf("night condensation has %d SCC(s); the wing cut is not live", eM.Reach().NumSCCs())
+	}
+	// Unpruned twins: the raw open-door views of the SetReach(nil) models.
+	open := sch.At(night)
+	uM := mU.WithOpen(open)
+	uC := cU.WithOpen(open)
+	uM.SetObjects(objs)
+	uC.SetObjects(objs)
+
+	rng := rand.New(rand.NewSource(99))
+	var pts []indoor.Point
+	for len(pts) < 10 {
+		pts = append(pts, randomPoint(sp, rng))
+	}
+	radii := []float64{0, 15, 60, 1e4}
+	ks := []int{1, 4, 25}
+	assertBitIdentical(t, "night", eM, uM, pts, radii, ks)
+	assertBitIdentical(t, "night", eC, uC, pts, radii, ks)
+
+	// The two engines must also agree with each other, including on which
+	// pairs are unreachable; at least one pair must actually be severed.
+	var st query.Stats
+	severed := 0
+	for _, p := range pts {
+		for _, q := range pts {
+			pm, errM := eM.SPD(p, q, &st)
+			pc, errC := eC.SPD(p, q, &st)
+			if (errM == nil) != (errC == nil) {
+				t.Fatalf("night SPD(%v -> %v): IDModel err %v, CIndex err %v", p, q, errM, errC)
+			}
+			if errM != nil {
+				if !errors.Is(errM, query.ErrUnreachable) {
+					t.Fatalf("night SPD(%v -> %v): %v", p, q, errM)
+				}
+				severed++
+				continue
+			}
+			if math.Abs(pm.Dist-pc.Dist) > tol {
+				t.Fatalf("night SPD(%v -> %v): %g vs %g", p, q, pm.Dist, pc.Dist)
+			}
+		}
+	}
+	if severed == 0 {
+		t.Fatal("no severed pair among the sampled points; the wing cut is not exercised")
+	}
+}

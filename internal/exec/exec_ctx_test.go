@@ -1,4 +1,4 @@
-package exec
+package exec_test
 
 import (
 	"context"
@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"indoorsq/internal/exec"
 	"indoorsq/internal/query"
 )
 
@@ -15,18 +16,18 @@ import (
 // are tallied as errors but not cancellations.
 func TestValidateRejectsUpFront(t *testing.T) {
 	eng, ops := testEngineAndOps()
-	bad := append([]Op{
-		{Kind: RangeQ, P: ops[0].P, R: math.NaN()},
-		{Kind: RangeQ, P: ops[0].P, R: -1},
-		{Kind: KNNQ, P: ops[0].P, K: 0},
-		{Kind: KNNQ, P: ops[0].P, K: -3},
+	bad := append([]exec.Op{
+		{Kind: exec.RangeQ, P: ops[0].P, R: math.NaN()},
+		{Kind: exec.RangeQ, P: ops[0].P, R: -1},
+		{Kind: exec.KNNQ, P: ops[0].P, K: 0},
+		{Kind: exec.KNNQ, P: ops[0].P, K: -3},
 	}, ops...)
 
-	p := Pool{Workers: 2}
+	p := exec.Pool{Workers: 2}
 	results, batch := p.Run(eng, bad)
 	for i := 0; i < 4; i++ {
-		if !errors.Is(results[i].Err, ErrInvalidOp) {
-			t.Errorf("op %d: err = %v, want ErrInvalidOp", i, results[i].Err)
+		if !errors.Is(results[i].Err, exec.ErrInvalidOp) {
+			t.Errorf("op %d: err = %v, want exec.ErrInvalidOp", i, results[i].Err)
 		}
 		if results[i].Stats != (query.Stats{}) {
 			t.Errorf("op %d: engine work was spent on an invalid op: %+v", i, results[i].Stats)
@@ -49,7 +50,7 @@ func TestRunCtxCancelledBatch(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 
-	p := Pool{Workers: 4}
+	p := exec.Pool{Workers: 4}
 	results, batch := p.RunCtx(ctx, eng, ops)
 	for i, r := range results {
 		if !errors.Is(r.Err, context.Canceled) {
@@ -65,14 +66,14 @@ func TestRunCtxCancelledBatch(t *testing.T) {
 // TestFailFast asserts the first failure aborts the remainder of the batch.
 func TestFailFast(t *testing.T) {
 	eng, ops := testEngineAndOps()
-	bad := append([]Op{{Kind: KNNQ, P: ops[0].P, K: 0}}, ops...)
+	bad := append([]exec.Op{{Kind: exec.KNNQ, P: ops[0].P, K: 0}}, ops...)
 
 	// Sequential, so ops after the invalid first one deterministically see
 	// the aborted batch context.
-	p := Pool{Workers: 1, FailFast: true}
+	p := exec.Pool{Workers: 1, FailFast: true}
 	results, batch := p.RunCtx(context.Background(), eng, bad)
-	if !errors.Is(results[0].Err, ErrInvalidOp) {
-		t.Fatalf("op 0: err = %v, want ErrInvalidOp", results[0].Err)
+	if !errors.Is(results[0].Err, exec.ErrInvalidOp) {
+		t.Fatalf("op 0: err = %v, want exec.ErrInvalidOp", results[0].Err)
 	}
 	for i := 1; i < len(results); i++ {
 		if !errors.Is(results[i].Err, context.Canceled) {
@@ -85,7 +86,7 @@ func TestFailFast(t *testing.T) {
 	}
 
 	// Without FailFast the same batch answers everything after the reject.
-	p = Pool{Workers: 1}
+	p = exec.Pool{Workers: 1}
 	_, batch = p.RunCtx(context.Background(), eng, bad)
 	if batch.Errs != 1 || batch.Cancelled != 0 {
 		t.Fatalf("non-fail-fast tallies = %d errs / %d cancelled, want 1 / 0",
@@ -97,7 +98,7 @@ func TestFailFast(t *testing.T) {
 // individually while the batch still completes.
 func TestOpTimeout(t *testing.T) {
 	eng, ops := testEngineAndOps()
-	p := Pool{Workers: 2, OpTimeout: time.Nanosecond}
+	p := exec.Pool{Workers: 2, OpTimeout: time.Nanosecond}
 	results, batch := p.RunCtx(context.Background(), eng, ops)
 	for i, r := range results {
 		if !errors.Is(r.Err, context.DeadlineExceeded) {
@@ -113,14 +114,14 @@ func TestOpTimeout(t *testing.T) {
 func TestRunCtxBudget(t *testing.T) {
 	eng, ops := testEngineAndOps()
 	// Keep only cross-partition SPDQs, which must expand doors.
-	var spds []Op
+	var spds []exec.Op
 	for _, op := range ops {
-		if op.Kind == SPDQ {
+		if op.Kind == exec.SPDQ {
 			spds = append(spds, op)
 		}
 	}
 	ctx := query.WithBudget(context.Background(), query.Budget{MaxVisitedDoors: 1})
-	p := Pool{Workers: 2}
+	p := exec.Pool{Workers: 2}
 	results, batch := p.RunCtx(ctx, eng, spds)
 	exhausted := 0
 	for _, r := range results {
@@ -129,7 +130,7 @@ func TestRunCtxBudget(t *testing.T) {
 		}
 	}
 	if exhausted == 0 {
-		t.Fatal("no SPDQ hit the one-door budget")
+		t.Fatal("no exec.SPDQ hit the one-door budget")
 	}
 	if batch.Cancelled != exhausted {
 		t.Fatalf("batch.Cancelled = %d, want %d", batch.Cancelled, exhausted)
@@ -141,7 +142,7 @@ func TestRunCtxBudget(t *testing.T) {
 func TestMapCtxThreadsContext(t *testing.T) {
 	type key struct{}
 	ctx := context.WithValue(context.Background(), key{}, 42)
-	p := Pool{Workers: 3}
+	p := exec.Pool{Workers: 3}
 	var ran atomic.Int32
 	_, err := p.MapCtx(ctx, 10, func(got context.Context, i int, st *query.Stats) error {
 		if got.Value(key{}) != 42 {

@@ -1,4 +1,4 @@
-package exec
+package exec_test
 
 import (
 	"errors"
@@ -7,13 +7,14 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"indoorsq/internal/exec"
 	"indoorsq/internal/idmodel"
 	"indoorsq/internal/indoor"
 	"indoorsq/internal/query"
 	"indoorsq/internal/testspaces"
 )
 
-func testEngineAndOps() (query.Engine, []Op) {
+func testEngineAndOps() (query.Engine, []exec.Op) {
 	sp := testspaces.RandomGrid(6, 4, 4, 2, 6, 0.25)
 	eng := idmodel.New(sp)
 	var objs []query.Object
@@ -33,12 +34,12 @@ func testEngineAndOps() (query.Engine, []Op) {
 		indoor.At(5, 5, 0), indoor.At(15, 25, 0), indoor.At(25, 15, 1),
 		indoor.At(35, 5, 1), indoor.At(5, 35, 0),
 	}
-	var ops []Op
+	var ops []exec.Op
 	for i, p := range pts {
 		ops = append(ops,
-			Op{Kind: RangeQ, P: p, R: 30},
-			Op{Kind: KNNQ, P: p, K: 4},
-			Op{Kind: SPDQ, P: p, Q: pts[(i+1)%len(pts)]})
+			exec.Op{Kind: exec.RangeQ, P: p, R: 30},
+			exec.Op{Kind: exec.KNNQ, P: p, K: 4},
+			exec.Op{Kind: exec.SPDQ, P: p, Q: pts[(i+1)%len(pts)]})
 	}
 	return eng, ops
 }
@@ -60,11 +61,11 @@ func TestRunMatchesSequential(t *testing.T) {
 	for i, op := range ops {
 		var st query.Stats
 		switch op.Kind {
-		case RangeQ:
+		case exec.RangeQ:
 			refs[i].ids, refs[i].err = eng.Range(op.P, op.R, &st)
-		case KNNQ:
+		case exec.KNNQ:
 			refs[i].nn, refs[i].err = eng.KNN(op.P, op.K, &st)
-		case SPDQ:
+		case exec.SPDQ:
 			var path query.Path
 			path, refs[i].err = eng.SPD(op.P, op.Q, &st)
 			refs[i].dist = path.Dist
@@ -73,7 +74,7 @@ func TestRunMatchesSequential(t *testing.T) {
 	}
 
 	for _, workers := range []int{1, 4} {
-		p := Pool{Workers: workers}
+		p := exec.Pool{Workers: workers}
 		results, batch := p.Run(eng, ops)
 		if len(results) != len(ops) {
 			t.Fatalf("workers=%d: %d results for %d ops", workers, len(results), len(ops))
@@ -83,11 +84,11 @@ func TestRunMatchesSequential(t *testing.T) {
 				t.Fatalf("workers=%d op %d: err %v vs reference %v", workers, i, r.Err, refs[i].err)
 			}
 			switch ops[i].Kind {
-			case RangeQ:
+			case exec.RangeQ:
 				if fmt.Sprint(r.IDs) != fmt.Sprint(refs[i].ids) {
 					t.Fatalf("workers=%d op %d: Range %v != %v", workers, i, r.IDs, refs[i].ids)
 				}
-			case KNNQ:
+			case exec.KNNQ:
 				if len(r.Neighbors) != len(refs[i].nn) {
 					t.Fatalf("workers=%d op %d: KNN size mismatch", workers, i)
 				}
@@ -96,7 +97,7 @@ func TestRunMatchesSequential(t *testing.T) {
 						t.Fatalf("workers=%d op %d: KNN dist mismatch", workers, i)
 					}
 				}
-			case SPDQ:
+			case exec.SPDQ:
 				if r.Err == nil && math.Abs(r.Path.Dist-refs[i].dist) > 1e-9 {
 					t.Fatalf("workers=%d op %d: SPD %g != %g", workers, i, r.Path.Dist, refs[i].dist)
 				}
@@ -125,7 +126,7 @@ func TestRunMatchesSequential(t *testing.T) {
 func TestMapShardsMergeExactly(t *testing.T) {
 	const n = 137
 	for _, workers := range []int{1, 3, 16} {
-		p := Pool{Workers: workers}
+		p := exec.Pool{Workers: workers}
 		st, err := p.Map(n, func(i int, st *query.Stats) error {
 			st.Door()
 			st.Alloc(int64(i))
@@ -149,7 +150,7 @@ func TestMapFirstErrorDeterministic(t *testing.T) {
 	errB := errors.New("b")
 	for _, workers := range []int{1, 8} {
 		var ran atomic.Int32
-		p := Pool{Workers: workers}
+		p := exec.Pool{Workers: workers}
 		_, err := p.Map(50, func(i int, st *query.Stats) error {
 			ran.Add(1)
 			switch i {

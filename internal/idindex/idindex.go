@@ -21,6 +21,7 @@ import (
 	"indoorsq/internal/obs"
 	"indoorsq/internal/pq"
 	"indoorsq/internal/query"
+	"indoorsq/internal/reach"
 )
 
 // Index is the IDINDEX engine.
@@ -33,7 +34,13 @@ type Index struct {
 	d2d32 []float32 // compact variant: float32 matrix instead of d2d
 	idx   []int32   // n x n: Midx[i*n+k] = id of the k-th nearest door from i
 	fh    []int32   // n x n: first door after i on the shortest path i -> j
-	size  int64
+
+	// reach is the SCC condensation of the same door graph the matrices
+	// were swept from, so "summary says unreachable" coincides exactly
+	// with "matrix entry is +Inf"; SetReach(nil) disables pruning.
+	reach *reach.Reach
+
+	size int64
 }
 
 // New builds the IDINDEX over a space, precomputing all global door-to-door
@@ -65,8 +72,9 @@ func build(sp *indoor.Space, compact bool, workers int) *Index {
 	}
 
 	// Door graph shared by the n Dijkstra sweeps, built with the same
-	// worker budget.
+	// worker budget, and the reachability condensation derived from it.
 	dg := doorgraph.BuildWorkers(sp, workers)
+	ix.reach = reach.FromGraph(dg, sp, workers)
 
 	// One Dijkstra per source door, fanned out as chunked source ranges
 	// (exec.Chunks): every chunk writes disjoint matrix rows, so no
@@ -108,9 +116,17 @@ func build(sp *indoor.Space, compact bool, workers int) *Index {
 	if compact {
 		cell = 4
 	}
-	ix.size = int64(n)*int64(n)*(cell+4+4) + sp.BaseSizeBytes() + sp.GeomSizeBytes()
+	ix.size = int64(n)*int64(n)*(cell+4+4) + sp.BaseSizeBytes() + sp.GeomSizeBytes() + ix.reach.SizeBytes()
 	return ix
 }
+
+// Reach returns the index's reachability summary (nil after SetReach(nil)).
+func (ix *Index) Reach() *reach.Reach { return ix.reach }
+
+// SetReach swaps the reachability summary used to prune query processing
+// (nil disables pruning — an ablation knob). Results are bit-identical
+// either way.
+func (ix *Index) SetReach(r *reach.Reach) { ix.reach = r }
 
 // dd returns one matrix entry regardless of storage width.
 func (ix *Index) dd(i int) float64 {
@@ -172,6 +188,19 @@ func (ix *Index) expand(v0 indoor.PartitionID, p indoor.Point, st *query.Stats, 
 		// Position 0 of row leave[i] is leave[i] itself at distance 0.
 		h.Push(mergeEntry{src: int32(i), pos: 0}, off[i])
 	}
+	// Reachability guard before bucket scans. The merge pops doors by exact
+	// indoor distance (and never pushes +Inf matrix entries), so unlike the
+	// online engines this check is a belt-and-braces bound: it can only fire
+	// if the downstream summary is tighter than the door's own distance.
+	rc := ix.reach
+	prune := rc != nil && rc.NumSCCs() > 1
+	var hits, skips int64
+	if prune {
+		defer func() {
+			reach.Metrics.PruneHits.Add(hits)
+			reach.Metrics.PruneSkips.Add(skips)
+		}()
+	}
 	visited := make(map[indoor.DoorID]bool, 64)
 	radius := math.Inf(1)
 	for h.Len() > 0 {
@@ -194,6 +223,13 @@ func (ix *Index) expand(v0 indoor.PartitionID, p indoor.Point, st *query.Stats, 
 		st.Door()
 		if err := st.Interrupted(); err != nil {
 			return err
+		}
+		if prune && rc.MBRPrune(d, p, radius) {
+			hits++
+			continue
+		}
+		if prune {
+			skips++
 		}
 		radius = scan(d, edist)
 	}
@@ -299,6 +335,24 @@ func (ix *Index) SPD(p, q indoor.Point, st *query.Stats) (query.Path, error) {
 	bestP, bestQ := indoor.NoDoor, indoor.NoDoor
 	if vp == vq {
 		best = ix.sp.WithinPointsStop(vp, p, q, st.Stop())
+	}
+
+	// Reachability gate: when no leaveable door of vp can reach vq in the
+	// condensation, every Md2d entry of the double loop below is +Inf, so
+	// the loop (and the two point-to-door sweeps) can be skipped outright.
+	if rc := ix.reach; rc != nil && rc.NumSCCs() > 1 {
+		from := rc.FromDoors(ix.sp.Partition(vp).Leave, nil)
+		if !from.CanReachPart(vq) {
+			reach.Metrics.PruneHits.Add(1)
+			if err := st.Interrupted(); err != nil {
+				return query.Path{}, err
+			}
+			if math.IsInf(best, 1) {
+				return query.Path{}, query.ErrUnreachable
+			}
+			return query.Path{Source: p, Target: q, Doors: nil, Dist: best}, nil
+		}
+		reach.Metrics.PruneSkips.Add(1)
 	}
 
 	endProbe := st.Span(obs.StageProbe)

@@ -8,6 +8,7 @@ import (
 	"math"
 
 	"indoorsq/internal/indoor"
+	"indoorsq/internal/reach"
 )
 
 // persisted is the on-disk layout of an IDINDEX: the three matrices plus a
@@ -83,10 +84,13 @@ func Load(r io.Reader, sp *indoor.Space) (*Index, error) {
 		idx:   p.Idx,
 		fh:    p.FH,
 	}
+	// The reachability summary is cheap relative to the matrices, so it is
+	// rebuilt from the space rather than persisted.
+	ix.reach = reach.FromSpace(sp, nil, 0)
 	cell := int64(8)
 	if narrow {
 		cell = 4
 	}
-	ix.size = int64(p.N)*int64(p.N)*(cell+4+4) + sp.BaseSizeBytes() + sp.GeomSizeBytes()
+	ix.size = int64(p.N)*int64(p.N)*(cell+4+4) + sp.BaseSizeBytes() + sp.GeomSizeBytes() + ix.reach.SizeBytes()
 	return ix, nil
 }

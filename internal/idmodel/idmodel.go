@@ -13,6 +13,7 @@ import (
 
 	"indoorsq/internal/indoor"
 	"indoorsq/internal/query"
+	"indoorsq/internal/reach"
 	"indoorsq/internal/traverse"
 )
 
@@ -26,6 +27,10 @@ type Model struct {
 	// positions of the doors in Partition(v).Doors (the space's DoorIndex
 	// mapping). +Inf encodes impossible moves (direction violations).
 	d2d [][]float64
+
+	// reach is the SCC condensation + downstream summaries pruning query
+	// expansion (see internal/reach); SetReach(nil) disables it.
+	reach *reach.Reach
 
 	size int64
 }
@@ -72,8 +77,33 @@ func New(sp *indoor.Space) *Model {
 	m.size += int64(sp.NumDoors())*48 + int64(sp.NumPartitions())*32 // graph vertexes/edges
 	m.size += sp.BaseSizeBytes() + sp.GeomSizeBytes()
 
-	m.g = traverse.New(sp, sp.HostPartition, m.d2dStats, false)
+	m.reach = reach.FromSpace(sp, nil, 0)
+	m.size += m.reach.SizeBytes()
+	m.g = traverse.New(sp, sp.HostPartition, m.d2dStats, false).WithReach(m.reach)
 	return m
+}
+
+// Space returns the model's underlying indoor space.
+func (m *Model) Space() *indoor.Space { return m.sp }
+
+// Reach returns the model's reachability summary (nil after SetReach(nil)).
+func (m *Model) Reach() *reach.Reach { return m.reach }
+
+// SetReach swaps the reachability summary used to prune query processing —
+// an ablation knob (nil disables pruning) also used by the temporal engine,
+// which supplies per-hour summaries built under the schedule's door filter.
+// Results are bit-identical with or without a summary.
+func (m *Model) SetReach(r *reach.Reach) {
+	m.reach = r
+	m.g = m.g.WithReach(r)
+}
+
+// WithOpenReach is WithOpen with a reachability summary matched to the
+// filter: the view prunes with r (which must be conservative for the
+// filtered graph — e.g. built by reach.FromSpace under the same open
+// filter, or nil for no pruning) instead of the model's full-graph summary.
+func (m *Model) WithOpenReach(open func(indoor.DoorID) bool, r *reach.Reach) query.Engine {
+	return &openView{Model: m, g: m.g.WithOpen(open).WithReach(r)}
 }
 
 // D2D is the fd2d lookup: the distance from door di (entering partition v)

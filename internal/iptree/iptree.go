@@ -27,6 +27,7 @@ import (
 	"indoorsq/internal/exec"
 	"indoorsq/internal/indoor"
 	"indoorsq/internal/query"
+	"indoorsq/internal/reach"
 )
 
 // Options configure tree construction.
@@ -105,7 +106,13 @@ type Tree struct {
 	partLeaf []int32 // partition id -> leaf node id
 	routes   map[indoor.DoorID]*route
 	store    *query.ObjectStore
-	size     int64
+
+	// reach condenses the same door graph the matrices were swept from, so
+	// "summary says unreachable" coincides exactly with "matrix entry is
+	// +Inf"; SetReach(nil) disables pruning.
+	reach *reach.Reach
+
+	size int64
 }
 
 // New builds an IP-TREE (or VIP-TREE when opt.VIP is set) over a space.
@@ -432,6 +439,7 @@ func (t *Tree) ancestors(id int32) []int32 {
 // path-reconstruction routing tables.
 func (t *Tree) fillMatrices() {
 	dg := doorgraph.BuildWorkers(t.sp, t.opt.Workers)
+	t.reach = reach.FromGraph(dg, t.sp, t.opt.Workers)
 
 	// Every door that appears as an access door anywhere.
 	need := make(map[indoor.DoorID]bool)
@@ -552,8 +560,17 @@ func (t *Tree) accountSize() {
 	}
 	sz += int64(len(t.partLeaf)) * 4
 	sz += t.sp.BaseSizeBytes() + t.sp.GeomSizeBytes()
+	sz += t.reach.SizeBytes()
 	t.size = sz
 }
+
+// Reach returns the tree's reachability summary (nil after SetReach(nil)).
+func (t *Tree) Reach() *reach.Reach { return t.reach }
+
+// SetReach swaps the reachability summary used to prune query processing
+// (nil disables pruning — an ablation knob). Results are bit-identical
+// either way.
+func (t *Tree) SetReach(r *reach.Reach) { t.reach = r }
 
 // leafOf returns the leaf node id hosting partition v.
 func (t *Tree) leafOf(v indoor.PartitionID) int32 { return t.partLeaf[v] }

@@ -8,6 +8,7 @@ import (
 	"indoorsq/internal/obs"
 	"indoorsq/internal/pq"
 	"indoorsq/internal/query"
+	"indoorsq/internal/reach"
 )
 
 // dvec is a distance-only access-door vector.
@@ -217,8 +218,25 @@ func (t *Tree) forEachLeafByBound(p indoor.Point, st *query.Stats, limit func() 
 	// matrices: an index probe, no Dijkstra.
 	endProbe := st.Span(obs.StageProbe)
 	defer endProbe()
+
+	// Reachability seed set for subtree skipping (multi-SCC venues only):
+	// a leaf none of whose partitions is reachable from p's leaveable
+	// doors can only ever produce +Inf object distances.
+	var from reach.From
+	usePrune := false
+	if rc := t.reach; rc != nil && rc.NumSCCs() > 1 {
+		from = rc.FromDoors(t.sp.Partition(vp).Leave, nil)
+		usePrune = true
+	}
 	if t.opt.VIP {
-		return t.vipLeafSweep(Lp, vp, p, pvec, st, limit, emit)
+		return t.vipLeafSweep(Lp, vp, p, pvec, from, usePrune, st, limit, emit)
+	}
+	var hits, skips int64
+	if usePrune {
+		defer func() {
+			reach.Metrics.PruneHits.Add(hits)
+			reach.Metrics.PruneSkips.Add(skips)
+		}()
 	}
 
 	// IP-TREE: best-first descent from the siblings of the path to the root.
@@ -233,7 +251,12 @@ func (t *Tree) forEachLeafByBound(p indoor.Point, st *query.Stats, limit func() 
 				continue
 			}
 			svec := t.liftDvec(vec, &t.nodes[cur], par, t.nodes[sib].ad, st)
-			h.Push(nodeCand{id: sib, vec: svec}, svec.min())
+			// An all-+Inf vector means no door of the sibling subtree is
+			// reachable: descending could only generate more +Inf vectors
+			// and no emissions, so the subtree is dropped outright.
+			if b := svec.min(); !math.IsInf(b, 1) {
+				h.Push(nodeCand{id: sib, vec: svec}, b)
+			}
 		}
 		vec = t.liftDvec(vec, &t.nodes[cur], par, par.ad, st)
 		cur = parID
@@ -248,6 +271,13 @@ func (t *Tree) forEachLeafByBound(p indoor.Point, st *query.Stats, limit func() 
 		}
 		n := &t.nodes[c.id]
 		if n.leaf {
+			if usePrune && !from.AnyPart(n.parts) {
+				hits++
+				continue
+			}
+			if usePrune {
+				skips++
+			}
 			// Exact distance to every leaf door through the access doors.
 			pd := infDvec(len(n.doors))
 			na := len(n.ad)
@@ -263,7 +293,9 @@ func (t *Tree) forEachLeafByBound(p indoor.Point, st *query.Stats, limit func() 
 		}
 		for _, ch := range n.children {
 			cvec := t.liftDvec(c.vec, n, n, t.nodes[ch].ad, st)
-			h.Push(nodeCand{id: ch, vec: cvec}, cvec.min())
+			if b := cvec.min(); !math.IsInf(b, 1) {
+				h.Push(nodeCand{id: ch, vec: cvec}, b)
+			}
 		}
 	}
 	st.Alloc(int64(h.Cap()) * 32)
@@ -274,7 +306,14 @@ func (t *Tree) forEachLeafByBound(p indoor.Point, st *query.Stats, limit func() 
 // from the VIP materialization: p-side vectors are read straight from p's
 // leaf matrices, lifted once through the LCA, and landed on the target
 // leaf's ancestor matrices.
-func (t *Tree) vipLeafSweep(Lp int32, vp indoor.PartitionID, p indoor.Point, pvecLeaf dvec, st *query.Stats, limit func() float64, emit func(id int32, dist float64)) error {
+func (t *Tree) vipLeafSweep(Lp int32, vp indoor.PartitionID, p indoor.Point, pvecLeaf dvec, from reach.From, usePrune bool, st *query.Stats, limit func() float64, emit func(id int32, dist float64)) error {
+	var hits, skips int64
+	if usePrune {
+		defer func() {
+			reach.Metrics.PruneHits.Add(hits)
+			reach.Metrics.PruneSkips.Add(skips)
+		}()
+	}
 	// p-side vectors for every node on the path Lp -> root.
 	path := []int32{Lp}
 	for id := Lp; t.nodes[id].parent >= 0; {
@@ -320,6 +359,13 @@ func (t *Tree) vipLeafSweep(Lp int32, vp indoor.PartitionID, p indoor.Point, pve
 		if !n.leaf || n.id == Lp {
 			continue
 		}
+		if usePrune && !from.AnyPart(n.parts) {
+			hits++
+			continue
+		}
+		if usePrune {
+			skips++
+		}
 		lcaID, cp, cL := t.lca(Lp, n.id)
 		lcaNode := &t.nodes[lcaID]
 		// p-side vector at cp (a path node), lifted once through the LCA
@@ -350,7 +396,10 @@ func (t *Tree) vipLeafSweep(Lp int32, vp indoor.PartitionID, p indoor.Point, pve
 	// Second pass, in bound order: materialize the exact door vector from
 	// the leaf's VIP ancestor matrices only while the bound qualifies.
 	for _, c := range cands {
-		if c.bound > limit() {
+		// A +Inf bound means the leaf's access doors are unreachable, so
+		// every object distance would be +Inf too; bounds are sorted, so
+		// nothing after it can qualify either.
+		if math.IsInf(c.bound, 1) || c.bound > limit() {
 			break
 		}
 		if err := st.Interrupted(); err != nil {

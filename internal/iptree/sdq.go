@@ -6,6 +6,7 @@ import (
 	"indoorsq/internal/indoor"
 	"indoorsq/internal/obs"
 	"indoorsq/internal/query"
+	"indoorsq/internal/reach"
 )
 
 // ventry is a vector entry used during access-door lifting: the distance
@@ -363,6 +364,28 @@ func (t *Tree) SPD(p, q indoor.Point, st *query.Stats) (query.Path, error) {
 	}
 	Lp, Lq := t.leafOf(vp), t.leafOf(vq)
 	endHost()
+
+	// Reachability gate: when no leaveable door of vp reaches vq in the
+	// condensation, every door-mediated candidate below is +Inf (the node
+	// matrices were swept over the same graph), so only the direct
+	// within-partition geodesic can answer — skip all matrix work.
+	if rc := t.reach; rc != nil && rc.NumSCCs() > 1 {
+		if from := rc.FromDoors(t.sp.Partition(vp).Leave, nil); !from.CanReachPart(vq) {
+			reach.Metrics.PruneHits.Add(1)
+			direct := math.Inf(1)
+			if vp == vq {
+				direct = t.sp.WithinPointsStop(vp, p, q, st.Stop())
+			}
+			if err := st.Interrupted(); err != nil {
+				return query.Path{}, err
+			}
+			if math.IsInf(direct, 1) {
+				return query.Path{}, query.ErrUnreachable
+			}
+			return query.Path{Source: p, Target: q, Dist: direct}, nil
+		}
+		reach.Metrics.PruneSkips.Add(1)
+	}
 
 	best := math.Inf(1)
 	var chain []indoor.DoorID // access-door chain, expanded into legs below

@@ -80,6 +80,10 @@ func TestMetricsEndpoint(t *testing.T) {
 		`isq_query_latency_seconds_count{engine="IDModel",op="range"} 1`,
 		"isq_distcache_size_bytes",
 		"isq_doorgraph_sweeps_total",
+		"isq_reach_sccs",
+		"isq_reach_summary_bytes",
+		"isq_reach_prune_hits",
+		"isq_reach_prune_skips",
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("/metrics missing %q:\n%s", want, body)

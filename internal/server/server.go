@@ -28,6 +28,7 @@ import (
 	"indoorsq/internal/indoor"
 	"indoorsq/internal/obs"
 	"indoorsq/internal/query"
+	"indoorsq/internal/reach"
 )
 
 // StatusClientClosedRequest is the non-standard (nginx-convention) status
@@ -84,6 +85,10 @@ func New(name string, sp *indoor.Space, engines map[string]query.Engine, def str
 	srv.obs.RegisterGauge("isq_doorgraph_doors", func() float64 { return float64(doorgraph.Metrics.Doors.Load()) })
 	srv.obs.RegisterGauge("isq_doorgraph_edges", func() float64 { return float64(doorgraph.Metrics.Edges.Load()) })
 	srv.obs.RegisterGauge("isq_doorgraph_size_bytes", func() float64 { return float64(doorgraph.Metrics.Bytes.Load()) })
+	srv.obs.RegisterGauge("isq_reach_sccs", func() float64 { return float64(reach.Metrics.SCCs.Load()) })
+	srv.obs.RegisterGauge("isq_reach_summary_bytes", func() float64 { return float64(reach.Metrics.SummaryBytes.Load()) })
+	srv.obs.RegisterGauge("isq_reach_prune_hits", func() float64 { return float64(reach.Metrics.PruneHits.Load()) })
+	srv.obs.RegisterGauge("isq_reach_prune_skips", func() float64 { return float64(reach.Metrics.PruneSkips.Load()) })
 	return srv, nil
 }
 
@@ -269,6 +274,15 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 			"doors": doorgraph.Metrics.Doors.Load(),
 			"edges": doorgraph.Metrics.Edges.Load(),
 			"bytes": doorgraph.Metrics.Bytes.Load(),
+		},
+		// Reachability pruning (internal/reach): condensation shape of the
+		// last summary built plus cumulative prune decisions (hits pruned
+		// work, skips passed it through).
+		"reach": map[string]int64{
+			"sccs":       reach.Metrics.SCCs.Load(),
+			"bytes":      reach.Metrics.SummaryBytes.Load(),
+			"pruneHits":  reach.Metrics.PruneHits.Load(),
+			"pruneSkips": reach.Metrics.PruneSkips.Load(),
 		},
 	})
 }

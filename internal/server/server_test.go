@@ -64,6 +64,14 @@ func TestInfo(t *testing.T) {
 	if int(info["partitions"].(float64)) != 8 {
 		t.Fatalf("partitions = %v", info["partitions"])
 	}
+	// The reach section reflects the summaries built by the engines above.
+	rsec, ok := info["reach"].(map[string]any)
+	if !ok {
+		t.Fatalf("info has no reach section: %v", info)
+	}
+	if rsec["sccs"].(float64) <= 0 || rsec["bytes"].(float64) <= 0 {
+		t.Fatalf("reach section not populated: %v", rsec)
+	}
 }
 
 func TestRangeEndpoint(t *testing.T) {

@@ -1,0 +1,118 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+
+	"indoorsq/internal/idmodel"
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/testspaces"
+)
+
+// randomSchedule closes assorted doors over assorted interval shapes,
+// including permanently closed (no intervals) and split-day entries.
+func randomSchedule(rng *rand.Rand, doors int) *Schedule {
+	sch := NewSchedule()
+	for d := 0; d < doors; d++ {
+		switch rng.Intn(4) {
+		case 0: // unscheduled: always open
+		case 1:
+			sch.Set(indoor.DoorID(d)) // permanently closed
+		case 2:
+			o := rng.Float64() * 20
+			sch.Set(indoor.DoorID(d), Interval{Open: o, Close: o + rng.Float64()*6})
+		case 3:
+			sch.Set(indoor.DoorID(d),
+				Interval{Open: 6, Close: 10 + rng.Float64()*2},
+				Interval{Open: 14, Close: 18})
+		}
+	}
+	return sch
+}
+
+// TestAtMatchesOpenAt pins the materialized bitset filter to the interval
+// table it was evaluated from, including doors beyond the bitset (door ids
+// the schedule never mentions must stay open).
+func TestAtMatchesOpenAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		const doors = 150
+		sch := randomSchedule(rng, doors)
+		for _, hour := range []float64{0, 5.99, 9, 13.5, 17, 23.99, rng.Float64() * 24} {
+			at := sch.At(hour)
+			lookup := sch.atLookup(hour)
+			for d := 0; d < doors+200; d++ { // +200: past the bitset
+				id := indoor.DoorID(d)
+				want := sch.OpenAt(id, hour)
+				if got := at(id); got != want {
+					t.Fatalf("trial %d hour %g door %d: At = %v, OpenAt = %v",
+						trial, hour, d, got, want)
+				}
+				if got := lookup(id); got != want {
+					t.Fatalf("trial %d hour %g door %d: atLookup = %v, OpenAt = %v",
+						trial, hour, d, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSetHourReuse checks the incremental rebuild: moving the hour within
+// one opening regime keeps the filter, base view and reachability summary;
+// crossing a schedule boundary swaps them.
+func TestSetHourReuse(t *testing.T) {
+	f := testspaces.NewStrip()
+	sch := NewSchedule()
+	sch.Set(f.D1, Interval{Open: 9, Close: 17})
+
+	e := NewIDModel(idmodel.New(f.Space), sch, 10)
+	r0, b0 := e.r, e.base
+	e.SetHour(16.5) // same regime: D1 still open
+	if e.r != r0 || e.base != b0 {
+		t.Fatal("SetHour within one regime must keep the summary and base view")
+	}
+	if e.Hour() != 16.5 {
+		t.Fatalf("Hour = %g", e.Hour())
+	}
+	e.SetHour(18) // D1 closes: new closed set
+	if e.r == r0 || e.base == b0 {
+		t.Fatal("SetHour across a schedule boundary must rebuild")
+	}
+	r1 := e.r
+	e.SetHour(23) // D1 still closed: same closed set again
+	if e.r != r1 {
+		t.Fatal("SetHour with an identical closed set must not rebuild")
+	}
+}
+
+// BenchmarkDoorFilter compares the two filter implementations the way the
+// engines use them: one schedule evaluation, then a call per edge visit.
+func BenchmarkDoorFilter(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const doors = 2000
+	sch := randomSchedule(rng, doors)
+	ids := make([]indoor.DoorID, 4096)
+	for i := range ids {
+		ids[i] = indoor.DoorID(rng.Intn(doors))
+	}
+	b.Run("bitset", func(b *testing.B) {
+		open := sch.At(13)
+		n := 0
+		for i := 0; i < b.N; i++ {
+			if open(ids[i&4095]) {
+				n++
+			}
+		}
+		_ = n
+	})
+	b.Run("map", func(b *testing.B) {
+		open := sch.atLookup(13)
+		n := 0
+		for i := 0; i < b.N; i++ {
+			if open(ids[i&4095]) {
+				n++
+			}
+		}
+		_ = n
+	})
+}

@@ -6,6 +6,14 @@
 // CINDEX (attached to the topological layer) — whereas IDINDEX and
 // IP/VIP-TREE would have to invalidate their precomputed matrices on every
 // schedule change.
+//
+// The door filter handed to the engines is materialized per hour: the
+// schedule's interval table is evaluated once into a closed-door bitset, so
+// every edge visit of a sweep costs one word test instead of a map lookup
+// plus an interval scan (BenchmarkDoorFilter measures the difference). The
+// same hourly evaluation also rebuilds a reachability condensation
+// (internal/reach) under the filter, so queries at that hour prune against
+// summaries that already know which wings the schedule closed.
 package temporal
 
 import (
@@ -16,6 +24,7 @@ import (
 	"indoorsq/internal/idmodel"
 	"indoorsq/internal/indoor"
 	"indoorsq/internal/query"
+	"indoorsq/internal/reach"
 )
 
 // Interval is a daily open period [Open, Close) in hours of day.
@@ -66,8 +75,64 @@ func (s *Schedule) OpenAt(d indoor.DoorID, hour float64) bool {
 	return false
 }
 
-// At returns the door filter for one hour of day.
+// closedBits evaluates the whole schedule at one hour into a bitset of
+// closed doors, sized by the highest closed door id. The result is
+// independent of map iteration order (bits are ORed in).
+func (s *Schedule) closedBits(hour float64) []uint64 {
+	var bits []uint64
+	for d, ivs := range s.byDoor {
+		open := false
+		for _, iv := range ivs {
+			if iv.Contains(hour) {
+				open = true
+				break
+			}
+		}
+		if open {
+			continue
+		}
+		w := int(d) >> 6
+		for len(bits) <= w {
+			bits = append(bits, 0)
+		}
+		bits[w] |= 1 << (uint(d) & 63)
+	}
+	return bits
+}
+
+// openFunc wraps a closed-door bitset as the engines' door filter: one
+// bounds check and one word test per call. Doors beyond the bitset have no
+// (closed) schedule entry and are open.
+func openFunc(closed []uint64) func(indoor.DoorID) bool {
+	return func(d indoor.DoorID) bool {
+		w := int(d) >> 6
+		return w >= len(closed) || closed[w]&(1<<(uint(d)&63)) == 0
+	}
+}
+
+// equalBits reports whether two closed-door bitsets are identical.
+func equalBits(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// At returns the door filter for one hour of day, materialized from the
+// interval table into a closed-door bitset so per-door evaluation is O(1).
 func (s *Schedule) At(hour float64) func(indoor.DoorID) bool {
+	return openFunc(s.closedBits(hour))
+}
+
+// atLookup is the pre-materialization filter — a map lookup plus interval
+// scan per call. It answers identically to At and is kept as the baseline
+// side of BenchmarkDoorFilter.
+func (s *Schedule) atLookup(hour float64) func(indoor.DoorID) bool {
 	return func(d indoor.DoorID) bool { return s.OpenAt(d, hour) }
 }
 
@@ -75,25 +140,67 @@ func (s *Schedule) At(hour float64) func(indoor.DoorID) bool {
 func (s *Schedule) Len() int { return len(s.byDoor) }
 
 // Engine answers the four indoor spatial query types at a given time of
-// day over a schedule-aware base engine (IDMODEL or CINDEX).
+// day over a schedule-aware base engine (IDMODEL or CINDEX). Moving the
+// evaluation hour with SetHour re-materializes the door filter and, only
+// when the closed-door set actually changed, rebuilds the filtered
+// reachability condensation the base engine prunes with.
 type Engine struct {
-	base query.Engine
-	sch  *Schedule
-	hour float64
+	m  *idmodel.Model // exactly one of m, ix is set
+	ix *cindex.Index
+
+	sch    *Schedule
+	hour   float64
+	closed []uint64
+	r      *reach.Reach
+	base   query.Engine
 }
 
 // NewIDModel wraps an IDMODEL with a door schedule evaluated at hour.
 func NewIDModel(m *idmodel.Model, sch *Schedule, hour float64) *Engine {
-	return &Engine{base: m.WithOpen(sch.At(hour)), sch: sch, hour: hour}
+	e := &Engine{m: m, sch: sch, hour: hour}
+	e.rebuild(hour, true)
+	return e
 }
 
 // NewCIndex wraps a CINDEX with a door schedule evaluated at hour.
 func NewCIndex(ix *cindex.Index, sch *Schedule, hour float64) *Engine {
-	return &Engine{base: ix.WithOpen(sch.At(hour)), sch: sch, hour: hour}
+	e := &Engine{ix: ix, sch: sch, hour: hour}
+	e.rebuild(hour, true)
+	return e
 }
+
+// rebuild evaluates the schedule at hour. When the closed-door set is
+// unchanged from the current one (and force is false) the existing filter,
+// reachability summary and base view are kept — moving the hour inside one
+// opening regime costs only the bitset comparison.
+func (e *Engine) rebuild(hour float64, force bool) {
+	closed := e.sch.closedBits(hour)
+	e.hour = hour
+	if !force && equalBits(closed, e.closed) && e.base != nil {
+		return
+	}
+	e.closed = closed
+	open := openFunc(closed)
+	if e.m != nil {
+		e.r = reach.FromSpace(e.m.Space(), open, 0)
+		e.base = e.m.WithOpenReach(open, e.r)
+	} else {
+		e.r = reach.FromSpace(e.ix.Space(), open, 0)
+		e.base = e.ix.WithOpenReach(open, e.r)
+	}
+}
+
+// SetHour moves the engine to a new evaluation time of day, reusing the
+// materialized filter and reachability summary when the closed-door set at
+// the new hour is identical.
+func (e *Engine) SetHour(hour float64) { e.rebuild(hour, false) }
 
 // Hour returns the evaluation time of day.
 func (e *Engine) Hour() float64 { return e.hour }
+
+// Reach returns the reachability summary built for the engine's current
+// closed-door set.
+func (e *Engine) Reach() *reach.Reach { return e.r }
 
 // Name implements query.Engine.
 func (e *Engine) Name() string { return e.base.Name() + "@t" }
@@ -134,7 +241,9 @@ func (e *Engine) SPDCtx(ctx context.Context, p, q indoor.Point, st *query.Stats)
 	return query.AsCtx(e.base).SPDCtx(ctx, p, q, st)
 }
 
-// SizeBytes implements query.Engine; the schedule table is tiny.
+// SizeBytes implements query.Engine: the base engine plus the schedule
+// table, the materialized bitset and the hourly reachability summary.
 func (e *Engine) SizeBytes() int64 {
-	return e.base.SizeBytes() + int64(e.sch.Len())*40
+	return e.base.SizeBytes() + int64(e.sch.Len())*40 +
+		int64(len(e.closed))*8 + e.r.SizeBytes()
 }

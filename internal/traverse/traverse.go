@@ -16,6 +16,7 @@ import (
 	"indoorsq/internal/obs"
 	"indoorsq/internal/pq"
 	"indoorsq/internal/query"
+	"indoorsq/internal/reach"
 )
 
 // D2DFunc returns the distance from door di to door dj through partition v,
@@ -43,6 +44,13 @@ type Graph struct {
 	// filter restricts kNN candidates by object id (keyword extension);
 	// nil accepts everything.
 	filter func(id int32) bool
+	// reach is the SCC condensation + downstream spatial summaries used to
+	// prune expansion (nil disables pruning). It must be built over an edge
+	// superset of this graph's traversable edges — for a door-filtered copy
+	// (WithOpen), either a summary built under the same filter or one of
+	// the unfiltered graph (closing doors only removes edges, so the
+	// unfiltered summary stays conservative).
+	reach *reach.Reach
 	// states pools per-query Dijkstra working sets. The pool pointer is
 	// shared by WithOpen/WithFilter copies, which traverse the same space
 	// and therefore need identically-sized states.
@@ -63,6 +71,21 @@ func (g *Graph) WithOpen(open func(indoor.DoorID) bool) *Graph {
 	c.open = open
 	return &c
 }
+
+// WithReach returns a copy of g that prunes expansion with the given
+// reachability summary: SPD fails fast (or skips the sweep) when the target
+// partition is provably door-unreachable, and every relaxation skips head
+// doors whose reachable region cannot contribute. Answers are bit-identical
+// to the unpruned graph; only visited-door counts and latency change. A nil
+// summary disables pruning.
+func (g *Graph) WithReach(r *reach.Reach) *Graph {
+	c := *g
+	c.reach = r
+	return &c
+}
+
+// Reach returns the attached reachability summary (nil when disabled).
+func (g *Graph) Reach() *reach.Reach { return g.reach }
 
 // usable reports whether door d may be traversed under the current filter.
 func (g *Graph) usable(d indoor.DoorID) bool {
@@ -188,14 +211,19 @@ func (g *Graph) seed(s *state, v indoor.PartitionID, p indoor.Point) {
 
 // relax expands settled door d at distance dd into its enterable partitions,
 // optionally invoking visit for each (door, partition) pair before the
-// door-to-door relaxation.
-func (g *Graph) relax(s *state, d indoor.DoorID, dd float64, st *query.Stats, visit func(v indoor.PartitionID, dd float64)) {
+// door-to-door relaxation. A non-nil prune vetoes head doors before their
+// (possibly expensive) d2d distance is computed; it must only veto doors
+// that provably cannot contribute to the result.
+func (g *Graph) relax(s *state, d indoor.DoorID, dd float64, st *query.Stats, prune func(nd indoor.DoorID) bool, visit func(v indoor.PartitionID, dd float64)) {
 	for _, v := range g.sp.Door(d).Enterable {
 		if visit != nil {
 			visit(v, dd)
 		}
 		for _, nd := range g.sp.Partition(v).Leave {
 			if s.isSettled(nd) || !g.usable(nd) {
+				continue
+			}
+			if prune != nil && prune(nd) {
 				continue
 			}
 			w := g.d2d(v, d, nd, st)
@@ -221,6 +249,34 @@ func (g *Graph) pruneByEuclid(v indoor.PartitionID, p indoor.Point, radius float
 	return part.MBR.MinDist(p.XY()) > radius
 }
 
+// rangePrune builds the reach-based relaxation veto for a bounded search
+// from p: a head door is skipped when everything enterable after crossing
+// it is provably farther than limit() (the range radius, or the current
+// k-th distance). Both closures are nil-safe no-ops when pruning is off or
+// the graph is one SCC (fully reachable: nothing can ever be vetoed, so
+// the per-edge check is not worth its cost); flush publishes the hit/skip
+// counters once per query.
+func (g *Graph) rangePrune(p indoor.Point, limit func() float64) (prune func(indoor.DoorID) bool, flush func()) {
+	rc := g.reach
+	if rc == nil || rc.NumSCCs() <= 1 {
+		return nil, func() {}
+	}
+	var hits, skips int64
+	prune = func(nd indoor.DoorID) bool {
+		if rc.MBRPrune(nd, p, limit()) {
+			hits++
+			return true
+		}
+		skips++
+		return false
+	}
+	flush = func() {
+		reach.Metrics.PruneHits.Add(hits)
+		reach.Metrics.PruneSkips.Add(skips)
+	}
+	return prune, flush
+}
+
 // Range answers RQ(p, r) over the given object store.
 func (g *Graph) Range(store *query.ObjectStore, p indoor.Point, r float64, st *query.Stats) ([]int32, error) {
 	endHost := st.Span(obs.StageHost)
@@ -238,6 +294,8 @@ func (g *Graph) Range(store *query.ObjectStore, p indoor.Point, r float64, st *q
 	defer endExpand()
 	s := g.newState()
 	defer g.putState(s)
+	prune, flush := g.rangePrune(p, func() float64 { return r })
+	defer flush()
 	g.seed(s, v0, p)
 	for s.h.Len() > 0 {
 		d, dd := s.h.Pop()
@@ -253,7 +311,7 @@ func (g *Graph) Range(store *query.ObjectStore, p indoor.Point, r float64, st *q
 			return nil, err
 		}
 		door := d
-		g.relax(s, d, dd, st, func(v indoor.PartitionID, base float64) {
+		g.relax(s, d, dd, st, prune, func(v indoor.PartitionID, base float64) {
 			if g.pruneByEuclid(v, p, r) {
 				return
 			}
@@ -299,6 +357,8 @@ func (g *Graph) KNN(store *query.ObjectStore, p indoor.Point, k int, st *query.S
 	defer endExpand()
 	s := g.newState()
 	defer g.putState(s)
+	prune, flush := g.rangePrune(p, tk.Bound)
+	defer flush()
 	g.seed(s, v0, p)
 	for s.h.Len() > 0 {
 		d, dd := s.h.Pop()
@@ -314,7 +374,7 @@ func (g *Graph) KNN(store *query.ObjectStore, p indoor.Point, k int, st *query.S
 			return nil, err
 		}
 		door := d
-		g.relax(s, d, dd, st, func(v indoor.PartitionID, base float64) {
+		g.relax(s, d, dd, st, prune, func(v indoor.PartitionID, base float64) {
 			// Objects Euclidean-farther than the current k-th distance can
 			// never enter the top-k (the bound only shrinks).
 			if g.pruneByEuclid(v, p, tk.Bound()) {
@@ -357,6 +417,43 @@ func (g *Graph) SPD(p, q indoor.Point, st *query.Stats) (query.Path, error) {
 		// only; convex ones answer in O(1)).
 		best = g.sp.WithinPointsStop(vp, p, q, st.Stop())
 	}
+
+	var prune func(indoor.DoorID) bool
+	if rc := g.reach; rc != nil && rc.NumSCCs() > 1 {
+		var usable func(indoor.DoorID) bool
+		if g.open != nil {
+			usable = g.usable
+		}
+		from := rc.FromDoors(g.sp.Partition(vp).Leave, usable)
+		if !from.CanReachPart(vq) {
+			// No door path from vp's usable leave doors ever enters vq: the
+			// door sweep below could only exhaust the reachable component
+			// and find nothing, so answer from the in-partition geodesic
+			// alone. Bit-identical to the sweep's outcome.
+			reach.Metrics.PruneHits.Add(1)
+			if err := st.Interrupted(); err != nil {
+				return query.Path{}, err
+			}
+			if math.IsInf(best, 1) {
+				return query.Path{}, query.ErrUnreachable
+			}
+			return query.Path{Source: p, Target: q, Doors: nil, Dist: best}, nil
+		}
+		var hits, skips int64
+		prune = func(nd indoor.DoorID) bool {
+			if !rc.DoorReachesPart(nd, vq) {
+				hits++
+				return true
+			}
+			skips++
+			return false
+		}
+		defer func() {
+			reach.Metrics.PruneHits.Add(hits)
+			reach.Metrics.PruneSkips.Add(skips)
+		}()
+	}
+
 	// Distances from each enterable door of vq to q within vq.
 	tail := make(map[indoor.DoorID]float64, len(g.sp.Partition(vq).Enter))
 	for _, d := range g.sp.Partition(vq).Enter {
@@ -390,7 +487,7 @@ func (g *Graph) SPD(p, q indoor.Point, st *query.Stats) (query.Path, error) {
 				bestDoor = d
 			}
 		}
-		g.relax(s, d, dd, st, nil)
+		g.relax(s, d, dd, st, prune, nil)
 	}
 	endExpand()
 	st.Alloc(s.bytes() + int64(len(tail))*16)
