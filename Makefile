@@ -15,11 +15,11 @@ FUZZ_TARGETS = \
 	./internal/spacegen:FuzzGenerate \
 	./internal/enginetest:FuzzDifferentialEngines
 
-.PHONY: verify verify-full build vet fmt-check test race cover fuzz-smoke bench-smoke bench-pr2 bench-pr3 bench-pr4 bench-pr6 bench-pr7 bench-pr7-smoke
+.PHONY: verify verify-full build vet fmt-check test race cover fuzz-smoke bench-smoke bench-pr2 bench-pr3 bench-pr4 bench-pr6 bench-pr7 bench-pr7-smoke bench-pr8 bench-pr8-smoke
 
 verify: build vet fmt-check test race
 
-verify-full: verify cover fuzz-smoke bench-smoke bench-pr7-smoke
+verify-full: verify cover fuzz-smoke bench-smoke bench-pr7-smoke bench-pr8-smoke
 
 build:
 	$(GO) build ./...
@@ -80,6 +80,18 @@ bench-pr7:
 # pruned/unpruned answer equality under verify-full.
 bench-pr7-smoke:
 	$(GO) run ./cmd/isqreachbench -smoke
+
+# Regenerates the snapshot subsystem report of PR 8: cold engine build vs
+# snapshot load (wall clock, peak RSS via re-exec'd children) at ~10^3,
+# 10^4 and 10^5 doors, plus POST /v1/swap latency under concurrent load.
+bench-pr8:
+	$(GO) run ./cmd/isqsnapbench -o BENCH_PR8.json
+
+# Tiny-venue pass of the same tool for verify-full: one build/save/load
+# cycle asserting loaded engines answer bit-identically, plus three
+# hot swaps under load.
+bench-pr8-smoke:
+	$(GO) run ./cmd/isqsnapbench -smoke
 
 # Quick compile-and-run pass over the heap and door-graph benchmarks: a
 # handful of iterations each, just to keep the benchmark code from rotting.

@@ -5,11 +5,12 @@
 //
 //	isqserve [-addr :8080] [-dataset CPH] [-engines IDModel,VIPTree]
 //	         [-default VIPTree] [-objects 1000] [-seed 1]
+//	         [-snapshot file.isq] [-save-snapshot file.isq]
 //	         [-query-timeout 0] [-max-visited-doors 0] [-max-work-mb 0]
 //	         [-read-timeout 30s] [-read-header-timeout 5s] [-idle-timeout 2m]
 //	         [-debug-addr ""]
 //
-// Endpoints (all GET, JSON unless noted):
+// Endpoints (GET unless noted, JSON unless noted):
 //
 //	/v1/info
 //	/v1/range?x=&y=&floor=&r=[&engine=]
@@ -17,7 +18,15 @@
 //	/v1/route?x=&y=&floor=&x2=&y2=&floor2=[&engine=]
 //	/v1/partitions?floor=
 //	/v1/trace?op=range|knn|route&...   per-stage span breakdown of one query
+//	POST /v1/swap                      load a snapshot and publish it atomically
 //	/metrics                           plain-text counters and latency quantiles
+//
+// -snapshot boots from a snapshot artifact (built offline with isqsnap)
+// instead of running the expensive in-process construction; the same path
+// is then the default for POST /v1/swap and for SIGHUP, which re-loads the
+// artifact and publishes it without dropping a request — the fleet-rollout
+// primitive: rebuild once offline, SIGHUP every replica. -save-snapshot
+// writes the artifact after a cold build (so the next boot can skip it).
 //
 // -query-timeout bounds every query endpoint (an expired query answers
 // 504); -max-visited-doors / -max-work-mb set the admission budget (an
@@ -36,24 +45,30 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
-	"indoorsq/internal/bench"
 	"indoorsq/internal/dataset"
 	"indoorsq/internal/query"
 	"indoorsq/internal/server"
+	"indoorsq/internal/snapshot/bundle"
 	"indoorsq/internal/workload"
 )
 
 func main() {
 	var (
 		addr    = flag.String("addr", ":8080", "listen address")
-		ds      = flag.String("dataset", "CPH", "benchmark dataset")
-		names   = flag.String("engines", "IDModel,VIPTree", "engines to load")
+		ds      = flag.String("dataset", "CPH", "benchmark dataset (cold-build path)")
+		names   = flag.String("engines", "IDModel,VIPTree", "engines to load (cold-build path)")
 		def     = flag.String("default", "VIPTree", "default engine")
 		objects = flag.Int("objects", 1000, "number of random POIs")
 		seed    = flag.Int64("seed", 1, "workload seed")
+
+		snap     = flag.String("snapshot", "", "boot from this snapshot artifact; also the SIGHUP / POST /v1/swap reload default")
+		saveSnap = flag.String("save-snapshot", "", "after a cold build, write the serving state to this artifact")
 
 		queryTimeout = flag.Duration("query-timeout", 0, "per-query deadline on range/knn/route (0 = unbounded)")
 		maxDoors     = flag.Int("max-visited-doors", 0, "per-query door-expansion budget (0 = unbounded)")
@@ -67,27 +82,68 @@ func main() {
 	)
 	flag.Parse()
 
-	info, err := dataset.Build(*ds)
-	if err != nil {
-		log.Fatal(err)
-	}
-	objs := workload.New(info.Space, *seed).Objects(*objects)
-	engines := make(map[string]query.Engine)
-	for _, name := range strings.Split(*names, ",") {
+	var b *bundle.Bundle
+	if *snap != "" {
 		start := time.Now()
-		eng, err := bench.NewEngine(name, info)
+		var err error
+		b, err = bundle.LoadFile(*snap)
+		if err != nil {
+			log.Fatalf("load snapshot %s: %v", *snap, err)
+		}
+		log.Printf("loaded snapshot %s in %v (format v%d, fingerprint %016x, engines %v)",
+			*snap, time.Since(start).Round(time.Millisecond), b.FormatVersion, b.Fingerprint, b.EngineList())
+	} else {
+		info, err := dataset.Build(*ds)
 		if err != nil {
 			log.Fatal(err)
 		}
-		eng.SetObjects(objs)
-		engines[name] = eng
-		log.Printf("built %s in %v (%.1f MB)", name,
-			time.Since(start).Round(time.Millisecond), float64(eng.SizeBytes())/1e6)
+		start := time.Now()
+		b, err = bundle.Build(info.Name, info.Space, bundle.Options{
+			Engines: strings.Split(*names, ","),
+			Gamma:   info.Gamma,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, name := range b.EngineList() {
+			log.Printf("built %s (%.1f MB)", name, float64(b.Engines[name].SizeBytes())/1e6)
+		}
+		log.Printf("cold build of %s took %v", info.Name, time.Since(start).Round(time.Millisecond))
+		if *saveSnap != "" {
+			start = time.Now()
+			if err := b.WriteFile(*saveSnap, true); err != nil {
+				log.Fatalf("save snapshot: %v", err)
+			}
+			log.Printf("saved snapshot %s in %v", *saveSnap, time.Since(start).Round(time.Millisecond))
+		}
 	}
 
-	srv, err := server.New(info.Name, info.Space, engines, *def, info.Gamma)
+	st, err := server.StateFromBundle(b, *def)
 	if err != nil {
 		log.Fatal(err)
+	}
+	objs := workload.New(b.Space, *seed).Objects(*objects)
+	st.SetObjects(objs)
+	srv, err := server.NewFromState(st)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *snap != "" {
+		srv.SetSnapshotPath(*snap)
+		// SIGHUP = reload the artifact and publish it atomically; queries in
+		// flight finish on the state they started with.
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				start := time.Now()
+				if _, err := srv.Reload(); err != nil {
+					log.Printf("SIGHUP reload failed (still serving epoch %d): %v", srv.Epoch(), err)
+					continue
+				}
+				log.Printf("SIGHUP reload: serving epoch %d after %v", srv.Epoch(), time.Since(start).Round(time.Millisecond))
+			}
+		}()
 	}
 	if *queryTimeout > 0 {
 		for _, ep := range []string{"range", "knn", "route"} {
@@ -96,9 +152,9 @@ func main() {
 		log.Printf("query timeout: %v", *queryTimeout)
 	}
 	if *maxDoors > 0 || *maxWorkMB > 0 {
-		b := query.Budget{MaxVisitedDoors: *maxDoors, MaxWorkBytes: int64(*maxWorkMB * 1e6)}
-		srv.SetBudget(b)
-		log.Printf("admission budget: maxVisitedDoors=%d maxWorkBytes=%d", b.MaxVisitedDoors, b.MaxWorkBytes)
+		bud := query.Budget{MaxVisitedDoors: *maxDoors, MaxWorkBytes: int64(*maxWorkMB * 1e6)}
+		srv.SetBudget(bud)
+		log.Printf("admission budget: maxVisitedDoors=%d maxWorkBytes=%d", bud.MaxVisitedDoors, bud.MaxWorkBytes)
 	}
 
 	if *debugAddr != "" {
@@ -126,6 +182,6 @@ func main() {
 		ReadHeaderTimeout: *readHeaderTimeout,
 		IdleTimeout:       *idleTimeout,
 	}
-	log.Printf("serving %s with %d POIs on %s", info.Name, len(objs), *addr)
+	log.Printf("serving %s (origin %s) with %d POIs on %s", b.Name, b.Origin, len(objs), *addr)
 	log.Fatal(hs.ListenAndServe())
 }

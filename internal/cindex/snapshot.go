@@ -1,0 +1,92 @@
+package cindex
+
+import (
+	"fmt"
+
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/query"
+	"indoorsq/internal/reach"
+	"indoorsq/internal/rtree"
+	"indoorsq/internal/snapshot"
+	"indoorsq/internal/traverse"
+)
+
+// AppendTo writes the geometric layer (R-tree, embedded in preorder) and the
+// topological layer (per-partition link lists, flattened CSR-style) as the
+// TagCIndex section. The object layer is runtime state and is not
+// snapshotted; the reachability summary rides in its own section
+// (TagReachSpace) shared with other engines.
+func (ix *Index) AppendTo(w *snapshot.Writer) {
+	sec := w.Begin(snapshot.TagCIndex)
+	sec.Bool(ix.opt.NoDistCache)
+	np := len(ix.links)
+	off := make([]int32, np+1)
+	var doors, tos []int32
+	for vi, ls := range ix.links {
+		off[vi+1] = off[vi] + int32(len(ls))
+		for _, l := range ls {
+			doors = append(doors, int32(l.D))
+			tos = append(tos, int32(l.To))
+		}
+	}
+	sec.U64(uint64(np))
+	sec.I32s(off)
+	sec.I32s(doors)
+	sec.I32s(tos)
+	ix.tree.AppendTo(sec)
+}
+
+// LoadFrom reconstructs the engine from the TagCIndex section over an
+// already-loaded space, adopting rch (typically the snapshot's FromSpace
+// summary) and rewiring the traversal graph — the only derivation left,
+// a closure bundle costing nothing.
+func LoadFrom(r *snapshot.Reader, sp *indoor.Space, rch *reach.Reach) (*Index, error) {
+	sec, err := r.Section(snapshot.TagCIndex)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{sp: sp}
+	ix.opt.NoDistCache = sec.Bool()
+	np := sec.Int()
+	off := sec.I32s()
+	doors := sec.I32s()
+	tos := sec.I32s()
+	if err := sec.Err(); err != nil {
+		return nil, err
+	}
+	if np != sp.NumPartitions() || len(off) != np+1 ||
+		int(off[np]) != len(doors) || len(doors) != len(tos) {
+		return nil, fmt.Errorf("cindex: snapshot links inconsistent with %d partitions", sp.NumPartitions())
+	}
+	ix.links = make([][]Link, np)
+	for vi := 0; vi < np; vi++ {
+		lo, hi := off[vi], off[vi+1]
+		if lo > hi || int(hi) > len(doors) {
+			return nil, fmt.Errorf("cindex: snapshot link offsets corrupt at partition %d", vi)
+		}
+		if lo == hi {
+			continue
+		}
+		ls := make([]Link, hi-lo)
+		for j := range ls {
+			ls[j] = Link{D: indoor.DoorID(doors[int(lo)+j]), To: indoor.PartitionID(tos[int(lo)+j])}
+		}
+		ix.links[vi] = ls
+		ix.size += int64(len(ls)) * 8
+	}
+	ix.tree, err = rtree.LoadTree(sec)
+	if err != nil {
+		return nil, fmt.Errorf("cindex: %w", err)
+	}
+	if ix.tree.Len() != np {
+		return nil, fmt.Errorf("cindex: snapshot R-tree holds %d items, want %d", ix.tree.Len(), np)
+	}
+	ix.reach = rch
+	ix.size += ix.tree.SizeBytes() + sp.BaseSizeBytes() + sp.GeomSizeBytes() + rch.SizeBytes()
+	ix.g = traverse.New(sp, ix.Host, ix.d2d, true).WithReach(rch)
+	return ix, nil
+}
+
+// ensure the loaded engine still satisfies the engine contract at compile
+// time (LoadFrom returns *Index, which implements query.Engine).
+var _ query.Engine = (*Index)(nil)

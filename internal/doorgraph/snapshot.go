@@ -1,0 +1,80 @@
+package doorgraph
+
+import (
+	"fmt"
+
+	"indoorsq/internal/snapshot"
+)
+
+// AppendTo writes both CSR directions as the TagDoorGraph section. The
+// struct-of-arrays layout goes to disk exactly as it sits in memory — six
+// flat arrays plus the door count — which is why this was designed
+// "snapshot-ready" (DESIGN.md §10).
+func (g *Graph) AppendTo(w *snapshot.Writer) {
+	sec := w.Begin(snapshot.TagDoorGraph)
+	sec.U64(uint64(g.N))
+	sec.I32s(g.fwd.off)
+	sec.I32s(g.fwd.to)
+	sec.F64s(g.fwd.w)
+	sec.I32s(g.rev.off)
+	sec.I32s(g.rev.to)
+	sec.F64s(g.rev.w)
+}
+
+// LoadFrom reconstructs the door graph from the TagDoorGraph section,
+// skipping the build's distance-cache lookups entirely. The CSR arrays may
+// alias the snapshot buffer (they are never mutated after construction).
+// Offsets are bounds-checked so a corrupt-but-CRC-colliding file cannot
+// induce out-of-range row slicing later.
+func LoadFrom(r *snapshot.Reader) (*Graph, error) {
+	sec, err := r.Section(snapshot.TagDoorGraph)
+	if err != nil {
+		return nil, err
+	}
+	g := &Graph{N: sec.Int()}
+	g.fwd = csr{off: sec.I32s(), to: sec.I32s(), w: sec.F64s()}
+	g.rev = csr{off: sec.I32s(), to: sec.I32s(), w: sec.F64s()}
+	if err := sec.Err(); err != nil {
+		return nil, err
+	}
+	if err := g.fwd.check(g.N); err != nil {
+		return nil, fmt.Errorf("doorgraph: snapshot fwd: %w", err)
+	}
+	if err := g.rev.check(g.N); err != nil {
+		return nil, fmt.Errorf("doorgraph: snapshot rev: %w", err)
+	}
+	if len(g.fwd.to) != len(g.rev.to) {
+		return nil, fmt.Errorf("doorgraph: snapshot edge counts differ (%d fwd, %d rev)", len(g.fwd.to), len(g.rev.to))
+	}
+	Metrics.Doors.Store(int64(g.N))
+	Metrics.Edges.Store(int64(g.NumEdges()))
+	Metrics.Bytes.Store(g.SizeBytes())
+	return g, nil
+}
+
+// check validates one direction's CSR invariants: n+1 ascending offsets
+// spanning the target array, parallel weight array, in-range targets.
+func (c *csr) check(n int) error {
+	if n < 0 || len(c.off) != n+1 {
+		return fmt.Errorf("offset array has %d entries, want %d", len(c.off), n+1)
+	}
+	if len(c.to) != len(c.w) {
+		return fmt.Errorf("target/weight arrays sized %d/%d", len(c.to), len(c.w))
+	}
+	if n >= 0 && len(c.off) > 0 {
+		if c.off[0] != 0 || int(c.off[n]) != len(c.to) {
+			return fmt.Errorf("offsets span [%d,%d], want [0,%d]", c.off[0], c.off[n], len(c.to))
+		}
+	}
+	for i := 0; i < n; i++ {
+		if c.off[i] > c.off[i+1] {
+			return fmt.Errorf("offsets not ascending at door %d", i)
+		}
+	}
+	for _, t := range c.to {
+		if int(t) < 0 || int(t) >= n {
+			return fmt.Errorf("edge target %d of %d doors", t, n)
+		}
+	}
+	return nil
+}

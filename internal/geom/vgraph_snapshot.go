@@ -1,0 +1,51 @@
+package geom
+
+import "sync"
+
+// SnapshotArrays flattens the visibility graph's precomputed matrices into
+// the row-major flat arrays a snapshot section stores: the vertex adjacency
+// (nv x nv) and the per-anchor vertex distances (na x nv). The returned
+// slices are fresh copies.
+func (g *VGraph) SnapshotArrays() (vadjFlat, anchorVertFlat []float64) {
+	nv := len(g.verts)
+	vadjFlat = make([]float64, nv*nv)
+	for i, row := range g.vadj {
+		copy(vadjFlat[i*nv:], row)
+	}
+	anchorVertFlat = make([]float64, len(g.anchorVert)*nv)
+	for i, row := range g.anchorVert {
+		copy(anchorVertFlat[i*nv:], row)
+	}
+	return vadjFlat, anchorVertFlat
+}
+
+// RestoreVGraph rebuilds a VGraph from its snapshot arrays without redoing
+// the O(V^2) visibility tests or the per-anchor Dijkstra sweeps. The rows of
+// the restored matrices alias the flat arrays, so callers may hand in
+// zero-copy snapshot views; the graph never mutates them. len(anchorVertFlat)
+// must be len(anchors)*len(poly) and len(vadjFlat) len(poly)^2 — callers
+// validate sizes (the snapshot loader does) before calling.
+func RestoreVGraph(poly Polygon, anchors []Point, vadjFlat, anchorVertFlat []float64) *VGraph {
+	g := &VGraph{
+		poly:    poly,
+		verts:   []Point(poly),
+		anchors: append([]Point(nil), anchors...),
+	}
+	nv := len(g.verts)
+	g.scratch = sync.Pool{New: func() any {
+		return &vgScratch{
+			seed: make([]float64, nv),
+			dist: make([]float64, nv),
+			done: make([]bool, nv),
+		}
+	}}
+	g.vadj = make([][]float64, nv)
+	for i := range g.vadj {
+		g.vadj[i] = vadjFlat[i*nv : (i+1)*nv : (i+1)*nv]
+	}
+	g.anchorVert = make([][]float64, len(g.anchors))
+	for i := range g.anchorVert {
+		g.anchorVert[i] = anchorVertFlat[i*nv : (i+1)*nv : (i+1)*nv]
+	}
+	return g
+}

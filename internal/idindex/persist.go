@@ -1,96 +1,56 @@
 package idindex
 
 import (
-	"encoding/gob"
+	"bufio"
 	"fmt"
-	"hash/fnv"
 	"io"
-	"math"
 
+	"indoorsq/internal/doorgraph"
 	"indoorsq/internal/indoor"
 	"indoorsq/internal/reach"
+	"indoorsq/internal/snapshot"
 )
-
-// persisted is the on-disk layout of an IDINDEX: the three matrices plus a
-// fingerprint of the space they were computed for. Infinities are encoded
-// as NaN-free sentinels since gob handles them, but the fingerprint guards
-// against loading matrices over the wrong venue.
-type persisted struct {
-	Fingerprint uint64
-	N           int
-	D2D         []float64
-	D2D32       []float32
-	Idx         []int32
-	FH          []int32
-}
-
-// fingerprint summarizes the door layout of a space: door count, partition
-// count, and a hash of every door's coordinates and floor.
-func fingerprint(sp *indoor.Space) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	put := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(v >> (8 * i))
-		}
-		h.Write(buf[:])
-	}
-	put(uint64(sp.NumDoors()))
-	put(uint64(sp.NumPartitions()))
-	for i := 0; i < sp.NumDoors(); i++ {
-		d := sp.Door(indoor.DoorID(i))
-		put(math.Float64bits(d.P.X))
-		put(math.Float64bits(d.P.Y))
-		put(uint64(d.Floor))
-	}
-	return h.Sum64()
-}
 
 // Save writes the precomputed matrices so a later process can skip the
 // expensive construction (Sec. 6.1 reports it as IDINDEX's main cost).
+//
+// The stream is a single-section snapshot-format file (see
+// internal/snapshot), replacing the original gob encoding: same Save/Load
+// API, but the matrices go to disk as raw little-endian arrays with
+// per-section CRCs, and the header fingerprint now covers the full space
+// topology (indoor.Fingerprint) instead of door coordinates alone — two
+// venues with identical door positions but, say, a flipped one-way direction
+// no longer pass the guard.
 func (ix *Index) Save(w io.Writer) error {
-	return gob.NewEncoder(w).Encode(persisted{
-		Fingerprint: fingerprint(ix.sp),
-		N:           ix.n,
-		D2D:         ix.d2d,
-		D2D32:       ix.d2d32,
-		Idx:         ix.idx,
-		FH:          ix.fh,
-	})
+	bw := bufio.NewWriter(w)
+	sw := snapshot.NewWriter(bw, indoor.Fingerprint(ix.sp))
+	ix.AppendTo(sw)
+	if err := sw.Close(); err != nil {
+		return fmt.Errorf("idindex: save: %w", err)
+	}
+	return bw.Flush()
 }
 
 // Load restores an IDINDEX previously written by Save over the same space.
-// It fails when the stream was produced for a different venue.
+// It fails when the stream was produced for a different venue (or is not a
+// snapshot-format stream at all — old gob streams are rejected by the magic
+// check and must be regenerated).
 func Load(r io.Reader, sp *indoor.Space) (*Index, error) {
-	var p persisted
-	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+	sr, err := snapshot.ReadFrom(r)
+	if err != nil {
 		return nil, fmt.Errorf("idindex: load: %w", err)
 	}
-	if p.Fingerprint != fingerprint(sp) {
-		return nil, fmt.Errorf("idindex: load: matrices belong to a different space")
-	}
-	nn := p.N * p.N
-	wide := len(p.D2D) == nn && len(p.D2D32) == 0
-	narrow := len(p.D2D32) == nn && len(p.D2D) == 0
-	if p.N != sp.NumDoors() || (!wide && !narrow) ||
-		len(p.Idx) != nn || len(p.FH) != nn {
-		return nil, fmt.Errorf("idindex: load: corrupt matrix sizes")
-	}
-	ix := &Index{
-		sp:    sp,
-		n:     p.N,
-		d2d:   p.D2D,
-		d2d32: p.D2D32,
-		idx:   p.Idx,
-		fh:    p.FH,
+	if got, want := sr.Fingerprint(), indoor.Fingerprint(sp); got != want {
+		return nil, fmt.Errorf("idindex: load: matrices belong to a different space (fingerprint %016x, want %016x)", got, want)
 	}
 	// The reachability summary is cheap relative to the matrices, so it is
-	// rebuilt from the space rather than persisted.
-	ix.reach = reach.FromSpace(sp, nil, 0)
-	cell := int64(8)
-	if narrow {
-		cell = 4
+	// rebuilt from the space — over the built door graph, exactly as New
+	// does, keeping the loaded engine's pruning and size accounting
+	// identical to a fresh build.
+	rch := reach.FromGraph(doorgraph.Build(sp), sp, 0)
+	ix, err := LoadFrom(sr, sp, rch)
+	if err != nil {
+		return nil, fmt.Errorf("idindex: load: %w", err)
 	}
-	ix.size = int64(p.N)*int64(p.N)*(cell+4+4) + sp.BaseSizeBytes() + sp.GeomSizeBytes() + ix.reach.SizeBytes()
 	return ix, nil
 }

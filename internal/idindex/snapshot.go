@@ -1,0 +1,58 @@
+package idindex
+
+import (
+	"fmt"
+
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/reach"
+	"indoorsq/internal/snapshot"
+)
+
+// AppendTo writes the three matrices (wide or narrow distance variant, order
+// index, first hop) as the TagIDIndex section — the single most expensive
+// structure the snapshot spares a replica from rebuilding (n full-graph
+// Dijkstra sweeps).
+func (ix *Index) AppendTo(w *snapshot.Writer) {
+	sec := w.Begin(snapshot.TagIDIndex)
+	sec.U64(uint64(ix.n))
+	sec.Bool(ix.d2d32 == nil)
+	sec.F64s(ix.d2d)
+	sec.F32s(ix.d2d32)
+	sec.I32s(ix.idx)
+	sec.I32s(ix.fh)
+}
+
+// LoadFrom reconstructs the engine from the TagIDIndex section over an
+// already-loaded space, adopting rch (typically the snapshot's own
+// FromGraph summary) as the pruning summary. Matrices may alias the snapshot
+// buffer. The caller is responsible for the space fingerprint check; sizes
+// are still validated here.
+func LoadFrom(r *snapshot.Reader, sp *indoor.Space, rch *reach.Reach) (*Index, error) {
+	sec, err := r.Section(snapshot.TagIDIndex)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{sp: sp, n: sec.Int()}
+	wide := sec.Bool()
+	ix.d2d = sec.F64s()
+	ix.d2d32 = sec.F32s()
+	ix.idx = sec.I32s()
+	ix.fh = sec.I32s()
+	if err := sec.Err(); err != nil {
+		return nil, err
+	}
+	nn := ix.n * ix.n
+	if ix.n != sp.NumDoors() ||
+		(wide && (len(ix.d2d) != nn || ix.d2d32 != nil)) ||
+		(!wide && (len(ix.d2d32) != nn || ix.d2d != nil)) ||
+		len(ix.idx) != nn || len(ix.fh) != nn {
+		return nil, fmt.Errorf("idindex: snapshot matrices inconsistent with %d doors", sp.NumDoors())
+	}
+	ix.reach = rch
+	cell := int64(8)
+	if !wide {
+		cell = 4
+	}
+	ix.size = int64(ix.n)*int64(ix.n)*(cell+4+4) + sp.BaseSizeBytes() + sp.GeomSizeBytes() + rch.SizeBytes()
+	return ix, nil
+}

@@ -1,0 +1,80 @@
+package indoor
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// Fingerprint hashes everything that determines a space's query answers:
+// floor count, partition kinds/floors/stair lengths, polygon vertices, the
+// full topology mappings (P2D/P2D⊢/P2D⊣ per partition, D2P/D2P⊢/D2P⊣ per
+// door, in stored order — order drives matrix and CSR layouts), door
+// coordinates, floors, and virtual flags. The venue name is deliberately
+// excluded: two identically laid-out spaces are interchangeable for serving.
+//
+// This supersedes the old idindex persist fingerprint, which covered only
+// door coordinates and floors — two venues with identical door positions but
+// a flipped one-way direction collided and could serve each other's
+// matrices. Any topology edit now changes the fingerprint.
+func Fingerprint(s *Space) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		buf[0] = byte(v)
+		buf[1] = byte(v >> 8)
+		buf[2] = byte(v >> 16)
+		buf[3] = byte(v >> 24)
+		buf[4] = byte(v >> 32)
+		buf[5] = byte(v >> 40)
+		buf[6] = byte(v >> 48)
+		buf[7] = byte(v >> 56)
+		h.Write(buf[:])
+	}
+	wf := func(v float64) { w64(math.Float64bits(v)) }
+	wp := func(ids []PartitionID) {
+		w64(uint64(len(ids)))
+		for _, id := range ids {
+			w64(uint64(uint32(id)))
+		}
+	}
+	wd := func(ids []DoorID) {
+		w64(uint64(len(ids)))
+		for _, id := range ids {
+			w64(uint64(uint32(id)))
+		}
+	}
+
+	w64(uint64(s.Floors))
+	w64(uint64(len(s.parts)))
+	for i := range s.parts {
+		v := &s.parts[i]
+		w64(uint64(v.Kind))
+		w64(uint64(uint16(v.Floor)))
+		w64(uint64(uint16(v.TopFloor)))
+		wf(v.StairLength)
+		w64(uint64(len(v.Poly)))
+		for _, p := range v.Poly {
+			wf(p.X)
+			wf(p.Y)
+		}
+		wd(v.Doors)
+		wd(v.Enter)
+		wd(v.Leave)
+	}
+	w64(uint64(len(s.doors)))
+	for i := range s.doors {
+		d := &s.doors[i]
+		wf(d.P.X)
+		wf(d.P.Y)
+		w64(uint64(uint16(d.Floor)))
+		if d.Virtual {
+			w64(1)
+		} else {
+			w64(0)
+		}
+		wp(d.Enterable)
+		wp(d.Leaveable)
+		wp(d.Parts)
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,88 @@
+package reach
+
+import (
+	"fmt"
+
+	"indoorsq/internal/geom"
+	"indoorsq/internal/snapshot"
+)
+
+// AppendTo writes the summary under the given tag. Two reach variants serve
+// a space — FromSpace's topological summary (TagReachSpace) and FromGraph's
+// exact-edge summary (TagReachGraph) — so the caller names which slot this
+// instance fills.
+func (r *Reach) AppendTo(w *snapshot.Writer, tag uint32) {
+	sec := w.Begin(tag)
+	sec.U64(uint64(r.n))
+	sec.U64(uint64(r.np))
+	sec.U64(uint64(r.numSCC))
+	sec.U64(uint64(r.pw))
+	sec.I32s(r.scc)
+	mbr := make([]float64, 0, len(r.mbr)*4)
+	for _, b := range r.mbr {
+		mbr = append(mbr, b.MinX, b.MinY, b.MaxX, b.MaxY)
+	}
+	sec.F64s(mbr)
+	hg := make([]byte, len(r.hasGeom))
+	for i, v := range r.hasGeom {
+		if v {
+			hg[i] = 1
+		}
+	}
+	sec.Bytes(hg)
+	sec.I16s(r.floorLo)
+	sec.I16s(r.floorHi)
+	sec.Bool(r.parts != nil)
+	sec.U64s(r.parts)
+}
+
+// LoadFrom reconstructs a summary from the given tag's section, skipping the
+// Tarjan condensation and both summary passes. The SCC and bitmap arrays may
+// alias the snapshot buffer.
+func LoadFrom(rd *snapshot.Reader, tag uint32) (*Reach, error) {
+	sec, err := rd.Section(tag)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reach{
+		n:      sec.Int(),
+		np:     sec.Int(),
+		numSCC: sec.Int(),
+		pw:     sec.Int(),
+	}
+	r.scc = sec.I32s()
+	mbr := sec.F64s()
+	hg := sec.Bytes()
+	r.floorLo = sec.I16s()
+	r.floorHi = sec.I16s()
+	hasParts := sec.Bool()
+	parts := sec.U64s()
+	if err := sec.Err(); err != nil {
+		return nil, err
+	}
+	if len(r.scc) != r.n || len(mbr) != r.numSCC*4 || len(hg) != r.numSCC ||
+		len(r.floorLo) != r.numSCC || len(r.floorHi) != r.numSCC {
+		return nil, fmt.Errorf("reach: snapshot arrays inconsistent with %d doors / %d SCCs", r.n, r.numSCC)
+	}
+	if hasParts {
+		if len(parts) != r.numSCC*r.pw || r.pw != (r.np+63)/64 {
+			return nil, fmt.Errorf("reach: snapshot bitmap sized %d, want %d x %d", len(parts), r.numSCC, r.pw)
+		}
+		r.parts = parts
+	}
+	r.mbr = make([]geom.Rect, r.numSCC)
+	r.hasGeom = make([]bool, r.numSCC)
+	for c := 0; c < r.numSCC; c++ {
+		r.mbr[c] = geom.Rect{MinX: mbr[c*4], MinY: mbr[c*4+1], MaxX: mbr[c*4+2], MaxY: mbr[c*4+3]}
+		r.hasGeom[c] = hg[c] != 0
+	}
+	for _, c := range r.scc {
+		if int(c) >= r.numSCC {
+			return nil, fmt.Errorf("reach: snapshot SCC id %d of %d", c, r.numSCC)
+		}
+	}
+	r.size = int64(r.n)*4 + int64(r.numSCC)*(32+1+2+2) + int64(len(r.parts))*8
+	Metrics.SCCs.Store(int64(r.numSCC))
+	Metrics.SummaryBytes.Store(r.size)
+	return r, nil
+}

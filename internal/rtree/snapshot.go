@@ -1,0 +1,120 @@
+package rtree
+
+import (
+	"fmt"
+
+	"indoorsq/internal/geom"
+	"indoorsq/internal/snapshot"
+)
+
+// AppendTo flattens the tree into an already-begun snapshot section (the
+// owning index — CINDEX — begins the section and embeds the tree alongside
+// its other layers). Nodes are written in preorder, so reconstruction
+// preserves the exact node and entry order; Search and Visit on a restored
+// tree traverse identically to the original, down to tie-breaking.
+func (t *Tree) AppendTo(sec *snapshot.Section) {
+	var (
+		leafs  []byte
+		counts []int32
+		rects  []float64
+		refs   []int32 // leaf: items; internal: preorder child indices
+	)
+	nodes := 0
+	var walk func(n *node) int32
+	walk = func(n *node) int32 {
+		id := int32(nodes)
+		nodes++
+		if n.leaf {
+			leafs = append(leafs, 1)
+		} else {
+			leafs = append(leafs, 0)
+		}
+		counts = append(counts, int32(len(n.rects)))
+		for _, r := range n.rects {
+			rects = append(rects, r.MinX, r.MinY, r.MaxX, r.MaxY)
+		}
+		// Reserve this node's ref range before recursing so entries stay in
+		// node order; child ids are patched after their subtrees are walked.
+		at := len(refs)
+		if n.leaf {
+			refs = append(refs, n.items...)
+		} else {
+			refs = append(refs, make([]int32, len(n.children))...)
+			for i, c := range n.children {
+				refs[at+i] = walk(c)
+			}
+		}
+		return id
+	}
+	walk(t.root)
+	sec.U64(uint64(t.max))
+	sec.U64(uint64(t.min))
+	sec.U64(uint64(t.size))
+	sec.U64(uint64(t.height))
+	sec.U64(uint64(t.nodeCnt))
+	sec.U64(uint64(nodes))
+	sec.Bytes(leafs)
+	sec.I32s(counts)
+	sec.F64s(rects)
+	sec.I32s(refs)
+}
+
+// LoadTree reconstructs a tree written by AppendTo from the current position
+// of a section reader.
+func LoadTree(sec *snapshot.SectionReader) (*Tree, error) {
+	t := &Tree{
+		max:     int(sec.U64()),
+		min:     int(sec.U64()),
+		size:    int(sec.U64()),
+		height:  int(sec.U64()),
+		nodeCnt: int(sec.U64()),
+	}
+	numNodes := sec.Int()
+	leafs := sec.Bytes()
+	counts := sec.I32s()
+	rects := sec.F64s()
+	refs := sec.I32s()
+	if err := sec.Err(); err != nil {
+		return nil, err
+	}
+	if numNodes <= 0 || len(leafs) != numNodes || len(counts) != numNodes {
+		return nil, fmt.Errorf("rtree: snapshot has %d nodes, %d flags, %d counts", numNodes, len(leafs), len(counts))
+	}
+	total := 0
+	for _, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("rtree: snapshot node with %d entries", c)
+		}
+		total += int(c)
+	}
+	if len(rects) != total*4 || len(refs) != total {
+		return nil, fmt.Errorf("rtree: snapshot arrays sized %d/%d, want %d entries", len(rects), len(refs), total)
+	}
+	nodes := make([]node, numNodes)
+	at := 0
+	for i := range nodes {
+		n := &nodes[i]
+		n.leaf = leafs[i] != 0
+		c := int(counts[i])
+		n.rects = make([]geom.Rect, c)
+		for j := 0; j < c; j++ {
+			k := (at + j) * 4
+			n.rects[j] = geom.Rect{MinX: rects[k], MinY: rects[k+1], MaxX: rects[k+2], MaxY: rects[k+3]}
+		}
+		if n.leaf {
+			n.items = append([]int32(nil), refs[at:at+c]...)
+		} else {
+			n.children = make([]*node, c)
+			for j := 0; j < c; j++ {
+				ci := refs[at+j]
+				if int(ci) <= i || int(ci) >= numNodes {
+					return nil, fmt.Errorf("rtree: snapshot child %d of node %d out of preorder range", ci, i)
+				}
+				n.children[j] = &nodes[ci]
+			}
+		}
+		at += c
+	}
+	t.root = &nodes[0]
+	return t, nil
+}

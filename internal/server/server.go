@@ -4,6 +4,14 @@
 // venue with any subset of the five engines; engines answer concurrent
 // requests safely since query processing is read-only.
 //
+// The venue and its engines live in an immutable ServingState behind an
+// atomic pointer. Every request loads the pointer exactly once and runs
+// entirely against that state, so POST /v1/swap (or a SIGHUP in isqserve)
+// can publish a freshly loaded snapshot mid-flight: in-progress queries
+// finish on the state they started with, new requests see the new one, and
+// no request ever observes a mix. Each successful swap advances the
+// monotonic serving epoch (isq_serving_epoch in /metrics).
+//
 // Every query runs under a context derived from the request: client
 // disconnects cancel the traversal, per-endpoint timeouts (SetTimeout)
 // bound it, and an admission budget (SetBudget) caps its work. The error
@@ -19,8 +27,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -29,19 +39,96 @@ import (
 	"indoorsq/internal/obs"
 	"indoorsq/internal/query"
 	"indoorsq/internal/reach"
+	"indoorsq/internal/snapshot"
+	"indoorsq/internal/snapshot/bundle"
 )
 
 // StatusClientClosedRequest is the non-standard (nginx-convention) status
 // reported when the client cancelled the request mid-query.
 const StatusClientClosedRequest = 499
 
-// Server serves indoor spatial queries for one venue.
+// ServingState is one immutable generation of everything a request needs:
+// the venue, its engines, and the provenance of how they came to be. States
+// are built complete, published atomically, and never mutated afterwards —
+// a handler that loaded one keeps a consistent view for its whole request
+// even while a swap publishes the next generation.
+type ServingState struct {
+	Name    string
+	Space   *indoor.Space
+	Engines map[string]query.Engine
+	Default string
+	Gamma   int
+
+	// Objects is the POI set the engines currently index; carried on the
+	// state so a swap can re-seed the incoming engines with the serving set.
+	Objects []query.Object
+
+	// Provenance: Origin is "build" (engines constructed in this process) or
+	// "snapshot" (loaded from an artifact); Fingerprint is the space topology
+	// hash; FormatVersion the snapshot format that carried a loaded state.
+	Origin        string
+	Fingerprint   uint64
+	FormatVersion uint32
+}
+
+// SetObjects installs the POI set on every engine and records it on the
+// state. Call only on a state that has not been published yet (engines
+// index objects without locking).
+func (st *ServingState) SetObjects(objs []query.Object) {
+	st.Objects = objs
+	for _, e := range st.Engines {
+		e.SetObjects(objs)
+	}
+}
+
+func (st *ServingState) validate() error {
+	if st.Space == nil {
+		return errors.New("server: state has no space")
+	}
+	if len(st.Engines) == 0 {
+		return errors.New("server: no engines")
+	}
+	if _, ok := st.Engines[st.Default]; !ok {
+		return fmt.Errorf("server: default engine %q not provided", st.Default)
+	}
+	return nil
+}
+
+// StateFromBundle adapts a loaded (or built) bundle into a serving state.
+// def selects the default engine; empty keeps the bundle's canonical first.
+func StateFromBundle(b *bundle.Bundle, def string) (*ServingState, error) {
+	if def == "" {
+		if names := b.EngineList(); len(names) > 0 {
+			def = names[0]
+		}
+	}
+	st := &ServingState{
+		Name:          b.Name,
+		Space:         b.Space,
+		Engines:       b.Engines,
+		Default:       def,
+		Gamma:         b.Gamma,
+		Origin:        b.Origin,
+		Fingerprint:   b.Fingerprint,
+		FormatVersion: b.FormatVersion,
+	}
+	return st, st.validate()
+}
+
+// Server serves indoor spatial queries for one venue generation at a time.
 type Server struct {
-	sp      *indoor.Space
-	name    string
-	engines map[string]query.Engine
-	def     string
-	gamma   int
+	// state is the serving generation. Handlers load it exactly once per
+	// request; Swap publishes a replacement with a single Store.
+	state atomic.Pointer[ServingState]
+	// epoch counts published generations, starting at 1 for the initial
+	// state; it only ever increases, and /metrics exports it so a fleet
+	// rollout can watch every replica adopt a new snapshot.
+	epoch atomic.Uint64
+	// swapMu serializes swaps (never taken on the query path).
+	swapMu sync.Mutex
+	// snapPath is the default artifact for path-less swap requests and
+	// SIGHUP reloads (SetSnapshotPath).
+	snapPath atomic.Value // string
 
 	// timeouts holds per-endpoint query deadlines (SetTimeout).
 	timeouts map[string]time.Duration
@@ -58,28 +145,56 @@ type Server struct {
 }
 
 // New wires a server around pre-built engines keyed by name; def is the
-// engine used when a request omits ?engine=.
+// engine used when a request omits ?engine=. The resulting state carries
+// "build" provenance; use NewFromBundle to boot from a snapshot artifact.
 func New(name string, sp *indoor.Space, engines map[string]query.Engine, def string, gamma int) (*Server, error) {
-	if len(engines) == 0 {
-		return nil, errors.New("server: no engines")
+	st := &ServingState{
+		Name: name, Space: sp, Engines: engines, Default: def, Gamma: gamma,
+		Origin:        "build",
+		Fingerprint:   indoor.Fingerprint(sp),
+		FormatVersion: snapshot.Version,
 	}
-	if _, ok := engines[def]; !ok {
-		return nil, fmt.Errorf("server: default engine %q not provided", def)
+	return NewFromState(st)
+}
+
+// NewFromBundle wires a server around a bundle (built or snapshot-loaded).
+func NewFromBundle(b *bundle.Bundle, def string) (*Server, error) {
+	st, err := StateFromBundle(b, def)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromState(st)
+}
+
+// NewFromState wires a server around an explicit initial state.
+func NewFromState(st *ServingState) (*Server, error) {
+	if err := st.validate(); err != nil {
+		return nil, err
 	}
 	srv := &Server{
-		sp: sp, name: name, engines: engines, def: def, gamma: gamma,
 		timeouts: make(map[string]time.Duration),
 		obs:      obs.NewRegistry(),
 	}
-	// Layer gauges: distance-cache effectiveness and footprint, plus the
-	// process-wide door-graph sweep counters, scraped next to the per-query
-	// series so /metrics shows every layer of a query's cost.
-	if dc := sp.DistCache(); dc != nil {
-		srv.obs.RegisterGauge("isq_distcache_hits_total", func() float64 { return float64(dc.Stats().Hits) })
-		srv.obs.RegisterGauge("isq_distcache_misses_total", func() float64 { return float64(dc.Stats().Misses) })
-		srv.obs.RegisterGauge("isq_distcache_fills_total", func() float64 { return float64(dc.Stats().Fills) })
-		srv.obs.RegisterGauge("isq_distcache_size_bytes", func() float64 { return float64(dc.SizeBytes()) })
+	srv.state.Store(st)
+	srv.epoch.Store(1)
+	// Layer gauges read through the atomic pointer so a swap retargets them
+	// to the incoming state's space: distance-cache effectiveness and
+	// footprint, the process-wide door-graph and reach counters, and the
+	// serving epoch itself, scraped next to the per-query series so /metrics
+	// shows every layer of a query's cost.
+	srv.obs.RegisterGauge("isq_serving_epoch", func() float64 { return float64(srv.epoch.Load()) })
+	dcGauge := func(get func(dc *indoor.DistCache) float64) func() float64 {
+		return func() float64 {
+			if dc := srv.state.Load().Space.DistCache(); dc != nil {
+				return get(dc)
+			}
+			return 0
+		}
 	}
+	srv.obs.RegisterGauge("isq_distcache_hits_total", dcGauge(func(dc *indoor.DistCache) float64 { return float64(dc.Stats().Hits) }))
+	srv.obs.RegisterGauge("isq_distcache_misses_total", dcGauge(func(dc *indoor.DistCache) float64 { return float64(dc.Stats().Misses) }))
+	srv.obs.RegisterGauge("isq_distcache_fills_total", dcGauge(func(dc *indoor.DistCache) float64 { return float64(dc.Stats().Fills) }))
+	srv.obs.RegisterGauge("isq_distcache_size_bytes", dcGauge(func(dc *indoor.DistCache) float64 { return float64(dc.SizeBytes()) }))
 	srv.obs.RegisterGauge("isq_doorgraph_sweeps_total", func() float64 { return float64(doorgraph.Metrics.Sweeps.Load()) })
 	srv.obs.RegisterGauge("isq_doorgraph_settled_total", func() float64 { return float64(doorgraph.Metrics.Settled.Load()) })
 	srv.obs.RegisterGauge("isq_doorgraph_doors", func() float64 { return float64(doorgraph.Metrics.Doors.Load()) })
@@ -91,6 +206,68 @@ func New(name string, sp *indoor.Space, engines map[string]query.Engine, def str
 	srv.obs.RegisterGauge("isq_reach_prune_skips", func() float64 { return float64(reach.Metrics.PruneSkips.Load()) })
 	return srv, nil
 }
+
+// State returns the currently published serving state.
+func (s *Server) State() *ServingState { return s.state.Load() }
+
+// Epoch returns the serving epoch: 1 for the initial state, +1 per swap.
+func (s *Server) Epoch() uint64 { return s.epoch.Load() }
+
+// SetSnapshotPath sets the artifact used by path-less POST /v1/swap
+// requests and by Reload (the SIGHUP handler in isqserve).
+func (s *Server) SetSnapshotPath(path string) { s.snapPath.Store(path) }
+
+// Swap validates and publishes a new serving state, advancing the epoch.
+// In-flight requests complete against the state they loaded at entry.
+func (s *Server) Swap(st *ServingState) error {
+	if err := st.validate(); err != nil {
+		return err
+	}
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	s.state.Store(st)
+	s.epoch.Add(1)
+	return nil
+}
+
+// SwapFromSnapshot loads a snapshot artifact and publishes it as the new
+// serving state, carrying the current POI set and default engine over to
+// the incoming engines. The load happens outside the query path; queries
+// keep answering on the old state until the single atomic publish. Used by
+// both POST /v1/swap and the SIGHUP reload loop.
+func (s *Server) SwapFromSnapshot(path string) (*ServingState, error) {
+	if path == "" {
+		path, _ = s.snapPath.Load().(string)
+	}
+	if path == "" {
+		return nil, errors.New("server: no snapshot path configured")
+	}
+	// Serialize whole reloads, not just the publish: concurrent swaps would
+	// race their carried-over object sets.
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	b, err := bundle.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cur := s.state.Load()
+	def := cur.Default
+	if _, ok := b.Engines[def]; !ok {
+		return nil, fmt.Errorf("server: snapshot %s lacks serving default engine %q (has %v)",
+			path, def, b.EngineList())
+	}
+	st, err := StateFromBundle(b, def)
+	if err != nil {
+		return nil, err
+	}
+	st.SetObjects(cur.Objects)
+	s.state.Store(st)
+	s.epoch.Add(1)
+	return st, nil
+}
+
+// Reload re-loads the configured snapshot path (the SIGHUP semantics).
+func (s *Server) Reload() (*ServingState, error) { return s.SwapFromSnapshot("") }
 
 // Registry exposes the server's metrics registry (for the isqserve debug
 // listener's expvar export and for tests).
@@ -140,6 +317,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/route", s.handleRoute)
 	mux.HandleFunc("GET /v1/partitions", s.handlePartitions)
 	mux.HandleFunc("GET /v1/trace", s.handleTrace)
+	mux.HandleFunc("POST /v1/swap", s.handleSwap)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -205,13 +383,13 @@ func (s *Server) failQuery(w http.ResponseWriter, err error, st *query.Stats) {
 	s.writeJSON(w, errStatus(err), he)
 }
 
-// engineFor resolves the ?engine= parameter.
-func (s *Server) engineFor(w http.ResponseWriter, r *http.Request) (query.EngineCtx, bool) {
+// engineFor resolves the ?engine= parameter against one loaded state.
+func (s *Server) engineFor(st *ServingState, w http.ResponseWriter, r *http.Request) (query.EngineCtx, bool) {
 	name := r.URL.Query().Get("engine")
 	if name == "" {
-		name = s.def
+		name = st.Default
 	}
-	eng, ok := s.engines[name]
+	eng, ok := st.Engines[name]
 	if !ok {
 		s.fail(w, http.StatusNotFound, "unknown engine %q", name)
 		return nil, false
@@ -254,19 +432,30 @@ func pointParam(r *http.Request, suffix string) (indoor.Point, error) {
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
-	st := s.sp.SpaceStats(s.gamma)
-	engines := make([]string, 0, len(s.engines))
-	for name := range s.engines {
+	st := s.state.Load()
+	stats := st.Space.SpaceStats(st.Gamma)
+	engines := make([]string, 0, len(st.Engines))
+	for name := range st.Engines {
 		engines = append(engines, name)
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
-		"venue":        s.name,
-		"floors":       st.Floors,
-		"partitions":   st.Partitions,
-		"doors":        st.Doors,
+		"venue":        st.Name,
+		"floors":       stats.Floors,
+		"partitions":   stats.Partitions,
+		"doors":        stats.Doors,
 		"engines":      engines,
-		"default":      s.def,
+		"default":      st.Default,
 		"encodeErrors": s.encodeErrs.Load(),
+		// Serving-state provenance: which generation is live (epoch advances
+		// on every successful swap), whether its engines were built in this
+		// process or loaded from a snapshot artifact, and the snapshot
+		// format + space-topology fingerprint identifying the artifact.
+		"epoch": s.epoch.Load(),
+		"snapshot": map[string]any{
+			"origin":        st.Origin,
+			"fingerprint":   fmt.Sprintf("%016x", st.Fingerprint),
+			"formatVersion": st.FormatVersion,
+		},
 		// Footprint of the last door graph built in this process (CSR
 		// layout): node and directed-edge counts plus the exact byte size
 		// of the offset/target/weight arrays.
@@ -287,13 +476,56 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// swapRequest is the optional POST /v1/swap body.
+type swapRequest struct {
+	// Path of the snapshot artifact to load; empty uses the path configured
+	// at startup (-snapshot in isqserve).
+	Path string `json:"path"`
+}
+
+// handleSwap loads a snapshot artifact and atomically publishes it as the
+// new serving state. The response reports the adopted generation; queries
+// in flight during the load keep answering on the previous state.
+func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
+	var req swapRequest
+	// An empty body means "reload the configured artifact".
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	start := time.Now()
+	st, err := s.SwapFromSnapshot(req.Path)
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, "swap: %v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":         s.epoch.Load(),
+		"origin":        st.Origin,
+		"fingerprint":   fmt.Sprintf("%016x", st.Fingerprint),
+		"formatVersion": st.FormatVersion,
+		"engines":       engineNames(st),
+		"default":       st.Default,
+		"loadMs":        time.Since(start).Milliseconds(),
+	})
+}
+
+func engineNames(st *ServingState) []string {
+	out := make([]string, 0, len(st.Engines))
+	for n := range st.Engines {
+		out = append(out, n)
+	}
+	return out
+}
+
 type rangeResponse struct {
 	Objects      []int32 `json:"objects"`
 	VisitedDoors int     `json:"visitedDoors"`
 }
 
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
-	eng, ok := s.engineFor(w, r)
+	st := s.state.Load()
+	eng, ok := s.engineFor(st, w, r)
 	if !ok {
 		return
 	}
@@ -309,16 +541,16 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.queryCtx(r, "range")
 	defer cancel()
-	var st query.Stats
-	ids, err := eng.RangeCtx(ctx, p, radius, &st)
+	var qst query.Stats
+	ids, err := eng.RangeCtx(ctx, p, radius, &qst)
 	if err != nil {
-		s.failQuery(w, err, &st)
+		s.failQuery(w, err, &qst)
 		return
 	}
 	if ids == nil {
 		ids = []int32{}
 	}
-	s.writeJSON(w, http.StatusOK, rangeResponse{Objects: ids, VisitedDoors: st.VisitedDoors})
+	s.writeJSON(w, http.StatusOK, rangeResponse{Objects: ids, VisitedDoors: qst.VisitedDoors})
 }
 
 type knnResponse struct {
@@ -327,7 +559,8 @@ type knnResponse struct {
 }
 
 func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
-	eng, ok := s.engineFor(w, r)
+	st := s.state.Load()
+	eng, ok := s.engineFor(st, w, r)
 	if !ok {
 		return
 	}
@@ -346,16 +579,16 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.queryCtx(r, "knn")
 	defer cancel()
-	var st query.Stats
-	nn, err := eng.KNNCtx(ctx, p, k, &st)
+	var qst query.Stats
+	nn, err := eng.KNNCtx(ctx, p, k, &qst)
 	if err != nil {
-		s.failQuery(w, err, &st)
+		s.failQuery(w, err, &qst)
 		return
 	}
 	if nn == nil {
 		nn = []query.Neighbor{}
 	}
-	s.writeJSON(w, http.StatusOK, knnResponse{Neighbors: nn, VisitedDoors: st.VisitedDoors})
+	s.writeJSON(w, http.StatusOK, knnResponse{Neighbors: nn, VisitedDoors: qst.VisitedDoors})
 }
 
 type routeResponse struct {
@@ -366,7 +599,8 @@ type routeResponse struct {
 }
 
 func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
-	eng, ok := s.engineFor(w, r)
+	st := s.state.Load()
+	eng, ok := s.engineFor(st, w, r)
 	if !ok {
 		return
 	}
@@ -382,17 +616,17 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.queryCtx(r, "route")
 	defer cancel()
-	var st query.Stats
-	path, err := eng.SPDCtx(ctx, p, q, &st)
+	var qst query.Stats
+	path, err := eng.SPDCtx(ctx, p, q, &qst)
 	if err != nil {
-		s.failQuery(w, err, &st)
+		s.failQuery(w, err, &qst)
 		return
 	}
-	resp := routeResponse{Dist: path.Dist, Doors: make([]int32, 0, len(path.Doors)), VisitedDoors: st.VisitedDoors}
+	resp := routeResponse{Dist: path.Dist, Doors: make([]int32, 0, len(path.Doors)), VisitedDoors: qst.VisitedDoors}
 	resp.Geom = append(resp.Geom, [3]float64{p.X, p.Y, float64(p.Floor)})
 	for _, d := range path.Doors {
 		resp.Doors = append(resp.Doors, int32(d))
-		dp := s.sp.DoorPoint(d)
+		dp := st.Space.DoorPoint(d)
 		resp.Geom = append(resp.Geom, [3]float64{dp.X, dp.Y, float64(dp.Floor)})
 	}
 	resp.Geom = append(resp.Geom, [3]float64{q.X, q.Y, float64(q.Floor)})
@@ -447,7 +681,8 @@ type traceResponse struct {
 // query is the point of the endpoint — with the error recorded in the
 // payload; only parameter errors are 4xx.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	eng, ok := s.engineFor(w, r)
+	st := s.state.Load()
+	eng, ok := s.engineFor(st, w, r)
 	if !ok {
 		return
 	}
@@ -461,7 +696,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.queryCtx(r, op)
 	defer cancel()
 	ctx = obs.WithTrace(ctx, tr)
-	var st query.Stats
+	var qst query.Stats
 	var qerr error
 	var result any
 	switch op {
@@ -472,7 +707,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		var ids []int32
-		ids, qerr = eng.RangeCtx(ctx, p, radius, &st)
+		ids, qerr = eng.RangeCtx(ctx, p, radius, &qst)
 		result = map[string]any{"objects": len(ids)}
 	case "knn":
 		k := 5
@@ -483,7 +718,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		var nn []query.Neighbor
-		nn, qerr = eng.KNNCtx(ctx, p, k, &st)
+		nn, qerr = eng.KNNCtx(ctx, p, k, &qst)
 		result = map[string]any{"neighbors": len(nn)}
 	case "route":
 		var q indoor.Point
@@ -492,7 +727,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		var path query.Path
-		path, qerr = eng.SPDCtx(ctx, p, q, &st)
+		path, qerr = eng.SPDCtx(ctx, p, q, &qst)
 		result = map[string]any{"dist": path.Dist, "doors": len(path.Doors)}
 	default:
 		s.fail(w, http.StatusBadRequest, "bad op %q (want range, knn, or route)", op)
@@ -530,6 +765,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePartitions(w http.ResponseWriter, r *http.Request) {
+	st := s.state.Load()
 	floor := 0
 	if raw := r.URL.Query().Get("floor"); raw != "" {
 		var err error
@@ -539,10 +775,10 @@ func (s *Server) handlePartitions(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	ids := s.sp.OnFloor(int16(floor))
+	ids := st.Space.OnFloor(int16(floor))
 	out := make([]partitionJSON, 0, len(ids))
 	for _, id := range ids {
-		v := s.sp.Partition(id)
+		v := st.Space.Partition(id)
 		pj := partitionJSON{ID: int32(id), Kind: v.Kind.String(), Floor: v.Floor}
 		for _, pt := range v.Poly {
 			pj.Poly = append(pj.Poly, [2]float64{pt.X, pt.Y})
