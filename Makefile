@@ -15,11 +15,11 @@ FUZZ_TARGETS = \
 	./internal/spacegen:FuzzGenerate \
 	./internal/enginetest:FuzzDifferentialEngines
 
-.PHONY: verify verify-full build vet fmt-check test race cover fuzz-smoke bench-smoke bench-pr2 bench-pr3 bench-pr4 bench-pr6 bench-pr7 bench-pr7-smoke bench-pr8 bench-pr8-smoke
+.PHONY: verify verify-full build vet fmt-check test race cover fuzz-smoke bench-smoke bench-pr2 bench-pr3 bench-pr4 bench-pr6 bench-pr7 bench-pr7-smoke bench-pr8 bench-pr8-smoke bench-pr9 bench-pr9-smoke
 
 verify: build vet fmt-check test race
 
-verify-full: verify cover fuzz-smoke bench-smoke bench-pr7-smoke bench-pr8-smoke
+verify-full: verify cover fuzz-smoke bench-smoke bench-pr7-smoke bench-pr8-smoke bench-pr9-smoke
 
 build:
 	$(GO) build ./...
@@ -37,7 +37,7 @@ test:
 	$(GO) test -shuffle=on -count=1 ./...
 
 race:
-	$(GO) test -race ./internal/enginetest/ ./internal/exec/ ./internal/obs/ ./internal/server/ ./internal/spacegen/ ./internal/oracle/ ./internal/doorgraph/ ./internal/reach/ ./internal/temporal/
+	$(GO) test -race ./internal/enginetest/ ./internal/exec/ ./internal/obs/ ./internal/server/ ./internal/spacegen/ ./internal/oracle/ ./internal/doorgraph/ ./internal/reach/ ./internal/temporal/ ./internal/moving/ ./internal/tenant/
 
 # Per-package coverage, teed to COVER_REPORT.txt for review.
 cover:
@@ -92,6 +92,18 @@ bench-pr8:
 # hot swaps under load.
 bench-pr8-smoke:
 	$(GO) run ./cmd/isqsnapbench -smoke
+
+# Regenerates the multi-venue routing report of PR 9: routed vs pinned
+# p95 per engine on a skewed three-venue workload, with each venue's final
+# per-query-class decision table. Answers are asserted identical in-tool.
+bench-pr9:
+	$(GO) run ./cmd/isqroutebench -o BENCH_PR9.json
+
+# Tiny two-venue pass of the same tool for verify-full: re-asserts
+# routed answers match every pinned engine and the routers reach a
+# decision for all three query classes.
+bench-pr9-smoke:
+	$(GO) run ./cmd/isqroutebench -smoke
 
 # Quick compile-and-run pass over the heap and door-graph benchmarks: a
 # handful of iterations each, just to keep the benchmark code from rotting.

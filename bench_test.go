@@ -380,7 +380,9 @@ func BenchmarkExtMoving(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		o := objs[i%len(objs)]
-		mon.Apply(moving.Update{ID: o.ID, Loc: o.Loc, Part: o.Part, T: float64(i)})
+		if _, err := mon.Apply(moving.Update{ID: o.ID, Loc: o.Loc, Part: o.Part, T: float64(i)}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,337 @@
+// Command isqroutebench measures the cost-based engine routing of the
+// multi-venue serving tier (internal/tenant) and writes the routed vs
+// pinned-engine comparison to a JSON report (BENCH_PR9.json).
+//
+// The workload is a skewed multi-venue mix: three generated venues of
+// different sizes, each with its own query-class skew (one range-heavy, one
+// kNN-heavy, one routing-heavy), interleaved round-robin the way shard
+// traffic would arrive. The identical op streams run once pinned to each
+// engine (the ?engine= deterministic override) and once routed (each venue's
+// router picks the engine per query class from its observed latencies, after
+// its explore phase). Every mode's answers are asserted identical to the
+// baseline before any timing is reported — routing must never change an
+// answer, only who computes it.
+//
+// The report records per-mode p50/p95/mean over the identical per-op
+// latency samples, the routed-vs-best-pinned gap, whether routed beats the
+// worst pinned engine, and each venue's final decision table with its
+// evidence. A warmup pass runs every engine over the full stream first so
+// all modes measure against equally warm distance caches.
+//
+// Usage:
+//
+//	isqroutebench [-o BENCH_PR9.json] [-smoke]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"indoorsq/internal/exec"
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/snapshot/bundle"
+	"indoorsq/internal/spacegen"
+	"indoorsq/internal/tenant"
+	"indoorsq/internal/workload"
+)
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "isqroutebench:", err)
+	os.Exit(1)
+}
+
+// venueCfg is one venue of the skewed workload: its generated shape plus
+// the query-class weights (range, knn, spd) its traffic is skewed toward.
+type venueCfg struct {
+	id      string
+	seed    int64
+	params  spacegen.Params
+	weights [3]float64
+	radius  float64
+}
+
+func venueCfgs(smoke bool) []venueCfg {
+	if smoke {
+		return []venueCfg{
+			{"boutique", 31, spacegen.Params{Floors: 1, Rows: 2, Cols: 3, ExtraDoors: 2}, [3]float64{0.7, 0.2, 0.1}, 8},
+			{"mall", 32, spacegen.Params{Floors: 1, Rows: 2, Cols: 4, ExtraDoors: 2}, [3]float64{0.1, 0.2, 0.7}, 10},
+		}
+	}
+	return []venueCfg{
+		{"boutique", 31, spacegen.Params{Floors: 1, Rows: 3, Cols: 4, ExtraDoors: 3}, [3]float64{0.7, 0.2, 0.1}, 12},
+		{"mall", 32, spacegen.Params{Floors: 2, Rows: 3, Cols: 5, ExtraDoors: 4}, [3]float64{0.2, 0.7, 0.1}, 16},
+		{"campus", 33, spacegen.Params{Floors: 3, Rows: 4, Cols: 6, ExtraDoors: 5}, [3]float64{0.1, 0.2, 0.7}, 20},
+	}
+}
+
+// plan pre-generates one venue's deterministic op stream.
+func plan(cfg venueCfg, sp *indoor.Space, n int) []exec.Op {
+	pts := workload.New(sp, cfg.seed*5+1).Points(64)
+	rng := rand.New(rand.NewSource(cfg.seed * 11))
+	ops := make([]exec.Op, n)
+	for i := range ops {
+		p := pts[rng.Intn(len(pts))]
+		x := rng.Float64()
+		switch {
+		case x < cfg.weights[0]:
+			ops[i] = exec.Op{Kind: exec.RangeQ, P: p, R: cfg.radius}
+		case x < cfg.weights[0]+cfg.weights[1]:
+			ops[i] = exec.Op{Kind: exec.KNNQ, P: p, K: 5}
+		default:
+			ops[i] = exec.Op{Kind: exec.SPDQ, P: p, Q: pts[rng.Intn(len(pts))]}
+		}
+	}
+	return ops
+}
+
+// answer is the comparable digest of one op's result.
+type answer struct {
+	ids  []int32
+	dist float64
+	n    int
+	err  bool
+}
+
+func digest(op exec.Op, r exec.Result) answer {
+	a := answer{err: r.Err != nil}
+	switch op.Kind {
+	case exec.RangeQ:
+		a.ids = append([]int32(nil), r.IDs...)
+		sort.Slice(a.ids, func(i, j int) bool { return a.ids[i] < a.ids[j] })
+	case exec.KNNQ:
+		a.n = len(r.Neighbors)
+	case exec.SPDQ:
+		a.dist = r.Path.Dist
+	}
+	return a
+}
+
+func sameAnswer(a, b answer) bool {
+	// SPD distances agree across engines only to float tolerance (different
+	// relaxation orders), matching the 1e-6 bound the differential suite uses.
+	if a.err != b.err || a.n != b.n || math.Abs(a.dist-b.dist) > 1e-6 || len(a.ids) != len(b.ids) {
+		return false
+	}
+	for i := range a.ids {
+		if a.ids[i] != b.ids[i] {
+			return false
+		}
+	}
+	return true
+}
+
+type modeReport struct {
+	Mode   string  `json:"mode"`
+	Ops    int     `json:"ops"`
+	Errs   int     `json:"errs"`
+	P50Ns  int64   `json:"p50Ns"`
+	P95Ns  int64   `json:"p95Ns"`
+	MeanNs int64   `json:"meanNs"`
+	P50    string  `json:"p50"`
+	P95    string  `json:"p95"`
+	TotalS float64 `json:"totalQueryS"`
+}
+
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return sorted[i]
+}
+
+// runMode replays every venue's stream through the tier in interleaved
+// rounds, one batch per venue per round — the arrival pattern of sharded
+// multi-venue traffic — and returns the latency report plus the answers.
+func runMode(tier *tenant.Tier, cfgs []venueCfg, plans map[string][]exec.Op,
+	rounds, batch int, override, label string) (modeReport, map[string][]answer, error) {
+	lat := make([]time.Duration, 0, rounds*batch*len(cfgs))
+	answers := make(map[string][]answer, len(cfgs))
+	errs := 0
+	var total time.Duration
+	for round := 0; round < rounds; round++ {
+		for _, cfg := range cfgs {
+			ops := plans[cfg.id][round*batch : (round+1)*batch]
+			results, _, _, err := tier.Run(context.Background(), cfg.id, ops, override)
+			if err != nil {
+				return modeReport{}, nil, fmt.Errorf("mode %s venue %s: %w", label, cfg.id, err)
+			}
+			for i, r := range results {
+				lat = append(lat, r.Elapsed)
+				total += r.Elapsed
+				if r.Err != nil {
+					errs++
+				}
+				answers[cfg.id] = append(answers[cfg.id], digest(ops[i], r))
+			}
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var mean time.Duration
+	if len(lat) > 0 {
+		mean = total / time.Duration(len(lat))
+	}
+	p50, p95 := percentile(lat, 0.50), percentile(lat, 0.95)
+	return modeReport{
+		Mode: label, Ops: len(lat), Errs: errs,
+		P50Ns: p50.Nanoseconds(), P95Ns: p95.Nanoseconds(), MeanNs: mean.Nanoseconds(),
+		P50: p50.String(), P95: p95.String(), TotalS: total.Seconds(),
+	}, answers, nil
+}
+
+func main() {
+	var (
+		out   = flag.String("o", "BENCH_PR9.json", "report path")
+		smoke = flag.Bool("smoke", false, "tiny venues, short streams, no report")
+	)
+	flag.Parse()
+
+	cfgs := venueCfgs(*smoke)
+	engines := bundle.EngineNames
+	rounds, batch, objects := 40, 40, 200
+	if *smoke {
+		engines = []string{"IDModel", "IDIndex", "CIndex"}
+		rounds, batch, objects = 5, 8, 24
+	}
+
+	specs := make([]tenant.VenueSpec, len(cfgs))
+	for i, cfg := range cfgs {
+		specs[i] = tenant.VenueSpec{
+			ID: cfg.id, GenSeed: cfg.seed, GenParams: cfg.params,
+			Engines: engines, Objects: objects,
+		}
+	}
+	buildStart := time.Now()
+	tier, err := tenant.New(specs, tenant.Options{
+		Shards: 2, Seed: 1,
+		// Explore briefly and shadow-sample sparsely: the explore phase and
+		// the freshness samples are routed traffic too and land in the same
+		// measured stream as everything else.
+		Router: tenant.RouterConfig{ExplorePerEngine: 3, ReevalEvery: 64, SampleEvery: 64},
+	})
+	if err != nil {
+		die(err)
+	}
+	buildTime := time.Since(buildStart)
+
+	plans := make(map[string][]exec.Op, len(cfgs))
+	for _, cfg := range cfgs {
+		v, _ := tier.Venue(cfg.id)
+		plans[cfg.id] = plan(cfg, v.Space, rounds*batch)
+	}
+
+	// Warmup: every engine sees every venue's stream once, so each mode
+	// measures against equally warm distance caches.
+	for _, eng := range engines {
+		for _, cfg := range cfgs {
+			if _, _, _, err := tier.Run(context.Background(), cfg.id, plans[cfg.id], eng); err != nil {
+				die(err)
+			}
+		}
+	}
+
+	var modes []modeReport
+	var baseline map[string][]answer
+	for _, eng := range engines {
+		rep, ans, err := runMode(tier, cfgs, plans, rounds, batch, eng, "pin:"+eng)
+		if err != nil {
+			die(err)
+		}
+		if baseline == nil {
+			baseline = ans
+		} else {
+			checkAnswers(baseline, ans, rep.Mode)
+		}
+		modes = append(modes, rep)
+	}
+	routed, routedAns, err := runMode(tier, cfgs, plans, rounds, batch, "", "routed")
+	if err != nil {
+		die(err)
+	}
+	checkAnswers(baseline, routedAns, routed.Mode)
+	modes = append(modes, routed)
+
+	best, worst := modes[0], modes[0]
+	for _, m := range modes[:len(modes)-1] {
+		if m.P95Ns < best.P95Ns {
+			best = m
+		}
+		if m.P95Ns > worst.P95Ns {
+			worst = m
+		}
+	}
+	vsBestPct := 100 * (float64(routed.P95Ns) - float64(best.P95Ns)) / float64(best.P95Ns)
+	beatsWorst := routed.P95Ns < worst.P95Ns
+
+	decisions := map[string]any{}
+	for _, cfg := range cfgs {
+		v, _ := tier.Venue(cfg.id)
+		decisions[cfg.id] = v.Router().Decisions()
+	}
+
+	if *smoke {
+		for _, cfg := range cfgs {
+			v, _ := tier.Venue(cfg.id)
+			if got := len(v.Router().Decisions()); got != 3 {
+				die(fmt.Errorf("venue %s: %d decisions, want 3", cfg.id, got))
+			}
+		}
+		if routed.Errs != 0 {
+			die(fmt.Errorf("routed mode had %d errors", routed.Errs))
+		}
+		fmt.Println("smoke ok: routed answers identical to every pinned engine across venues")
+		return
+	}
+
+	report := map[string]any{
+		"bench": "isqroutebench (PR 9): routed vs pinned-engine serving on a skewed multi-venue workload",
+		"config": map[string]any{
+			"venues": len(cfgs), "engines": engines, "rounds": rounds,
+			"batch": batch, "objectsPerVenue": objects, "tierBuildMs": buildTime.Milliseconds(),
+		},
+		"modes":               modes,
+		"bestPinned":          best.Mode,
+		"worstPinned":         worst.Mode,
+		"routedP95Ns":         routed.P95Ns,
+		"routedVsBestP95Pct":  math.Round(vsBestPct*100) / 100,
+		"routedBeatsWorstP95": beatsWorst,
+		"routedWithin10Pct":   vsBestPct <= 10,
+		"decisions":           decisions,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		die(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		die(err)
+	}
+	fmt.Printf("routed p95 %s vs best pinned (%s) %s (%+.1f%%), worst pinned (%s) %s; wrote %s\n",
+		routed.P95, best.Mode, best.P95, vsBestPct, worst.Mode, worst.P95, *out)
+}
+
+// checkAnswers asserts a mode's answers are identical to the baseline's:
+// range id sets, kNN result counts, and bitwise SPD distances.
+func checkAnswers(base, got map[string][]answer, mode string) {
+	for id, want := range base {
+		g := got[id]
+		if len(g) != len(want) {
+			die(fmt.Errorf("mode %s venue %s: %d answers, want %d", mode, id, len(g), len(want)))
+		}
+		for i := range want {
+			if !sameAnswer(want[i], g[i]) {
+				die(fmt.Errorf("mode %s venue %s op %d: answer diverged from baseline", mode, id, i))
+			}
+		}
+	}
+}

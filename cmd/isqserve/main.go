@@ -37,16 +37,30 @@
 // bind to localhost) serving net/http/pprof under /debug/pprof/ and expvar
 // under /debug/vars, with the query-metrics registry published as the
 // "isq" expvar.
+//
+// -venues switches to the multi-venue serving tier: a comma-separated list
+// of id=source entries, where source is a dataset name (CPH), gen:<seed>
+// (a generated venue), or snap:<path> (a snapshot artifact). Venues hash
+// across -shards shards, and every venue routes each query class through
+// its cost-based router (-route-pin ENGINE pins all of them — the
+// deterministic override). The tier serves:
+//
+//	/v1/venues
+//	/v1/venues/{id}/info|range|knn|spd|metrics
+//	/v1/venues/{id}/route            decision table + evidence (POST pins)
+//	POST /v1/venues/{id}/swap        per-venue snapshot swap
 package main
 
 import (
 	"expvar"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -55,8 +69,85 @@ import (
 	"indoorsq/internal/query"
 	"indoorsq/internal/server"
 	"indoorsq/internal/snapshot/bundle"
+	"indoorsq/internal/spacegen"
+	"indoorsq/internal/tenant"
 	"indoorsq/internal/workload"
 )
+
+// parseVenueSpecs parses the -venues flag: "id=CPH,id2=gen:7,id3=snap:x.isq".
+func parseVenueSpecs(raw string, engines []string, objects int) ([]tenant.VenueSpec, error) {
+	var specs []tenant.VenueSpec
+	for _, entry := range strings.Split(raw, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, src, ok := strings.Cut(entry, "=")
+		if !ok || id == "" || src == "" {
+			return nil, fmt.Errorf("bad venue entry %q (want id=dataset, id=gen:<seed>, or id=snap:<path>)", entry)
+		}
+		spec := tenant.VenueSpec{ID: id, Engines: engines, Objects: objects}
+		switch {
+		case strings.HasPrefix(src, "snap:"):
+			spec.Snapshot = strings.TrimPrefix(src, "snap:")
+		case strings.HasPrefix(src, "gen:"):
+			seed, err := strconv.ParseInt(strings.TrimPrefix(src, "gen:"), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad venue entry %q: %v", entry, err)
+			}
+			spec.GenSeed = seed
+			spec.GenParams = spacegen.Params{Floors: 2, Rows: 3, Cols: 4, ExtraDoors: 3}
+		default:
+			spec.Dataset = src
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("-venues given but no venue entries parsed")
+	}
+	return specs, nil
+}
+
+// serveTenant boots and serves the multi-venue tier.
+func serveTenant(venues string, shards int, routePin string, engines []string,
+	objects int, seed int64, queryTimeout time.Duration, budget query.Budget,
+	hs *http.Server) {
+	specs, err := parseVenueSpecs(venues, engines, objects)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	tier, err := tenant.New(specs, tenant.Options{Shards: shards, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("booted %d venues across %d shards in %v",
+		len(tier.VenueIDs()), tier.NumShards(), time.Since(start).Round(time.Millisecond))
+	if routePin != "" {
+		for _, id := range tier.VenueIDs() {
+			v, _ := tier.Venue(id)
+			if err := v.Router().Pin("", routePin); err != nil {
+				log.Fatalf("venue %s: %v", id, err)
+			}
+		}
+		log.Printf("routing pinned to %s for every venue and query class", routePin)
+	}
+	srv := server.NewTenantServer(tier)
+	if queryTimeout > 0 {
+		for _, ep := range []string{"range", "knn", "spd"} {
+			srv.SetTimeout(ep, queryTimeout)
+		}
+	}
+	if budget != (query.Budget{}) {
+		srv.SetBudget(budget)
+	}
+	for _, id := range tier.VenueIDs() {
+		log.Printf("venue %s on shard %d", id, tier.ShardOf(id))
+	}
+	hs.Handler = srv.Handler()
+	log.Printf("serving %d venues on %s", len(tier.VenueIDs()), hs.Addr)
+	log.Fatal(hs.ListenAndServe())
+}
 
 func main() {
 	var (
@@ -79,8 +170,28 @@ func main() {
 		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout")
 
 		debugAddr = flag.String("debug-addr", "", "private listener for pprof + expvar (empty = disabled)")
+
+		venues   = flag.String("venues", "", "multi-venue tier: comma-separated id=dataset|id=gen:<seed>|id=snap:<path> entries")
+		shards   = flag.Int("shards", 0, "shard count for -venues (0 = min(4, venues))")
+		routePin = flag.String("route-pin", "", "pin every venue's router to this engine (deterministic override)")
 	)
 	flag.Parse()
+
+	if *venues != "" {
+		hs := &http.Server{
+			Addr:              *addr,
+			ReadTimeout:       *readTimeout,
+			ReadHeaderTimeout: *readHeaderTimeout,
+			IdleTimeout:       *idleTimeout,
+		}
+		budget := query.Budget{MaxVisitedDoors: *maxDoors, MaxWorkBytes: int64(*maxWorkMB * 1e6)}
+		if *maxDoors == 0 && *maxWorkMB == 0 {
+			budget = query.Budget{}
+		}
+		serveTenant(*venues, *shards, *routePin, strings.Split(*names, ","),
+			*objects, *seed, *queryTimeout, budget, hs)
+		return
+	}
 
 	var b *bundle.Bundle
 	if *snap != "" {

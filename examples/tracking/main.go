@@ -41,7 +41,10 @@ func main() {
 			log.Fatal(err)
 		}
 		for _, smp := range samples {
-			evs := mon.Apply(indoorsq.MovingUpdate{ID: smp.ID, Loc: smp.Loc, Part: smp.Part, T: smp.T})
+			evs, err := mon.Apply(indoorsq.MovingUpdate{ID: smp.ID, Loc: smp.Loc, Part: smp.Part, T: smp.T})
+			if err != nil {
+				log.Fatal(err)
+			}
 			for _, e := range evs {
 				if e.Enter {
 					enters++

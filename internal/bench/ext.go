@@ -63,7 +63,9 @@ func (s *Suite) RunX(ds string) ([]*Series, error) {
 		}
 		start := time.Now()
 		for i, o := range objs {
-			mon.Apply(moving.Update{ID: o.ID, Loc: o.Loc, Part: o.Part, T: float64(i)})
+			if _, err := mon.Apply(moving.Update{ID: o.ID, Loc: o.Loc, Part: o.Part, T: float64(i)}); err != nil {
+				return nil, err
+			}
 		}
 		x2.Set("time", qi, float64(time.Since(start).Microseconds())/float64(len(objs)))
 	}

@@ -1,0 +1,206 @@
+package moving_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/moving"
+	"indoorsq/internal/oracle"
+	"indoorsq/internal/query"
+	"indoorsq/internal/spacegen"
+	"indoorsq/internal/workload"
+)
+
+// TestDifferentialVsOracle replays scripted update streams on generated
+// venues and, after every step, re-evaluates every continuous query from
+// scratch with the naive oracle engine: the monitor's incremental result
+// sets and its emitted event sets must both match the oracle's full
+// recomputation exactly. This is the moving-objects analogue of the PR 5
+// differential harness — the incremental distance-field path versus a
+// from-scratch evaluation sharing only the Space distance primitives.
+func TestDifferentialVsOracle(t *testing.T) {
+	cases := []struct {
+		seed   int64
+		params spacegen.Params
+		radius float64
+	}{
+		{seed: 101, params: spacegen.Params{Floors: 1, Rows: 2, Cols: 4, ExtraDoors: 3}, radius: 9.7},
+		{seed: 102, params: spacegen.Params{Floors: 2, Rows: 2, Cols: 3, Hall: spacegen.HallL, ExtraDoors: 2}, radius: 14.3},
+		{seed: 103, params: spacegen.Params{Floors: 1, Rows: 3, Cols: 3, Hall: spacegen.HallComb, ExtraDoors: 4, OneWayFrac: 0.5}, radius: 11.9},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("seed%d", tc.seed), func(t *testing.T) {
+			t.Parallel()
+			params := tc.params.Normalize()
+			sp, err := spacegen.Generate(tc.seed, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			label := fmt.Sprintf("seed=%d params=%s r=%g", tc.seed, params, tc.radius)
+
+			mon := moving.NewMonitor(sp)
+			ora := oracle.New(sp)
+			gen := workload.New(sp, tc.seed*7+1)
+
+			const nObjects = 12
+			const nQueries = 4
+			const steps = 60
+
+			// cur is the from-scratch oracle's world state; inside the
+			// oracle-side membership per query, diffed into expected events.
+			cur := map[int32]query.Object{}
+			inside := map[int32]map[int32]bool{}
+			queries := map[int32]struct {
+				p indoor.Point
+				r float64
+			}{}
+
+			// oracleMembers recomputes one query's member set from scratch.
+			oracleMembers := func(p indoor.Point, r float64) map[int32]bool {
+				objs := make([]query.Object, 0, len(cur))
+				for _, o := range cur {
+					objs = append(objs, o)
+				}
+				sort.Slice(objs, func(i, j int) bool { return objs[i].ID < objs[j].ID })
+				ora.SetObjects(objs)
+				ids, err := ora.Range(p, r, nil)
+				if err != nil {
+					t.Fatalf("%s: oracle range: %v", label, err)
+				}
+				set := make(map[int32]bool, len(ids))
+				for _, id := range ids {
+					set[id] = true
+				}
+				return set
+			}
+
+			// checkStep compares the monitor's events and result sets against
+			// the oracle's full recomputation after one mutation.
+			checkStep := func(step int, events []moving.Event) {
+				// Expected events: membership diff per query, in query order.
+				var want []moving.Event
+				qids := make([]int32, 0, len(queries))
+				for qid := range queries {
+					qids = append(qids, qid)
+				}
+				sort.Slice(qids, func(i, j int) bool { return qids[i] < qids[j] })
+				for _, qid := range qids {
+					q := queries[qid]
+					now := oracleMembers(q.p, q.r)
+					was := inside[qid]
+					for id := range now {
+						if !was[id] {
+							want = append(want, moving.Event{Query: qid, Object: id, Enter: true})
+						}
+					}
+					for id := range was {
+						if !now[id] {
+							want = append(want, moving.Event{Query: qid, Object: id, Enter: false})
+						}
+					}
+					inside[qid] = now
+
+					// Result sets must match the oracle exactly.
+					got := mon.Result(qid)
+					wantIDs := make([]int32, 0, len(now))
+					for id := range now {
+						wantIDs = append(wantIDs, id)
+					}
+					sort.Slice(wantIDs, func(i, j int) bool { return wantIDs[i] < wantIDs[j] })
+					if len(got) != len(wantIDs) {
+						t.Fatalf("%s step %d query %d: result %v, oracle %v", label, step, qid, got, wantIDs)
+					}
+					for i := range got {
+						if got[i] != wantIDs[i] {
+							t.Fatalf("%s step %d query %d: result %v, oracle %v", label, step, qid, got, wantIDs)
+						}
+					}
+				}
+				// Event sets must match (order-normalized by query, object).
+				norm := func(evs []moving.Event) []moving.Event {
+					out := append([]moving.Event(nil), evs...)
+					for i := range out {
+						out[i].T = 0
+					}
+					sort.Slice(out, func(i, j int) bool {
+						if out[i].Query != out[j].Query {
+							return out[i].Query < out[j].Query
+						}
+						if out[i].Object != out[j].Object {
+							return out[i].Object < out[j].Object
+						}
+						return !out[i].Enter && out[j].Enter
+					})
+					return out
+				}
+				g, w := norm(events), norm(want)
+				if len(g) != len(w) {
+					t.Fatalf("%s step %d: events %v, oracle diff %v", label, step, g, w)
+				}
+				for i := range g {
+					if g[i] != w[i] {
+						t.Fatalf("%s step %d: events %v, oracle diff %v", label, step, g, w)
+					}
+				}
+			}
+
+			// Seed some objects before any query exists.
+			for id := int32(0); id < nObjects; id++ {
+				p, v := gen.PointIn()
+				u := moving.Update{ID: id, Loc: p, Part: v, T: 0}
+				if _, err := mon.Apply(u); err != nil {
+					t.Fatalf("%s: seed apply: %v", label, err)
+				}
+				cur[id] = query.Object{ID: id, Loc: p, Part: v}
+			}
+
+			// The scripted stream: registrations interleaved with moves and
+			// removals; every mutation is cross-checked in full.
+			for step := 0; step < steps; step++ {
+				tm := float64(step + 1)
+				switch {
+				case step%15 == 0 && len(queries) < nQueries:
+					qid := int32(len(queries) + 1)
+					p, _ := gen.PointIn()
+					evs, err := mon.Register(qid, p, tc.radius, tm)
+					if err != nil {
+						t.Fatalf("%s step %d: register: %v", label, step, err)
+					}
+					queries[qid] = struct {
+						p indoor.Point
+						r float64
+					}{p, tc.radius}
+					inside[qid] = map[int32]bool{}
+					checkStep(step, evs)
+				case step%13 == 12 && len(cur) > 0:
+					// Remove the smallest current object id.
+					var id int32 = -1
+					for oid := range cur {
+						if id < 0 || oid < id {
+							id = oid
+						}
+					}
+					evs := mon.Remove(id, tm)
+					delete(cur, id)
+					checkStep(step, evs)
+				default:
+					id := int32(step % nObjects)
+					if _, ok := cur[id]; !ok {
+						// Re-admit a removed object at a fresh spot.
+						id = int32((step + 1) % nObjects)
+					}
+					p, v := gen.PointIn()
+					evs, err := mon.Apply(moving.Update{ID: id, Loc: p, Part: v, T: tm})
+					if err != nil {
+						t.Fatalf("%s step %d: apply: %v", label, step, err)
+					}
+					cur[id] = query.Object{ID: id, Loc: p, Part: v}
+					checkStep(step, evs)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,81 @@
+package moving
+
+import (
+	"math"
+	"testing"
+
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/spacegen"
+	"indoorsq/internal/testspaces"
+)
+
+// TestDistFieldInvariant pins the doorDist contract: every entry of the
+// cached field is either a finite distance <= r or +Inf. (Regression: the
+// relaxation used to store any improving candidate, leaking finite
+// out-of-range entries that only objDist's redundant re-guard hid.)
+func TestDistFieldInvariant(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		sp, err := spacegen.Generate(seed, spacegen.Params{
+			Floors: 2, Rows: 3, Cols: 4, ExtraDoors: 4, Hall: spacegen.HallL,
+		}.Normalize())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := NewMonitor(sp)
+		p := sp.DoorPoint(0)
+		vp, ok := sp.HostPartition(p)
+		if !ok {
+			// Door points sit on boundaries; nudge into the first partition.
+			part := sp.Partition(0)
+			p = indoor.At(part.MBR.MinX+part.MBR.Width()/2, part.MBR.MinY+part.MBR.Height()/2, part.Floor)
+			vp, ok = sp.HostPartition(p)
+			if !ok {
+				t.Fatalf("seed %d: no host for probe point", seed)
+			}
+		}
+		for _, r := range []float64{3, 9.5, 21} {
+			if _, err := m.Register(int32(r*10), p, r, 0); err != nil {
+				t.Fatal(err)
+			}
+			q := m.queries[int32(r*10)]
+			for d, dd := range q.doorDist {
+				if !math.IsInf(dd, 1) && dd > r {
+					t.Fatalf("seed %d r=%g: doorDist[%d] = %g leaks beyond the limit (host %d)",
+						seed, r, d, dd, vp)
+				}
+			}
+		}
+	}
+}
+
+// TestApplyRejectsMismatchedPart pins the update contract: an Update whose
+// Part does not host Loc is rejected and leaves the monitor untouched.
+func TestApplyRejectsMismatchedPart(t *testing.T) {
+	f := testspaces.NewStrip()
+	m := NewMonitor(f.Space)
+	if _, err := m.Register(1, indoor.At(10, 5, 0), 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	// (2.5, 7) lies in R1, not in the hall.
+	if _, err := m.Apply(Update{ID: 9, Loc: indoor.At(2.5, 7, 0), Part: f.Hall, T: 1}); err == nil {
+		t.Fatal("Apply accepted an update whose Part does not host Loc")
+	}
+	// Wrong floor: same xy, nonexistent second floor of the strip.
+	if _, err := m.Apply(Update{ID: 9, Loc: indoor.At(2.5, 7, 1), Part: f.R1, T: 1}); err == nil {
+		t.Fatal("Apply accepted an update on the wrong floor")
+	}
+	// Out-of-range partition id.
+	if _, err := m.Apply(Update{ID: 9, Loc: indoor.At(2.5, 7, 0), Part: 9999, T: 1}); err == nil {
+		t.Fatal("Apply accepted an invalid partition id")
+	}
+	if len(m.cur) != 0 {
+		t.Fatalf("rejected updates mutated the monitor: %v", m.cur)
+	}
+	if got := m.Result(1); len(got) != 0 {
+		t.Fatalf("rejected updates produced members: %v", got)
+	}
+	// The valid variant of the same report is accepted.
+	if _, err := m.Apply(Update{ID: 9, Loc: indoor.At(2.5, 7, 0), Part: f.R1, T: 1}); err != nil {
+		t.Fatal(err)
+	}
+}

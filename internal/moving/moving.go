@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"indoorsq/internal/indoor"
 	"indoorsq/internal/pq"
@@ -46,9 +47,15 @@ type crq struct {
 	inside   map[int32]bool
 }
 
-// Monitor evaluates continuous range queries over a stream of updates.
+// Monitor evaluates continuous range queries over a stream of updates. All
+// methods are safe for concurrent use: one mutex serializes registrations,
+// updates, and result reads (registration is the only heavy operation — it
+// runs a range-bounded Dijkstra — so the streaming path contends only with
+// other O(#queries) update absorptions).
 type Monitor struct {
-	sp      *indoor.Space
+	sp *indoor.Space
+	// mu guards queries, cur, and every crq's inside set.
+	mu      sync.Mutex
 	queries map[int32]*crq
 	// cur holds each object's latest update.
 	cur map[int32]Update
@@ -76,6 +83,8 @@ func (m *Monitor) Register(qid int32, p indoor.Point, r float64, t float64) ([]E
 // deadline-bounded. Later Apply calls absorb updates with a handful of
 // intra-partition computations and need no context.
 func (m *Monitor) RegisterCtx(ctx context.Context, qid int32, p indoor.Point, r float64, t float64) ([]Event, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if _, dup := m.queries[qid]; dup {
 		return nil, fmt.Errorf("moving: query %d already registered", qid)
 	}
@@ -114,13 +123,23 @@ func (m *Monitor) RegisterCtx(ctx context.Context, qid int32, p indoor.Point, r 
 }
 
 // Unregister removes a continuous query.
-func (m *Monitor) Unregister(qid int32) { delete(m.queries, qid) }
+func (m *Monitor) Unregister(qid int32) {
+	m.mu.Lock()
+	delete(m.queries, qid)
+	m.mu.Unlock()
+}
 
 // NumQueries returns the number of registered queries.
-func (m *Monitor) NumQueries() int { return len(m.queries) }
+func (m *Monitor) NumQueries() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queries)
+}
 
 // Result returns the ids currently inside query qid, ascending.
 func (m *Monitor) Result(qid int32) []int32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	q, ok := m.queries[qid]
 	if !ok {
 		return nil
@@ -134,14 +153,39 @@ func (m *Monitor) Result(qid int32) []int32 {
 }
 
 // Apply absorbs one position update, returning the membership changes it
-// caused across all registered queries (ordered by query id).
-func (m *Monitor) Apply(u Update) []Event {
+// caused across all registered queries (ordered by query id). The update's
+// Part must host Loc (same floor, point inside the partition's polygon);
+// a mismatched report is rejected rather than silently producing garbage
+// distances from door fields that do not apply to Loc's true partition.
+func (m *Monitor) Apply(u Update) ([]Event, error) {
+	if err := m.validate(u); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.cur[u.ID] = u
-	return m.reevaluate(u.ID, &u, u.T)
+	return m.reevaluate(u.ID, &u, u.T), nil
+}
+
+// validate checks that u.Part actually hosts u.Loc. Boundary points shared
+// by two partitions are accepted for either (containment is closed), which
+// keeps reports snapped to a wall by quantization valid.
+func (m *Monitor) validate(u Update) error {
+	if int(u.Part) < 0 || int(u.Part) >= len(m.sp.Partitions()) {
+		return fmt.Errorf("moving: update for object %d names invalid partition %d", u.ID, u.Part)
+	}
+	part := m.sp.Partition(u.Part)
+	if part.Floor != u.Loc.Floor || !part.Poly.Contains(u.Loc.XY()) {
+		return fmt.Errorf("moving: update for object %d: partition %d does not host %v",
+			u.ID, u.Part, u.Loc)
+	}
+	return nil
 }
 
 // Remove drops an object (it left the building), emitting leave events.
 func (m *Monitor) Remove(objID int32, t float64) []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	delete(m.cur, objID)
 	return m.reevaluate(objID, nil, t)
 }
@@ -194,7 +238,10 @@ func (m *Monitor) objDist(q *crq, u Update) float64 {
 }
 
 // distField runs the bounded Dijkstra from p once at registration, polling
-// ctx every query.CheckInterval settled doors.
+// ctx every query.CheckInterval settled doors. The returned field upholds
+// the doorDist invariant: every entry is either a distance <= limit or
+// +Inf — candidates beyond the limit are never stored, at the seeds or
+// during relaxation, so consumers may treat any finite entry as in-range.
 func (m *Monitor) distField(ctx context.Context, p indoor.Point, vp indoor.PartitionID, limit float64) ([]float64, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -206,7 +253,7 @@ func (m *Monitor) distField(ctx context.Context, p indoor.Point, vp indoor.Parti
 	}
 	var h pq.Heap[indoor.DoorID]
 	for _, d := range m.sp.Partition(vp).Leave {
-		if w := m.sp.WithinPointDoor(vp, p, d); w < dist[d] {
+		if w := m.sp.WithinPointDoor(vp, p, d); w <= limit && w < dist[d] {
 			dist[d] = w
 			h.Push(d, w)
 		}
@@ -214,7 +261,7 @@ func (m *Monitor) distField(ctx context.Context, p indoor.Point, vp indoor.Parti
 	settled := 0
 	for h.Len() > 0 {
 		d, dd := h.Pop()
-		if dd > dist[d] || dd > limit {
+		if dd > dist[d] {
 			continue
 		}
 		if settled++; settled%query.CheckInterval == 0 {
@@ -225,7 +272,7 @@ func (m *Monitor) distField(ctx context.Context, p indoor.Point, vp indoor.Parti
 		for _, v := range m.sp.Door(d).Enterable {
 			for _, nd := range m.sp.Partition(v).Leave {
 				if w, _ := m.sp.WithinDoorsCached(v, d, nd); !math.IsInf(w, 1) {
-					if cand := dd + w; cand < dist[nd] {
+					if cand := dd + w; cand <= limit && cand < dist[nd] {
 						dist[nd] = cand
 						h.Push(nd, cand)
 					}

@@ -23,7 +23,9 @@ func TestRegisterCtxCancelled(t *testing.T) {
 func TestRegisterCtxBackgroundEquivalence(t *testing.T) {
 	f := testspaces.NewStrip()
 	m := moving.NewMonitor(f.Space)
-	m.Apply(moving.Update{ID: 1, Loc: indoor.At(2.5, 7, 0), Part: f.R1, T: 0})
+	if _, err := m.Apply(moving.Update{ID: 1, Loc: indoor.At(2.5, 7, 0), Part: f.R1, T: 0}); err != nil {
+		t.Fatal(err)
+	}
 	evs, err := m.RegisterCtx(context.Background(), 7, indoor.At(2.5, 5, 0), 4, 1)
 	if err != nil {
 		t.Fatal(err)

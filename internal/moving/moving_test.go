@@ -8,12 +8,22 @@ import (
 	"indoorsq/internal/testspaces"
 )
 
+// mustApply absorbs one update, failing the test on a rejected report.
+func mustApply(t *testing.T, m *moving.Monitor, u moving.Update) []moving.Event {
+	t.Helper()
+	evs, err := m.Apply(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return evs
+}
+
 func TestRegisterAndApply(t *testing.T) {
 	f := testspaces.NewStrip()
 	m := moving.NewMonitor(f.Space)
 
 	// Object 1 starts in R1 near the door.
-	m.Apply(moving.Update{ID: 1, Loc: indoor.At(2.5, 7, 0), Part: f.R1, T: 0})
+	mustApply(t, m, moving.Update{ID: 1, Loc: indoor.At(2.5, 7, 0), Part: f.R1, T: 0})
 
 	// Query around (2.5, 5) in the hall with r = 4: object 1 is at
 	// 1 + 1 = 2m away through D1 -> inside immediately.
@@ -29,7 +39,7 @@ func TestRegisterAndApply(t *testing.T) {
 	}
 
 	// The object walks deep into R1: leaves the range.
-	evs = m.Apply(moving.Update{ID: 1, Loc: indoor.At(2.5, 10, 0), Part: f.R1, T: 2})
+	evs = mustApply(t, m, moving.Update{ID: 1, Loc: indoor.At(2.5, 10, 0), Part: f.R1, T: 2})
 	if len(evs) != 1 || evs[0].Enter {
 		t.Fatalf("leave events = %v", evs)
 	}
@@ -38,13 +48,13 @@ func TestRegisterAndApply(t *testing.T) {
 	}
 
 	// Walks back: re-enters.
-	evs = m.Apply(moving.Update{ID: 1, Loc: indoor.At(2.5, 6.5, 0), Part: f.R1, T: 3})
+	evs = mustApply(t, m, moving.Update{ID: 1, Loc: indoor.At(2.5, 6.5, 0), Part: f.R1, T: 3})
 	if len(evs) != 1 || !evs[0].Enter {
 		t.Fatalf("re-enter events = %v", evs)
 	}
 
 	// No movement relevant to the query: no events.
-	evs = m.Apply(moving.Update{ID: 2, Loc: indoor.At(18, 2, 0), Part: f.R7, T: 4})
+	evs = mustApply(t, m, moving.Update{ID: 2, Loc: indoor.At(18, 2, 0), Part: f.R7, T: 4})
 	if len(evs) != 0 {
 		t.Fatalf("far object events = %v", evs)
 	}
@@ -56,7 +66,7 @@ func TestRemoveEmitsLeave(t *testing.T) {
 	if _, err := m.Register(1, indoor.At(10, 5, 0), 100, 0); err != nil {
 		t.Fatal(err)
 	}
-	m.Apply(moving.Update{ID: 5, Loc: indoor.At(10, 5, 0), Part: f.Hall, T: 1})
+	mustApply(t, m, moving.Update{ID: 5, Loc: indoor.At(10, 5, 0), Part: f.Hall, T: 1})
 	evs := m.Remove(5, 2)
 	if len(evs) != 1 || evs[0].Enter || evs[0].Object != 5 {
 		t.Fatalf("remove events = %v", evs)
@@ -76,7 +86,7 @@ func TestDirectionalityRespected(t *testing.T) {
 	if _, err := m.Register(1, indoor.At(9, 2, 0), 7, 0); err != nil {
 		t.Fatal(err)
 	}
-	evs := m.Apply(moving.Update{ID: 1, Loc: indoor.At(11, 2, 0), Part: f.R7, T: 1})
+	evs := mustApply(t, m, moving.Update{ID: 1, Loc: indoor.At(11, 2, 0), Part: f.R7, T: 1})
 	if len(evs) != 1 || !evs[0].Enter {
 		t.Fatalf("R6->R7 should be within range via one-way D8: %v", evs)
 	}
@@ -84,7 +94,7 @@ func TestDirectionalityRespected(t *testing.T) {
 	if _, err := m.Register(2, indoor.At(11, 2, 0), 7, 2); err != nil {
 		t.Fatal(err)
 	}
-	evs = m.Apply(moving.Update{ID: 2, Loc: indoor.At(9, 2, 0), Part: f.R6, T: 3})
+	evs = mustApply(t, m, moving.Update{ID: 2, Loc: indoor.At(9, 2, 0), Part: f.R6, T: 3})
 	for _, e := range evs {
 		if e.Query == 2 && e.Enter {
 			t.Fatalf("query in R7 reached R6 through one-way D8: %v", evs)
@@ -97,7 +107,7 @@ func TestMultipleQueries(t *testing.T) {
 	m := moving.NewMonitor(f.Space)
 	m.Register(1, indoor.At(2.5, 5, 0), 3, 0)
 	m.Register(2, indoor.At(17.5, 5, 0), 3, 0)
-	evs := m.Apply(moving.Update{ID: 9, Loc: indoor.At(17, 5, 0), Part: f.Hall, T: 1})
+	evs := mustApply(t, m, moving.Update{ID: 9, Loc: indoor.At(17, 5, 0), Part: f.Hall, T: 1})
 	if len(evs) != 1 || evs[0].Query != 2 {
 		t.Fatalf("events = %v", evs)
 	}

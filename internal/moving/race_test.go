@@ -1,0 +1,87 @@
+package moving_test
+
+import (
+	"sync"
+	"testing"
+
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/moving"
+	"indoorsq/internal/testspaces"
+	"indoorsq/internal/workload"
+)
+
+// TestConcurrentMonitor hammers one Monitor from concurrent registrars,
+// updaters, and readers. Run under -race (the Makefile race target includes
+// this package) it proves the mutex covers every map mutation — the shape
+// the multi-venue serving tier and the streaming roadmap item both imply.
+func TestConcurrentMonitor(t *testing.T) {
+	f := testspaces.NewStrip()
+	m := moving.NewMonitor(f.Space)
+	gen := workload.New(f.Space, 11)
+	type spot struct {
+		p indoor.Point
+		v indoor.PartitionID
+	}
+	spots := make([]spot, 64)
+	for i := range spots {
+		p, v := gen.PointIn()
+		spots[i] = spot{p, v}
+	}
+
+	const (
+		writers  = 4
+		steps    = 300
+		readers  = 2
+		monitors = 3
+	)
+	var wg sync.WaitGroup
+	// Registrars: register/unregister disjoint query-id ranges.
+	for g := 0; g < monitors; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < steps; i++ {
+				qid := int32(g*1000 + i%7)
+				s := spots[(g+i)%len(spots)]
+				if _, err := m.Register(qid, s.p, 10, float64(i)); err == nil {
+					if i%3 == 0 {
+						m.Unregister(qid)
+					}
+				}
+				if i%5 == 4 {
+					m.Unregister(qid)
+				}
+			}
+		}(g)
+	}
+	// Updaters: disjoint object-id ranges, valid spots only.
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < steps; i++ {
+				id := int32(g*100 + i%13)
+				s := spots[(g*7+i)%len(spots)]
+				if _, err := m.Apply(moving.Update{ID: id, Loc: s.p, Part: s.v, T: float64(i)}); err != nil {
+					t.Errorf("apply: %v", err)
+					return
+				}
+				if i%11 == 10 {
+					m.Remove(id, float64(i))
+				}
+			}
+		}(g)
+	}
+	// Readers: results, counts.
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < steps*2; i++ {
+				m.Result(int32(i % 2000))
+				m.NumQueries()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -33,7 +33,11 @@ const (
 // two; one extra overflow bucket catches everything slower.
 const NumBuckets = 28
 
-// BucketBound returns the inclusive upper bound of finite bucket i.
+// BucketBound returns the inclusive upper bound of finite bucket i. For
+// i == NumBuckets (the overflow bucket, which has no finite upper bound) it
+// returns the overflow marker: twice the largest finite bound, a value no
+// finite bucket can produce, so callers can tell "the quantile fell in
+// overflow" apart from "the quantile fell in the slowest finite bucket".
 func BucketBound(i int) time.Duration {
 	return time.Microsecond << i
 }
@@ -81,6 +85,10 @@ func (h *Histogram) Bucket(i int) int64 { return h.buckets[i].Load() }
 // Quantile estimates the q-quantile (0 < q <= 1) as the upper bound of the
 // bucket containing the q-th sample. It snapshots the buckets first so the
 // total used for the rank matches the counts walked. Returns 0 when empty.
+// A quantile that lands in the overflow bucket returns
+// BucketBound(NumBuckets), the overflow marker — strictly larger than every
+// finite bound — rather than silently underreporting the tail as the
+// slowest finite bucket.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	var snap [NumBuckets + 1]int64
 	var total int64
@@ -101,13 +109,13 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		rank = 1
 	}
 	var seen int64
-	for i := 0; i < NumBuckets; i++ {
+	for i := 0; i <= NumBuckets; i++ {
 		seen += snap[i]
 		if seen >= rank {
 			return BucketBound(i)
 		}
 	}
-	return BucketBound(NumBuckets - 1) // overflow: report the largest finite bound
+	return BucketBound(NumBuckets) // unreachable: total covers every bucket
 }
 
 // Series holds the counters for one (engine, op) pair. All fields are

@@ -46,14 +46,49 @@ func TestHistogramBucketsAndQuantiles(t *testing.T) {
 }
 
 func TestHistogramOverflow(t *testing.T) {
+	// All samples in overflow: every quantile must report the overflow
+	// marker, not the largest finite bound. (Regression: Quantile used to
+	// count the overflow bucket in the total but never walk it, so a
+	// quantile landing there silently underreported the tail as the slowest
+	// finite bucket — exactly the tail the cost-based router feeds on.)
 	var h obs.Histogram
-	h.Observe(1000 * time.Hour) // far beyond the largest finite bound
-	if got := h.Bucket(obs.NumBuckets); got != 1 {
-		t.Fatalf("overflow bucket = %d, want 1", got)
+	for i := 0; i < 10; i++ {
+		h.Observe(1000 * time.Hour) // far beyond the largest finite bound
 	}
-	if got := h.Quantile(0.99); got != obs.BucketBound(obs.NumBuckets-1) {
-		t.Fatalf("overflow quantile = %v, want largest finite bound %v",
-			got, obs.BucketBound(obs.NumBuckets-1))
+	if got := h.Bucket(obs.NumBuckets); got != 10 {
+		t.Fatalf("overflow bucket = %d, want 10", got)
+	}
+	over := obs.BucketBound(obs.NumBuckets)
+	if over <= obs.BucketBound(obs.NumBuckets-1) {
+		t.Fatalf("overflow marker %v not beyond largest finite bound %v",
+			over, obs.BucketBound(obs.NumBuckets-1))
+	}
+	for _, q := range []float64{0.01, 0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(q); got != over {
+			t.Fatalf("overflow quantile(%g) = %v, want overflow marker %v", q, got, over)
+		}
+	}
+}
+
+func TestHistogramQuantileSplitsAtOverflow(t *testing.T) {
+	// 90 finite samples, 10 in overflow: the p50 stays finite, the p95/p99
+	// land in overflow and must be distinguishable from any finite bound.
+	var h obs.Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1000 * time.Hour)
+	}
+	if got := h.Quantile(0.5); got != obs.BucketBound(10) {
+		t.Fatalf("p50 = %v, want finite bound %v", got, obs.BucketBound(10))
+	}
+	over := obs.BucketBound(obs.NumBuckets)
+	if got := h.Quantile(0.95); got != over {
+		t.Fatalf("p95 = %v, want overflow marker %v", got, over)
+	}
+	if got := h.Quantile(0.99); got != over {
+		t.Fatalf("p99 = %v, want overflow marker %v", got, over)
 	}
 }
 

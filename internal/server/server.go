@@ -331,23 +331,30 @@ type httpError struct {
 	WorkBytes    *int64 `json:"workBytes,omitempty"`
 }
 
-func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
-	// Encode into a buffer first: encoding straight into w would send the
-	// status line on the first byte, so a payload that fails to encode
-	// mid-body would leave the client a truncated 2xx and the server a
-	// superfluous-WriteHeader log when the error path tried to respond.
-	// Buffering makes status + body atomic either way.
+// encodeJSON writes v as a buffered JSON response: encoding straight into w
+// would send the status line on the first byte, so a payload that fails to
+// encode mid-body would leave the client a truncated 2xx and the server a
+// superfluous-WriteHeader log when the error path tried to respond.
+// Buffering makes status + body atomic either way. Returns the encode error
+// (the client already received a 500 when it is non-nil).
+func encodeJSON(w http.ResponseWriter, code int, v any) error {
 	var buf bytes.Buffer
 	if err := json.NewEncoder(&buf).Encode(v); err != nil {
-		s.encodeErrs.Add(1)
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusInternalServerError)
 		_, _ = w.Write([]byte(`{"error":"response encoding failed"}` + "\n"))
-		return
+		return err
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_, _ = w.Write(buf.Bytes())
+	return nil
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	if encodeJSON(w, code, v) != nil {
+		s.encodeErrs.Add(1)
+	}
 }
 
 func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {

@@ -1,0 +1,393 @@
+// Multi-venue serving: TenantServer mounts one HTTP surface over a
+// tenant.Tier — per-venue query endpoints that go through each venue's
+// cost-based router (with ?engine= as the per-query deterministic
+// override), per-venue snapshot swaps, a routing introspection endpoint
+// exposing the decision table and its evidence, and per-venue metrics. The
+// single-venue Server stays as-is; isqserve picks one surface or the other
+// based on whether -venues is given.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"indoorsq/internal/query"
+	"indoorsq/internal/tenant"
+)
+
+// TenantServer serves N venues through their routers.
+type TenantServer struct {
+	tier       *tenant.Tier
+	timeouts   map[string]time.Duration
+	budget     query.Budget
+	encodeErrs atomic.Int64
+}
+
+// NewTenantServer wires the HTTP surface around a booted tier.
+func NewTenantServer(tier *tenant.Tier) *TenantServer {
+	return &TenantServer{tier: tier, timeouts: make(map[string]time.Duration)}
+}
+
+// Tier returns the underlying tier.
+func (s *TenantServer) Tier() *tenant.Tier { return s.tier }
+
+// SetTimeout bounds queries of one endpoint ("range", "knn", "spd") with a
+// per-request deadline; call before serving starts.
+func (s *TenantServer) SetTimeout(endpoint string, d time.Duration) {
+	if d <= 0 {
+		delete(s.timeouts, endpoint)
+		return
+	}
+	s.timeouts[endpoint] = d
+}
+
+// SetBudget attaches a work budget to every query context; call before
+// serving starts.
+func (s *TenantServer) SetBudget(b query.Budget) { s.budget = b }
+
+// EncodeErrors returns how many response bodies failed to encode.
+func (s *TenantServer) EncodeErrors() int64 { return s.encodeErrs.Load() }
+
+// Handler returns the multi-venue HTTP handler.
+func (s *TenantServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/venues", s.handleVenues)
+	mux.HandleFunc("GET /v1/venues/{id}/info", s.handleVenueInfo)
+	mux.HandleFunc("GET /v1/venues/{id}/range", s.handleVenueRange)
+	mux.HandleFunc("GET /v1/venues/{id}/knn", s.handleVenueKNN)
+	mux.HandleFunc("GET /v1/venues/{id}/spd", s.handleVenueSPD)
+	mux.HandleFunc("GET /v1/venues/{id}/route", s.handleVenueRoute)
+	mux.HandleFunc("POST /v1/venues/{id}/route", s.handleVenuePin)
+	mux.HandleFunc("POST /v1/venues/{id}/swap", s.handleVenueSwap)
+	mux.HandleFunc("GET /v1/venues/{id}/metrics", s.handleVenueMetrics)
+	return mux
+}
+
+func (s *TenantServer) writeJSON(w http.ResponseWriter, code int, v any) {
+	if encodeJSON(w, code, v) != nil {
+		s.encodeErrs.Add(1)
+	}
+}
+
+func (s *TenantServer) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.writeJSON(w, code, httpError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *TenantServer) failQuery(w http.ResponseWriter, err error, st *query.Stats) {
+	he := httpError{Error: err.Error()}
+	if errors.Is(err, query.ErrBudgetExhausted) || errors.Is(err, context.DeadlineExceeded) {
+		he.VisitedDoors = &st.VisitedDoors
+		he.WorkBytes = &st.WorkBytes
+	}
+	s.writeJSON(w, errStatus(err), he)
+}
+
+// venue resolves the {id} path segment against the tier's current shard map.
+func (s *TenantServer) venue(w http.ResponseWriter, r *http.Request) (*tenant.Venue, bool) {
+	id := r.PathValue("id")
+	v, ok := s.tier.Venue(id)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown venue %q", id)
+		return nil, false
+	}
+	return v, true
+}
+
+// queryCtx derives one query's context: request cancellation, the endpoint
+// timeout, and the admission budget. The venue registry is bound inside the
+// venue's query methods, so the router's evidence is fed automatically.
+func (s *TenantServer) queryCtx(r *http.Request, endpoint string) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	cancel := context.CancelFunc(func() {})
+	if d, ok := s.timeouts[endpoint]; ok {
+		ctx, cancel = context.WithTimeout(ctx, d)
+	}
+	if b := s.budget; b != (query.Budget{}) {
+		ctx = query.WithBudget(ctx, b)
+	}
+	return ctx, cancel
+}
+
+func (s *TenantServer) handleVenues(w http.ResponseWriter, r *http.Request) {
+	type venueJSON struct {
+		ID      string   `json:"id"`
+		Shard   int      `json:"shard"`
+		Epoch   uint64   `json:"epoch"`
+		Engines []string `json:"engines"`
+		Objects int      `json:"objects"`
+		Origin  string   `json:"origin"`
+	}
+	out := make([]venueJSON, 0, len(s.tier.VenueIDs()))
+	for _, id := range s.tier.VenueIDs() {
+		v, ok := s.tier.Venue(id)
+		if !ok {
+			continue
+		}
+		out = append(out, venueJSON{
+			ID:      id,
+			Shard:   s.tier.ShardOf(id),
+			Epoch:   v.Epoch(),
+			Engines: v.EngineList(),
+			Objects: len(v.Objects),
+			Origin:  v.Origin,
+		})
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"shards": s.tier.NumShards(),
+		"venues": out,
+	})
+}
+
+func (s *TenantServer) handleVenueInfo(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.venue(w, r)
+	if !ok {
+		return
+	}
+	stats := v.Space.SpaceStats(v.Gamma)
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"venue":      v.ID,
+		"shard":      s.tier.ShardOf(v.ID),
+		"epoch":      v.Epoch(),
+		"floors":     stats.Floors,
+		"partitions": stats.Partitions,
+		"doors":      stats.Doors,
+		"engines":    v.EngineList(),
+		"objects":    len(v.Objects),
+		"snapshot": map[string]any{
+			"origin":        v.Origin,
+			"fingerprint":   fmt.Sprintf("%016x", v.Fingerprint),
+			"formatVersion": v.FormatVersion,
+		},
+	})
+}
+
+// tenantRangeResponse mirrors rangeResponse plus who served it and which
+// generation answered.
+type tenantRangeResponse struct {
+	Objects      []int32 `json:"objects"`
+	VisitedDoors int     `json:"visitedDoors"`
+	Engine       string  `json:"engine"`
+	Epoch        uint64  `json:"epoch"`
+}
+
+func (s *TenantServer) handleVenueRange(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.venue(w, r)
+	if !ok {
+		return
+	}
+	p, err := pointParam(r, "")
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	radius, err := floatParam(r, "r")
+	if err != nil || radius < 0 {
+		s.fail(w, http.StatusBadRequest, "bad radius")
+		return
+	}
+	ctx, cancel := s.queryCtx(r, "range")
+	defer cancel()
+	var qst query.Stats
+	ids, engine, err := v.Range(ctx, p, radius, &qst, r.URL.Query().Get("engine"))
+	if err != nil {
+		s.failVenueQuery(w, err, &qst)
+		return
+	}
+	if ids == nil {
+		ids = []int32{}
+	}
+	s.writeJSON(w, http.StatusOK, tenantRangeResponse{
+		Objects: ids, VisitedDoors: qst.VisitedDoors, Engine: engine, Epoch: v.Epoch(),
+	})
+}
+
+type tenantKNNResponse struct {
+	Neighbors    []query.Neighbor `json:"neighbors"`
+	VisitedDoors int              `json:"visitedDoors"`
+	Engine       string           `json:"engine"`
+	Epoch        uint64           `json:"epoch"`
+}
+
+func (s *TenantServer) handleVenueKNN(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.venue(w, r)
+	if !ok {
+		return
+	}
+	p, err := pointParam(r, "")
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	k := 5
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		k, err = strconv.Atoi(raw)
+		if err != nil || k < 0 {
+			s.fail(w, http.StatusBadRequest, "bad k")
+			return
+		}
+	}
+	ctx, cancel := s.queryCtx(r, "knn")
+	defer cancel()
+	var qst query.Stats
+	nn, engine, err := v.KNN(ctx, p, k, &qst, r.URL.Query().Get("engine"))
+	if err != nil {
+		s.failVenueQuery(w, err, &qst)
+		return
+	}
+	if nn == nil {
+		nn = []query.Neighbor{}
+	}
+	s.writeJSON(w, http.StatusOK, tenantKNNResponse{
+		Neighbors: nn, VisitedDoors: qst.VisitedDoors, Engine: engine, Epoch: v.Epoch(),
+	})
+}
+
+type tenantSPDResponse struct {
+	Dist         float64      `json:"dist"`
+	Doors        []int32      `json:"doors"`
+	Geom         [][3]float64 `json:"geometry"`
+	VisitedDoors int          `json:"visitedDoors"`
+	Engine       string       `json:"engine"`
+	Epoch        uint64       `json:"epoch"`
+}
+
+func (s *TenantServer) handleVenueSPD(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.venue(w, r)
+	if !ok {
+		return
+	}
+	p, err := pointParam(r, "")
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	q, err := pointParam(r, "2")
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel := s.queryCtx(r, "spd")
+	defer cancel()
+	var qst query.Stats
+	path, engine, err := v.SPD(ctx, p, q, &qst, r.URL.Query().Get("engine"))
+	if err != nil {
+		s.failVenueQuery(w, err, &qst)
+		return
+	}
+	resp := tenantSPDResponse{
+		Dist: path.Dist, Doors: make([]int32, 0, len(path.Doors)),
+		VisitedDoors: qst.VisitedDoors, Engine: engine, Epoch: v.Epoch(),
+	}
+	resp.Geom = append(resp.Geom, [3]float64{p.X, p.Y, float64(p.Floor)})
+	for _, d := range path.Doors {
+		resp.Doors = append(resp.Doors, int32(d))
+		dp := v.Space.DoorPoint(d)
+		resp.Geom = append(resp.Geom, [3]float64{dp.X, dp.Y, float64(dp.Floor)})
+	}
+	resp.Geom = append(resp.Geom, [3]float64{q.X, q.Y, float64(q.Floor)})
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// failVenueQuery maps venue query errors; an unknown ?engine= override is
+// the caller's 404 rather than a query failure.
+func (s *TenantServer) failVenueQuery(w http.ResponseWriter, err error, st *query.Stats) {
+	if errors.Is(err, tenant.ErrUnknownEngine) {
+		s.fail(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	s.failQuery(w, err, st)
+}
+
+// handleVenueRoute is the routing introspection endpoint: the decision
+// table per query class with the evidence (decayed p50/p95 per engine,
+// cumulative counts) behind each decision.
+func (s *TenantServer) handleVenueRoute(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.venue(w, r)
+	if !ok {
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"venue":     v.ID,
+		"epoch":     v.Epoch(),
+		"engines":   v.EngineList(),
+		"decisions": v.Router().Decisions(),
+	})
+}
+
+// pinRequest is the POST /v1/venues/{id}/route body: the deterministic
+// override knob. An empty op applies to every query class; an empty engine
+// removes the pin.
+type pinRequest struct {
+	Op     string `json:"op"`
+	Engine string `json:"engine"`
+}
+
+func (s *TenantServer) handleVenuePin(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.venue(w, r)
+	if !ok {
+		return
+	}
+	var req pinRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Engine == "" {
+		v.Router().Unpin(req.Op)
+	} else if err := v.Router().Pin(req.Op, req.Engine); err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"venue":     v.ID,
+		"decisions": v.Router().Decisions(),
+	})
+}
+
+func (s *TenantServer) handleVenueSwap(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req swapRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Path == "" {
+		s.fail(w, http.StatusBadRequest, "swap needs a snapshot path")
+		return
+	}
+	start := time.Now()
+	v, err := s.tier.SwapSnapshot(id, req.Path)
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, "swap: %v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"venue":         v.ID,
+		"epoch":         v.Epoch(),
+		"origin":        v.Origin,
+		"fingerprint":   fmt.Sprintf("%016x", v.Fingerprint),
+		"formatVersion": v.FormatVersion,
+		"engines":       v.EngineList(),
+		"loadMs":        time.Since(start).Milliseconds(),
+	})
+}
+
+// handleVenueMetrics scrapes one venue's registry — the same text format as
+// the single-venue /metrics, scoped to the venue the router's evidence
+// lives in.
+func (s *TenantServer) handleVenueMetrics(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.venue(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = v.Registry().WriteText(w)
+}

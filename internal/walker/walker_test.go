@@ -130,7 +130,11 @@ func TestFeedsDownstream(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, smp := range samples {
-			events += len(mon.Apply(moving.Update{ID: smp.ID, Loc: smp.Loc, Part: smp.Part, T: smp.T}))
+			evs, err := mon.Apply(moving.Update{ID: smp.ID, Loc: smp.Loc, Part: smp.Part, T: smp.T})
+			if err != nil {
+				t.Fatal(err)
+			}
+			events += len(evs)
 			updates = append(updates, trajectory.PositionUpdate{Obj: smp.ID, Part: smp.Part, T: smp.T})
 		}
 	}
