@@ -272,6 +272,17 @@ type (
 	MovingUpdate = moving.Update
 	// MovingEvent is a membership change of a continuous query.
 	MovingEvent = moving.Event
+	// MovingStream is the sharded streaming evaluator: a partition→query
+	// inverted index, batched ingestion, standing range and kNN monitors,
+	// and delta-push subscriptions.
+	MovingStream = moving.Stream
+	// MovingStreamOptions configures a MovingStream (shards, workers,
+	// optional reachability pruning).
+	MovingStreamOptions = moving.StreamOptions
+	// MovingSub is a bounded subscription to one monitor's delta stream.
+	MovingSub = moving.Sub
+	// MonitorInfo describes one registered standing monitor.
+	MonitorInfo = moving.MonitorInfo
 	// TrackingLog holds symbolic indoor tracking records.
 	TrackingLog = trajectory.Log
 	// TrackingRecord is one (object, partition, enter, exit) stay.
@@ -282,6 +293,12 @@ type (
 
 // NewMovingMonitor returns an empty continuous-query monitor over a space.
 func NewMovingMonitor(sp *Space) *MovingMonitor { return moving.NewMonitor(sp) }
+
+// NewMovingStream returns an empty sharded continuous-query stream over a
+// space. The zero options pick the default shard and worker counts.
+func NewMovingStream(sp *Space, opts MovingStreamOptions) *MovingStream {
+	return moving.NewStream(sp, opts)
+}
 
 // NewTrackingLog validates and indexes symbolic tracking records.
 func NewTrackingLog(recs []TrackingRecord) (*TrackingLog, error) {

@@ -1,0 +1,126 @@
+package moving_test
+
+import (
+	"errors"
+	"testing"
+
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/moving"
+	"indoorsq/internal/testspaces"
+)
+
+// TestRegistrationSentinels pins the wrapped sentinel errors both
+// evaluators return, so server handlers can map them to HTTP statuses with
+// errors.Is instead of matching message text.
+func TestRegistrationSentinels(t *testing.T) {
+	f := testspaces.NewStrip()
+	in := indoor.At(2.5, 8, 0)        // hosted by R1
+	out := indoor.At(-1000, -1000, 0) // far outside every partition
+
+	newMon := func() func(qid int32, p indoor.Point) error {
+		m := moving.NewMonitor(f.Space)
+		return func(qid int32, p indoor.Point) error {
+			_, err := m.Register(qid, p, 5, 0)
+			return err
+		}
+	}
+	newStream := func() func(qid int32, p indoor.Point) error {
+		s := moving.NewStream(f.Space, moving.StreamOptions{})
+		return func(qid int32, p indoor.Point) error {
+			_, err := s.Register(qid, p, 5, 0)
+			return err
+		}
+	}
+	newStreamKNN := func() func(qid int32, p indoor.Point) error {
+		s := moving.NewStream(f.Space, moving.StreamOptions{})
+		return func(qid int32, p indoor.Point) error {
+			_, err := s.RegisterKNN(qid, p, 2, 0)
+			return err
+		}
+	}
+
+	cases := []struct {
+		name string
+		mk   func() func(qid int32, p indoor.Point) error
+	}{
+		{"monitor", newMon},
+		{"stream-range", newStream},
+		{"stream-knn", newStreamKNN},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := tc.mk()
+			if err := reg(1, in); err != nil {
+				t.Fatalf("first registration: %v", err)
+			}
+			err := reg(1, in)
+			if !errors.Is(err, moving.ErrDuplicateQuery) {
+				t.Fatalf("duplicate: got %v, want ErrDuplicateQuery", err)
+			}
+			if errors.Is(err, moving.ErrNotIndoors) {
+				t.Fatal("duplicate error must not also match ErrNotIndoors")
+			}
+			err = reg(2, out)
+			if !errors.Is(err, moving.ErrNotIndoors) {
+				t.Fatalf("outdoors: got %v, want ErrNotIndoors", err)
+			}
+			if errors.Is(err, moving.ErrDuplicateQuery) {
+				t.Fatal("outdoors error must not also match ErrDuplicateQuery")
+			}
+			// Failed registrations leave no trace: the id stays available.
+			if err := reg(2, in); err != nil {
+				t.Fatalf("register after failure: %v", err)
+			}
+		})
+	}
+}
+
+// TestRemoveUnknownZeroAlloc is the regression test for the early-return
+// path: removing an object the evaluator never saw must emit no events and
+// allocate nothing, even with many queries registered — previously the
+// Monitor walked and sorted every query for nothing.
+func TestRemoveUnknownZeroAlloc(t *testing.T) {
+	f := testspaces.NewStrip()
+	mon := moving.NewMonitor(f.Space)
+	st := moving.NewStream(f.Space, moving.StreamOptions{Shards: 4})
+	for qid := int32(1); qid <= 20; qid++ {
+		p := indoor.At(2.5, 8, 0)
+		if _, err := mon.Register(qid, p, 5, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Register(qid, p, 5, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One known object, so the maps are non-empty.
+	u := moving.Update{ID: 1, Loc: indoor.At(2.5, 9, 0), Part: f.R1, T: 1}
+	if _, err := mon.Apply(u); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Apply(u); err != nil {
+		t.Fatal(err)
+	}
+
+	if allocs := testing.AllocsPerRun(200, func() {
+		if evs := mon.Remove(9999, 2); evs != nil {
+			t.Fatalf("unknown-object Remove emitted %v", evs)
+		}
+	}); allocs != 0 {
+		t.Errorf("Monitor.Remove(unknown) allocates %.1f times, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if evs := st.Remove(9999, 2); evs != nil {
+			t.Fatalf("unknown-object Stream.Remove emitted %v", evs)
+		}
+	}); allocs != 0 {
+		t.Errorf("Stream.Remove(unknown) allocates %.1f times, want 0", allocs)
+	}
+
+	// The known object still leaves normally afterwards.
+	if evs := mon.Remove(1, 3); len(evs) != 20 {
+		t.Fatalf("known-object Remove emitted %d leave events, want 20", len(evs))
+	}
+	if evs := st.Remove(1, 3); len(evs) != 20 {
+		t.Fatalf("known-object Stream.Remove emitted %d leave events, want 20", len(evs))
+	}
+}

@@ -1,15 +1,27 @@
 // Package moving supports indoor moving objects — the adaptation the
 // paper's Sec. 7 and conclusion name as future work. Objects report
 // timestamped position updates; the package maintains their current
-// positions and evaluates continuous range monitoring queries in the spirit
-// of Yang et al. (CIKM 2009): each registered query caches the door-distance
-// field around its query point once, so every position update is absorbed
-// with a handful of intra-partition distance computations, emitting
-// enter/leave events only when a membership actually changes.
+// positions and evaluates continuous queries in the spirit of Yang et al.
+// (CIKM 2009): each registered query caches the door-distance field around
+// its query point once, so every position update is absorbed with a handful
+// of intra-partition distance computations, emitting enter/leave events only
+// when a membership actually changes.
+//
+// Two evaluators share the same distance machinery:
+//
+//   - Monitor is the simple serial evaluator: one mutex, every update
+//     re-evaluated against every registered range query. It is the scan-all
+//     reference the streaming benchmarks compare against.
+//   - Stream (stream.go) is the sharded streaming subsystem: a
+//     partition→query inverted index derived from each query's cached
+//     distance field, object-sharded state, batched deterministic ingestion
+//     through exec.Pool, standing range and kNN monitors, and incremental
+//     delta push over subscriptions.
 package moving
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -18,6 +30,16 @@ import (
 	"indoorsq/internal/indoor"
 	"indoorsq/internal/pq"
 	"indoorsq/internal/query"
+)
+
+// Sentinel registration errors. Both Monitor and Stream wrap these, so
+// callers (the HTTP monitor endpoints in particular) can map them to
+// distinct statuses with errors.Is instead of matching message text.
+var (
+	// ErrDuplicateQuery marks a Register with an already-registered query id.
+	ErrDuplicateQuery = errors.New("moving: query already registered")
+	// ErrNotIndoors marks a query point hosted by no indoor partition.
+	ErrNotIndoors = errors.New("moving: query point is not indoors")
 )
 
 // Update is one position report of a moving object.
@@ -32,26 +54,117 @@ type Update struct {
 type Event struct {
 	Query  int32
 	Object int32
-	Enter  bool // true: entered the range; false: left it
+	Enter  bool // true: entered the result; false: left it
 	T      float64
 }
 
-// crq is one registered continuous range query.
-type crq struct {
+// qcore is the immutable evaluation core shared by Monitor range queries and
+// Stream monitors: the query point with its reusable intra-partition handle,
+// the host partition, the radius bound (+Inf for kNN monitors, whose fields
+// are unbounded), and the cached door-distance field.
+type qcore struct {
 	id       int32
 	p        indoor.Point
 	pRef     indoor.PointRef
 	vp       indoor.PartitionID
 	r        float64
-	doorDist []float64 // distance field from p, +Inf beyond r
-	inside   map[int32]bool
+	doorDist []float64 // distance from p, +Inf beyond r
 }
 
-// Monitor evaluates continuous range queries over a stream of updates. All
-// methods are safe for concurrent use: one mutex serializes registrations,
-// updates, and result reads (registration is the only heavy operation — it
-// runs a range-bounded Dijkstra — so the streaming path contends only with
-// other O(#queries) update absorptions).
+// objDist computes the indoor distance from the query point to an object at
+// loc in partition part, using the cached door field. Both evaluators call
+// exactly this, which is what makes their membership decisions bit-identical.
+func (q *qcore) objDist(sp *indoor.Space, part indoor.PartitionID, loc indoor.Point) float64 {
+	best := math.Inf(1)
+	if part == q.vp {
+		best = sp.RefDist(q.pRef, sp.Ref(q.vp, loc))
+	}
+	for _, d := range sp.Partition(part).Enter {
+		dd := q.doorDist[d]
+		if math.IsInf(dd, 1) || dd > q.r {
+			continue
+		}
+		if cand := dd + sp.WithinPointDoor(part, loc, d); cand < best {
+			best = cand
+		}
+	}
+	return best
+}
+
+// distField runs the bounded Dijkstra from p once at registration, polling
+// ctx every query.CheckInterval settled doors. The returned field upholds
+// the doorDist invariant: every entry is either a distance <= limit or
+// +Inf — candidates beyond the limit are never stored, at the seeds or
+// during relaxation, so consumers may treat any finite entry as in-range.
+// An unbounded field (kNN monitors) passes limit = +Inf and settles every
+// reachable door.
+func distField(ctx context.Context, sp *indoor.Space, p indoor.Point, vp indoor.PartitionID, limit float64) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	n := sp.NumDoors()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	var h pq.Heap[indoor.DoorID]
+	for _, d := range sp.Partition(vp).Leave {
+		if w := sp.WithinPointDoor(vp, p, d); w <= limit && w < dist[d] {
+			dist[d] = w
+			h.Push(d, w)
+		}
+	}
+	settled := 0
+	for h.Len() > 0 {
+		d, dd := h.Pop()
+		if dd > dist[d] {
+			continue
+		}
+		if settled++; settled%query.CheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		for _, v := range sp.Door(d).Enterable {
+			for _, nd := range sp.Partition(v).Leave {
+				if w, _ := sp.WithinDoorsCached(v, d, nd); !math.IsInf(w, 1) {
+					if cand := dd + w; cand <= limit && cand < dist[nd] {
+						dist[nd] = cand
+						h.Push(nd, cand)
+					}
+				}
+			}
+		}
+	}
+	return dist, nil
+}
+
+// validateUpdate checks that u.Part actually hosts u.Loc. Boundary points
+// shared by two partitions are accepted for either (containment is closed),
+// which keeps reports snapped to a wall by quantization valid.
+func validateUpdate(sp *indoor.Space, u Update) error {
+	if int(u.Part) < 0 || int(u.Part) >= len(sp.Partitions()) {
+		return fmt.Errorf("moving: update for object %d names invalid partition %d", u.ID, u.Part)
+	}
+	part := sp.Partition(u.Part)
+	if part.Floor != u.Loc.Floor || !part.Poly.Contains(u.Loc.XY()) {
+		return fmt.Errorf("moving: update for object %d: partition %d does not host %v",
+			u.ID, u.Part, u.Loc)
+	}
+	return nil
+}
+
+// crq is one registered continuous range query of the serial Monitor.
+type crq struct {
+	qcore
+	inside map[int32]bool
+}
+
+// Monitor evaluates continuous range queries over a stream of updates by
+// re-evaluating every registered query on every update. All methods are safe
+// for concurrent use: one mutex serializes registrations, updates, and
+// result reads. It is the scan-all baseline the sharded Stream is measured
+// against; new consumers should normally use Stream.
 type Monitor struct {
 	sp *indoor.Space
 	// mu guards queries, cur, and every crq's inside set.
@@ -72,7 +185,8 @@ func NewMonitor(sp *indoor.Space) *Monitor {
 
 // Register adds a continuous range query around p with radius r. Objects
 // already known to the monitor are evaluated immediately; their enter events
-// are returned.
+// are returned. A duplicate id fails with ErrDuplicateQuery, an outdoor
+// query point with ErrNotIndoors (both wrapped, test with errors.Is).
 func (m *Monitor) Register(qid int32, p indoor.Point, r float64, t float64) ([]Event, error) {
 	return m.RegisterCtx(context.Background(), qid, p, r, t)
 }
@@ -80,30 +194,33 @@ func (m *Monitor) Register(qid int32, p indoor.Point, r float64, t float64) ([]E
 // RegisterCtx is Register bounded by ctx: the registration-time Dijkstra
 // that caches the door-distance field around p checks the context between
 // door expansions, so an oversized registration can be cancelled or
-// deadline-bounded. Later Apply calls absorb updates with a handful of
-// intra-partition computations and need no context.
+// deadline-bounded. A failed registration leaves no trace. Later Apply
+// calls absorb updates with a handful of intra-partition computations and
+// need no context.
 func (m *Monitor) RegisterCtx(ctx context.Context, qid int32, p indoor.Point, r float64, t float64) ([]Event, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, dup := m.queries[qid]; dup {
-		return nil, fmt.Errorf("moving: query %d already registered", qid)
+		return nil, fmt.Errorf("%w: id %d", ErrDuplicateQuery, qid)
 	}
 	vp, ok := m.sp.HostPartition(p)
 	if !ok {
-		return nil, fmt.Errorf("moving: query point %v is not indoors", p)
+		return nil, fmt.Errorf("%w: %v", ErrNotIndoors, p)
 	}
-	field, err := m.distField(ctx, p, vp, r)
+	field, err := distField(ctx, m.sp, p, vp, r)
 	if err != nil {
 		return nil, err
 	}
 	q := &crq{
-		id:       qid,
-		p:        p,
-		pRef:     m.sp.Ref(vp, p),
-		vp:       vp,
-		r:        r,
-		doorDist: field,
-		inside:   make(map[int32]bool),
+		qcore: qcore{
+			id:       qid,
+			p:        p,
+			pRef:     m.sp.Ref(vp, p),
+			vp:       vp,
+			r:        r,
+			doorDist: field,
+		},
+		inside: make(map[int32]bool),
 	}
 	m.queries[qid] = q
 	var events []Event
@@ -114,7 +231,7 @@ func (m *Monitor) RegisterCtx(ctx context.Context, qid int32, p indoor.Point, r 
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
 		u := m.cur[id]
-		if m.objDist(q, u) <= q.r {
+		if q.objDist(m.sp, u.Part, u.Loc) <= q.r {
 			q.inside[id] = true
 			events = append(events, Event{Query: qid, Object: id, Enter: true, T: t})
 		}
@@ -158,7 +275,7 @@ func (m *Monitor) Result(qid int32) []int32 {
 // a mismatched report is rejected rather than silently producing garbage
 // distances from door fields that do not apply to Loc's true partition.
 func (m *Monitor) Apply(u Update) ([]Event, error) {
-	if err := m.validate(u); err != nil {
+	if err := validateUpdate(m.sp, u); err != nil {
 		return nil, err
 	}
 	m.mu.Lock()
@@ -167,32 +284,28 @@ func (m *Monitor) Apply(u Update) ([]Event, error) {
 	return m.reevaluate(u.ID, &u, u.T), nil
 }
 
-// validate checks that u.Part actually hosts u.Loc. Boundary points shared
-// by two partitions are accepted for either (containment is closed), which
-// keeps reports snapped to a wall by quantization valid.
-func (m *Monitor) validate(u Update) error {
-	if int(u.Part) < 0 || int(u.Part) >= len(m.sp.Partitions()) {
-		return fmt.Errorf("moving: update for object %d names invalid partition %d", u.ID, u.Part)
-	}
-	part := m.sp.Partition(u.Part)
-	if part.Floor != u.Loc.Floor || !part.Poly.Contains(u.Loc.XY()) {
-		return fmt.Errorf("moving: update for object %d: partition %d does not host %v",
-			u.ID, u.Part, u.Loc)
-	}
-	return nil
-}
-
 // Remove drops an object (it left the building), emitting leave events.
+// An object the monitor never saw returns immediately: membership is a
+// subset of the known objects (inside sets only gain ids through Apply or
+// registration over cur), so there is nothing to walk and nothing to emit —
+// the unknown-object path costs no allocations.
 func (m *Monitor) Remove(objID int32, t float64) []Event {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if _, known := m.cur[objID]; !known {
+		return nil
+	}
 	delete(m.cur, objID)
 	return m.reevaluate(objID, nil, t)
 }
 
 // reevaluate diffs object objID's membership in every query; u == nil means
-// the object is gone.
+// the object is gone. With no queries registered it returns immediately
+// without allocating.
 func (m *Monitor) reevaluate(objID int32, u *Update, t float64) []Event {
+	if len(m.queries) == 0 {
+		return nil
+	}
 	qids := make([]int32, 0, len(m.queries))
 	for id := range m.queries {
 		qids = append(qids, id)
@@ -203,7 +316,7 @@ func (m *Monitor) reevaluate(objID int32, u *Update, t float64) []Event {
 		q := m.queries[qid]
 		now := false
 		if u != nil {
-			now = m.objDist(q, *u) <= q.r
+			now = q.objDist(m.sp, u.Part, u.Loc) <= q.r
 		}
 		was := q.inside[objID]
 		switch {
@@ -216,69 +329,4 @@ func (m *Monitor) reevaluate(objID int32, u *Update, t float64) []Event {
 		}
 	}
 	return events
-}
-
-// objDist computes the indoor distance from the query point to an object
-// position using the cached door field.
-func (m *Monitor) objDist(q *crq, u Update) float64 {
-	best := math.Inf(1)
-	if u.Part == q.vp {
-		best = m.sp.RefDist(q.pRef, m.sp.Ref(q.vp, u.Loc))
-	}
-	for _, d := range m.sp.Partition(u.Part).Enter {
-		dd := q.doorDist[d]
-		if math.IsInf(dd, 1) || dd > q.r {
-			continue
-		}
-		if cand := dd + m.sp.WithinPointDoor(u.Part, u.Loc, d); cand < best {
-			best = cand
-		}
-	}
-	return best
-}
-
-// distField runs the bounded Dijkstra from p once at registration, polling
-// ctx every query.CheckInterval settled doors. The returned field upholds
-// the doorDist invariant: every entry is either a distance <= limit or
-// +Inf — candidates beyond the limit are never stored, at the seeds or
-// during relaxation, so consumers may treat any finite entry as in-range.
-func (m *Monitor) distField(ctx context.Context, p indoor.Point, vp indoor.PartitionID, limit float64) ([]float64, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	n := m.sp.NumDoors()
-	dist := make([]float64, n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-	}
-	var h pq.Heap[indoor.DoorID]
-	for _, d := range m.sp.Partition(vp).Leave {
-		if w := m.sp.WithinPointDoor(vp, p, d); w <= limit && w < dist[d] {
-			dist[d] = w
-			h.Push(d, w)
-		}
-	}
-	settled := 0
-	for h.Len() > 0 {
-		d, dd := h.Pop()
-		if dd > dist[d] {
-			continue
-		}
-		if settled++; settled%query.CheckInterval == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		for _, v := range m.sp.Door(d).Enterable {
-			for _, nd := range m.sp.Partition(v).Leave {
-				if w, _ := m.sp.WithinDoorsCached(v, d, nd); !math.IsInf(w, 1) {
-					if cand := dd + w; cand <= limit && cand < dist[nd] {
-						dist[nd] = cand
-						h.Push(nd, cand)
-					}
-				}
-			}
-		}
-	}
-	return dist, nil
 }

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// IntNumBuckets is the number of power-of-two buckets of an IntHistogram;
+// one overflow bucket follows. Bucket 0 holds the value 0, bucket i >= 1
+// holds values in [2^(i-1), 2^i), so the highest regular bucket tops out at
+// 2^IntNumBuckets - 1 — far beyond any realistic queries-touched or
+// batch-size count.
+const IntNumBuckets = 24
+
+// IntHistogram is a lock-free histogram over non-negative integer values
+// (counts, sizes), the integer sibling of the duration Histogram. Values are
+// binned into power-of-two buckets; quantiles report the upper bound of the
+// bucket holding the rank, giving at worst 2x resolution like the duration
+// histogram's microsecond buckets. All methods are safe for concurrent use.
+type IntHistogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [IntNumBuckets + 1]atomic.Int64
+}
+
+// IntBucketBound returns the largest value bucket i can hold; the overflow
+// bucket reports MaxInt64.
+func IntBucketBound(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= IntNumBuckets {
+		return math.MaxInt64
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+func intBucketFor(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v)) // = floor(log2 v) + 1
+	if b > IntNumBuckets {
+		return IntNumBuckets
+	}
+	return b
+}
+
+// Observe records one value. Negative values clamp to 0.
+func (h *IntHistogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	maxStore(&h.max, v)
+	h.buckets[intBucketFor(v)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *IntHistogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *IntHistogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest observed value (0 before any observation).
+func (h *IntHistogram) Max() int64 { return h.max.Load() }
+
+// Mean returns the average observed value (0 before any observation).
+func (h *IntHistogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns an upper bound of the q-quantile (q in [0,1]): the bound
+// of the bucket containing that rank, with the overflow bucket reporting the
+// maximum observed value rather than a fictitious power of two. Returns 0
+// when nothing has been observed. Counts are read without a global lock, so
+// the answer is approximate under concurrent writes — same contract as the
+// duration Histogram.
+func (h *IntHistogram) Quantile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i <= IntNumBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			if i == IntNumBuckets {
+				return h.max.Load()
+			}
+			return IntBucketBound(i)
+		}
+	}
+	return h.max.Load()
+}

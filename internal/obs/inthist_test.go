@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestIntHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{{-3, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4}, {1 << 30, IntNumBuckets}}
+	for _, c := range cases {
+		if got := intBucketFor(c.v); got != c.want {
+			t.Errorf("intBucketFor(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	if IntBucketBound(0) != 0 || IntBucketBound(1) != 1 || IntBucketBound(3) != 7 {
+		t.Errorf("bucket bounds wrong: %d %d %d",
+			IntBucketBound(0), IntBucketBound(1), IntBucketBound(3))
+	}
+}
+
+func TestIntHistogramQuantile(t *testing.T) {
+	var h IntHistogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 100 || h.Sum() != 5050 || h.Max() != 100 {
+		t.Fatalf("count/sum/max = %d/%d/%d", h.Count(), h.Sum(), h.Max())
+	}
+	// The p50 rank (50) falls in bucket [32,64); the bound 63 must cover it.
+	if q := h.Quantile(0.5); q < 50 || q > 63 {
+		t.Fatalf("p50 = %d, want within [50,63]", q)
+	}
+	if q := h.Quantile(1); q < 100 {
+		t.Fatalf("p100 = %d, want >= 100", q)
+	}
+	// Overflow bucket reports the observed max, not a power of two.
+	h.Observe(1 << 40)
+	if q := h.Quantile(1); q != 1<<40 {
+		t.Fatalf("overflow quantile = %d, want %d", q, int64(1)<<40)
+	}
+}
+
+func TestIntHistogramConcurrent(t *testing.T) {
+	var h IntHistogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(0); i < 1000; i++ {
+				h.Observe(i % 37)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+}

@@ -1,0 +1,413 @@
+// Continuous-query monitor endpoints: standing range / kNN monitors over
+// the moving-objects stream (internal/moving.Stream), exposed on both the
+// single-venue Server (/v1/monitors, /v1/updates) and the TenantServer
+// (/v1/venues/{id}/monitors, /v1/venues/{id}/updates). Monitors are
+// generation-scoped serving state, not venue data: a snapshot swap closes
+// the venue's stream (cached door-distance fields are topology-dependent),
+// and clients re-register against the new generation.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"indoorsq/internal/indoor"
+	"indoorsq/internal/moving"
+	"indoorsq/internal/tenant"
+)
+
+// monitorRequest is the POST body registering a monitor.
+type monitorRequest struct {
+	ID    int32   `json:"id"`
+	Kind  string  `json:"kind"` // "range" (default) or "knn"
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+	Floor int16   `json:"floor"`
+	R     float64 `json:"r"` // range radius
+	K     int     `json:"k"` // knn k
+	T     float64 `json:"t"` // registration timestamp
+}
+
+// eventJSON is one enter/leave delta on the wire.
+type eventJSON struct {
+	Query  int32   `json:"query"`
+	Object int32   `json:"object"`
+	Enter  bool    `json:"enter"`
+	T      float64 `json:"t"`
+}
+
+func toEventJSON(evs []moving.Event) []eventJSON {
+	out := make([]eventJSON, len(evs))
+	for i, e := range evs {
+		out[i] = eventJSON{Query: e.Query, Object: e.Object, Enter: e.Enter, T: e.T}
+	}
+	return out
+}
+
+// updateJSON is one position report in a POST /v1/updates batch. Part is
+// optional: omitted, the server resolves the host partition itself (422
+// when the point is outdoors).
+type updateJSON struct {
+	ID    int32   `json:"id"`
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+	Floor int16   `json:"floor"`
+	Part  *int32  `json:"part"`
+	T     float64 `json:"t"`
+}
+
+type updateRequest struct {
+	Updates []updateJSON `json:"updates"`
+}
+
+// monitorErrStatus maps registration errors onto HTTP statuses: duplicate
+// ids conflict (409), outdoor query points are unprocessable (422), a
+// closed stream means a swap raced the request (409); everything else
+// falls through to the standard query mapping (504 deadline, 499 gone).
+func monitorErrStatus(err error) int {
+	switch {
+	case errors.Is(err, moving.ErrDuplicateQuery):
+		return http.StatusConflict
+	case errors.Is(err, moving.ErrNotIndoors):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, moving.ErrStreamClosed):
+		return http.StatusConflict
+	default:
+		return errStatus(err)
+	}
+}
+
+// registerMonitor validates and registers one monitor on mov.
+func registerMonitor(mov *moving.Stream, req monitorRequest) ([]moving.Event, error) {
+	p := indoor.At(req.X, req.Y, req.Floor)
+	switch req.Kind {
+	case "", "range":
+		if req.R < 0 {
+			return nil, fmt.Errorf("bad radius %v", req.R)
+		}
+		return mov.Register(req.ID, p, req.R, req.T)
+	case "knn":
+		return mov.RegisterKNN(req.ID, p, req.K, req.T)
+	default:
+		return nil, fmt.Errorf("bad kind %q (want range or knn)", req.Kind)
+	}
+}
+
+// decodeUpdates converts a wire batch, resolving omitted partitions.
+func decodeUpdates(sp *indoor.Space, req updateRequest) ([]moving.Update, error) {
+	us := make([]moving.Update, len(req.Updates))
+	for i, u := range req.Updates {
+		p := indoor.At(u.X, u.Y, u.Floor)
+		var part indoor.PartitionID
+		if u.Part != nil {
+			part = indoor.PartitionID(*u.Part)
+		} else {
+			v, ok := sp.HostPartition(p)
+			if !ok {
+				return nil, fmt.Errorf("update %d: object %d at %v is not indoors", i, u.ID, p)
+			}
+			part = v
+		}
+		us[i] = moving.Update{ID: u.ID, Loc: p, Part: part, T: u.T}
+	}
+	return us, nil
+}
+
+// monitorID parses the {mid} path segment.
+func monitorID(r *http.Request, seg string) (int32, error) {
+	v, err := strconv.ParseInt(r.PathValue(seg), 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad monitor id %q", r.PathValue(seg))
+	}
+	return int32(v), nil
+}
+
+// serveMonitorStream streams a monitor's deltas as ndjson until the client
+// disconnects or the monitor/stream closes. Events are pushed through a
+// bounded subscription: a client that cannot keep up loses deltas (the
+// dropped count is its signal to resync via the result endpoint) instead of
+// stalling ingestion.
+func serveMonitorStream(w http.ResponseWriter, r *http.Request, mov *moving.Stream, qid int32) (int, error) {
+	sub, err := mov.Subscribe(qid, 256)
+	if err != nil {
+		return http.StatusNotFound, err
+	}
+	defer sub.Close()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case <-r.Context().Done():
+			return 0, nil
+		case e, ok := <-sub.Events():
+			if !ok {
+				return 0, nil // monitor unregistered or generation swapped
+			}
+			if enc.Encode(eventJSON{Query: e.Query, Object: e.Object, Enter: e.Enter, T: e.T}) != nil {
+				return 0, nil
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+}
+
+// ---- single-venue Server ----
+
+// Moving returns the server's live moving-object stream (for isqserve
+// wiring and tests). It is replaced — and the old one closed — on swap.
+func (s *Server) Moving() *moving.Stream { return s.mov.Load() }
+
+func (s *Server) handleMonitorList(w http.ResponseWriter, r *http.Request) {
+	mov := s.mov.Load()
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"monitors": mov.Monitors(),
+		"objects":  mov.NumObjects(),
+	})
+}
+
+func (s *Server) handleMonitorCreate(w http.ResponseWriter, r *http.Request) {
+	var req monitorRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	evs, err := registerMonitor(s.mov.Load(), req)
+	if err != nil {
+		if errors.Is(err, moving.ErrDuplicateQuery) || errors.Is(err, moving.ErrNotIndoors) || errors.Is(err, moving.ErrStreamClosed) {
+			s.fail(w, monitorErrStatus(err), "%v", err)
+		} else {
+			s.fail(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, map[string]any{
+		"id":     req.ID,
+		"events": toEventJSON(evs),
+	})
+}
+
+func (s *Server) handleMonitorDelete(w http.ResponseWriter, r *http.Request) {
+	qid, err := monitorID(r, "id")
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !s.mov.Load().Unregister(qid) {
+		s.fail(w, http.StatusNotFound, "unknown monitor %d", qid)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"id": qid, "removed": true})
+}
+
+func (s *Server) handleMonitorResult(w http.ResponseWriter, r *http.Request) {
+	qid, err := monitorID(r, "id")
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	mov := s.mov.Load()
+	ids := mov.Result(qid)
+	if ids == nil {
+		s.fail(w, http.StatusNotFound, "unknown monitor %d", qid)
+		return
+	}
+	resp := map[string]any{"id": qid, "objects": ids}
+	if nn := mov.Neighbors(qid); nn != nil {
+		resp["neighbors"] = nn
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMonitorStream(w http.ResponseWriter, r *http.Request) {
+	qid, err := monitorID(r, "id")
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if code, err := serveMonitorStream(w, r, s.mov.Load(), qid); err != nil {
+		s.fail(w, code, "%v", err)
+	}
+}
+
+func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	var req updateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	mov := s.mov.Load()
+	us, err := decodeUpdates(s.state.Load().Space, req)
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	evs, err := mov.ApplyBatch(us)
+	if err != nil {
+		s.fail(w, monitorErrStatus(err), "%v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"applied": len(us),
+		"events":  toEventJSON(evs),
+	})
+}
+
+// ---- TenantServer ----
+
+// tenantStream caches one venue's moving stream, keyed by the venue's
+// space pointer: a swap publishes a new Space, which invalidates every
+// cached door-distance field, so the stream is closed and rebuilt.
+type tenantStream struct {
+	space *indoor.Space
+	mov   *moving.Stream
+}
+
+// streamFor returns the venue's current-generation stream, creating it
+// lazily and retiring the previous generation's on swap. Monitors do not
+// survive a swap — same contract as the single-venue server.
+func (s *TenantServer) streamFor(v *tenant.Venue) *moving.Stream {
+	s.movMu.Lock()
+	defer s.movMu.Unlock()
+	if e := s.movs[v.ID]; e != nil {
+		if e.space == v.Space {
+			return e.mov
+		}
+		e.mov.Close() // venue swapped: retire the old generation's monitors
+	}
+	mov := moving.NewStream(v.Space, moving.StreamOptions{})
+	s.movs[v.ID] = &tenantStream{space: v.Space, mov: mov}
+	return mov
+}
+
+func (s *TenantServer) handleVenueMonitorList(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.venue(w, r)
+	if !ok {
+		return
+	}
+	mov := s.streamFor(v)
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"venue":    v.ID,
+		"epoch":    v.Epoch(),
+		"monitors": mov.Monitors(),
+		"objects":  mov.NumObjects(),
+	})
+}
+
+func (s *TenantServer) handleVenueMonitorCreate(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.venue(w, r)
+	if !ok {
+		return
+	}
+	var req monitorRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	evs, err := registerMonitor(s.streamFor(v), req)
+	if err != nil {
+		if errors.Is(err, moving.ErrDuplicateQuery) || errors.Is(err, moving.ErrNotIndoors) || errors.Is(err, moving.ErrStreamClosed) {
+			s.fail(w, monitorErrStatus(err), "%v", err)
+		} else {
+			s.fail(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, map[string]any{
+		"venue":  v.ID,
+		"id":     req.ID,
+		"events": toEventJSON(evs),
+	})
+}
+
+func (s *TenantServer) handleVenueMonitorDelete(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.venue(w, r)
+	if !ok {
+		return
+	}
+	qid, err := monitorID(r, "mid")
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !s.streamFor(v).Unregister(qid) {
+		s.fail(w, http.StatusNotFound, "unknown monitor %d", qid)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"venue": v.ID, "id": qid, "removed": true})
+}
+
+func (s *TenantServer) handleVenueMonitorResult(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.venue(w, r)
+	if !ok {
+		return
+	}
+	qid, err := monitorID(r, "mid")
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	mov := s.streamFor(v)
+	ids := mov.Result(qid)
+	if ids == nil {
+		s.fail(w, http.StatusNotFound, "unknown monitor %d", qid)
+		return
+	}
+	resp := map[string]any{"venue": v.ID, "id": qid, "objects": ids}
+	if nn := mov.Neighbors(qid); nn != nil {
+		resp["neighbors"] = nn
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *TenantServer) handleVenueMonitorStream(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.venue(w, r)
+	if !ok {
+		return
+	}
+	qid, err := monitorID(r, "mid")
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if code, err := serveMonitorStream(w, r, s.streamFor(v), qid); err != nil {
+		s.fail(w, code, "%v", err)
+	}
+}
+
+func (s *TenantServer) handleVenueUpdates(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.venue(w, r)
+	if !ok {
+		return
+	}
+	var req updateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	us, err := decodeUpdates(v.Space, req)
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	evs, err := s.streamFor(v).ApplyBatch(us)
+	if err != nil {
+		s.fail(w, monitorErrStatus(err), "%v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"venue":   v.ID,
+		"applied": len(us),
+		"events":  toEventJSON(evs),
+	})
+}

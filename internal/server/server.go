@@ -36,6 +36,7 @@ import (
 
 	"indoorsq/internal/doorgraph"
 	"indoorsq/internal/indoor"
+	"indoorsq/internal/moving"
 	"indoorsq/internal/obs"
 	"indoorsq/internal/query"
 	"indoorsq/internal/reach"
@@ -142,6 +143,11 @@ type Server struct {
 	// obs is the server's metrics registry: every query emits into it via
 	// the context binding, and GET /metrics scrapes it.
 	obs *obs.Registry
+	// mov is the continuous-query stream for the serving generation. Like
+	// the engines it is topology-bound (monitors cache door-distance
+	// fields), so a swap closes it and publishes a fresh one: standing
+	// monitors do not survive a swap and clients re-register.
+	mov atomic.Pointer[moving.Stream]
 }
 
 // New wires a server around pre-built engines keyed by name; def is the
@@ -177,6 +183,7 @@ func NewFromState(st *ServingState) (*Server, error) {
 	}
 	srv.state.Store(st)
 	srv.epoch.Store(1)
+	srv.mov.Store(moving.NewStream(st.Space, moving.StreamOptions{}))
 	// Layer gauges read through the atomic pointer so a swap retargets them
 	// to the incoming state's space: distance-cache effectiveness and
 	// footprint, the process-wide door-graph and reach counters, and the
@@ -204,6 +211,18 @@ func NewFromState(st *ServingState) (*Server, error) {
 	srv.obs.RegisterGauge("isq_reach_summary_bytes", func() float64 { return float64(reach.Metrics.SummaryBytes.Load()) })
 	srv.obs.RegisterGauge("isq_reach_prune_hits", func() float64 { return float64(reach.Metrics.PruneHits.Load()) })
 	srv.obs.RegisterGauge("isq_reach_prune_skips", func() float64 { return float64(reach.Metrics.PruneSkips.Load()) })
+	// Continuous-query layer: process-wide ingestion counters from
+	// internal/moving plus live per-server monitor/object population. The
+	// touched quantiles summarize the inverted index's selectivity — how
+	// many monitors each update actually reached.
+	srv.obs.RegisterGauge("isq_moving_updates_total", func() float64 { return float64(moving.Metrics.Updates.Load()) })
+	srv.obs.RegisterGauge("isq_moving_batches_total", func() float64 { return float64(moving.Metrics.Batches.Load()) })
+	srv.obs.RegisterGauge("isq_moving_events_total", func() float64 { return float64(moving.Metrics.Events.Load()) })
+	srv.obs.RegisterGauge("isq_moving_shard_inflight", func() float64 { return float64(moving.Metrics.ShardInFlight.Load()) })
+	srv.obs.RegisterGauge("isq_moving_touched_p50", func() float64 { return float64(moving.Metrics.Touched.Quantile(0.50)) })
+	srv.obs.RegisterGauge("isq_moving_touched_p95", func() float64 { return float64(moving.Metrics.Touched.Quantile(0.95)) })
+	srv.obs.RegisterGauge("isq_moving_monitors", func() float64 { return float64(srv.mov.Load().NumQueries()) })
+	srv.obs.RegisterGauge("isq_moving_objects", func() float64 { return float64(srv.mov.Load().NumObjects()) })
 	return srv, nil
 }
 
@@ -227,7 +246,19 @@ func (s *Server) Swap(st *ServingState) error {
 	defer s.swapMu.Unlock()
 	s.state.Store(st)
 	s.epoch.Add(1)
+	s.resetMoving(st.Space)
 	return nil
+}
+
+// resetMoving retires the previous generation's continuous-query stream and
+// publishes a fresh one bound to the incoming space. Open subscriptions see
+// their channels close; registered monitors are gone (their cached
+// door-distance fields were computed against the old topology). Called only
+// under swapMu.
+func (s *Server) resetMoving(sp *indoor.Space) {
+	if old := s.mov.Swap(moving.NewStream(sp, moving.StreamOptions{})); old != nil {
+		old.Close()
+	}
 }
 
 // SwapFromSnapshot loads a snapshot artifact and publishes it as the new
@@ -263,6 +294,7 @@ func (s *Server) SwapFromSnapshot(path string) (*ServingState, error) {
 	st.SetObjects(cur.Objects)
 	s.state.Store(st)
 	s.epoch.Add(1)
+	s.resetMoving(st.Space)
 	return st, nil
 }
 
@@ -318,6 +350,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/partitions", s.handlePartitions)
 	mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	mux.HandleFunc("POST /v1/swap", s.handleSwap)
+	mux.HandleFunc("GET /v1/monitors", s.handleMonitorList)
+	mux.HandleFunc("POST /v1/monitors", s.handleMonitorCreate)
+	mux.HandleFunc("DELETE /v1/monitors/{id}", s.handleMonitorDelete)
+	mux.HandleFunc("GET /v1/monitors/{id}/result", s.handleMonitorResult)
+	mux.HandleFunc("GET /v1/monitors/{id}/stream", s.handleMonitorStream)
+	mux.HandleFunc("POST /v1/updates", s.handleUpdates)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }

@@ -15,6 +15,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -28,11 +29,21 @@ type TenantServer struct {
 	timeouts   map[string]time.Duration
 	budget     query.Budget
 	encodeErrs atomic.Int64
+
+	// movMu guards movs, the lazily created per-venue continuous-query
+	// streams (see streamFor in monitors.go). Entries are keyed by venue id
+	// and invalidated when the venue's space pointer changes on swap.
+	movMu sync.Mutex
+	movs  map[string]*tenantStream
 }
 
 // NewTenantServer wires the HTTP surface around a booted tier.
 func NewTenantServer(tier *tenant.Tier) *TenantServer {
-	return &TenantServer{tier: tier, timeouts: make(map[string]time.Duration)}
+	return &TenantServer{
+		tier:     tier,
+		timeouts: make(map[string]time.Duration),
+		movs:     make(map[string]*tenantStream),
+	}
 }
 
 // Tier returns the underlying tier.
@@ -67,6 +78,12 @@ func (s *TenantServer) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/venues/{id}/route", s.handleVenuePin)
 	mux.HandleFunc("POST /v1/venues/{id}/swap", s.handleVenueSwap)
 	mux.HandleFunc("GET /v1/venues/{id}/metrics", s.handleVenueMetrics)
+	mux.HandleFunc("GET /v1/venues/{id}/monitors", s.handleVenueMonitorList)
+	mux.HandleFunc("POST /v1/venues/{id}/monitors", s.handleVenueMonitorCreate)
+	mux.HandleFunc("DELETE /v1/venues/{id}/monitors/{mid}", s.handleVenueMonitorDelete)
+	mux.HandleFunc("GET /v1/venues/{id}/monitors/{mid}/result", s.handleVenueMonitorResult)
+	mux.HandleFunc("GET /v1/venues/{id}/monitors/{mid}/stream", s.handleVenueMonitorStream)
+	mux.HandleFunc("POST /v1/venues/{id}/updates", s.handleVenueUpdates)
 	return mux
 }
 

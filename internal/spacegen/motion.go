@@ -1,0 +1,67 @@
+package spacegen
+
+import (
+	"math/rand"
+
+	"indoorsq/internal/indoor"
+)
+
+// Motion is one generated position report of a moving object. It mirrors
+// moving.Update field for field without importing that package (the moving
+// tests import spacegen, so the dependency must point this way); callers
+// feeding a moving.Monitor or moving.Stream convert trivially.
+type Motion struct {
+	ID   int32
+	Loc  indoor.Point
+	Part indoor.PartitionID
+	T    float64
+}
+
+// MotionStream deterministically generates steps position reports of n
+// objects random-walking through sp. Each step picks one object and either
+// jitters it inside its current partition or (hopFrac of the time) hops it
+// through one of the partition's leave doors into an adjacent enterable
+// partition, so the stream exercises both same-partition re-evaluation and
+// partition crossings. Every report's Part hosts its Loc, and timestamps
+// are strictly increasing (t0 + (i+1)*dt) — the precondition under which
+// moving.Stream's batched ingestion is order-deterministic. Identical
+// arguments always produce the identical stream.
+func MotionStream(sp *indoor.Space, seed int64, n, steps int, t0, dt float64, hopFrac float64) []Motion {
+	rng := rand.New(rand.NewSource(seed))
+	objs := Objects(sp, seed, n)
+	out := make([]Motion, 0, steps)
+	for i := 0; i < steps; i++ {
+		o := &objs[rng.Intn(len(objs))]
+		part := sp.Partition(o.Part)
+		if rng.Float64() < hopFrac && len(part.Leave) > 0 {
+			d := part.Leave[rng.Intn(len(part.Leave))]
+			if tgts := sp.Door(d).Enterable; len(tgts) > 0 {
+				v := tgts[rng.Intn(len(tgts))]
+				if p, ok := pointIn(sp, v, rng); ok {
+					o.Part, o.Loc = v, p
+				}
+			}
+		} else if p, ok := pointIn(sp, o.Part, rng); ok {
+			o.Loc = p
+		}
+		out = append(out, Motion{ID: o.ID, Loc: o.Loc, Part: o.Part, T: t0 + float64(i+1)*dt})
+	}
+	return out
+}
+
+// pointIn samples a point hosted by partition v by bounded rejection over
+// its MBR; ok is false when the polygon is too thin to hit, in which case
+// the walker simply stays put this step.
+func pointIn(sp *indoor.Space, v indoor.PartitionID, rng *rand.Rand) (indoor.Point, bool) {
+	part := sp.Partition(v)
+	mbr := part.MBR
+	for try := 0; try < 64; try++ {
+		x := mbr.MinX + rng.Float64()*mbr.Width()
+		y := mbr.MinY + rng.Float64()*mbr.Height()
+		p := indoor.At(x, y, part.Floor)
+		if part.Poly.Contains(p.XY()) {
+			return p, true
+		}
+	}
+	return indoor.Point{}, false
+}

@@ -1,0 +1,43 @@
+package spacegen
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestMotionStream pins the generator's contract: determinism, validity of
+// every report (Part hosts Loc), strictly increasing timestamps, and that
+// the walk actually crosses partitions.
+func TestMotionStream(t *testing.T) {
+	sp, err := Generate(7, Params{Floors: 1, Rows: 4, Cols: 5}.Normalize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := MotionStream(sp, 42, 20, 500, 10, 0.5, 0.3)
+	if len(ms) != 500 {
+		t.Fatalf("got %d motions, want 500", len(ms))
+	}
+	if again := MotionStream(sp, 42, 20, 500, 10, 0.5, 0.3); !reflect.DeepEqual(ms, again) {
+		t.Fatal("same arguments produced a different stream")
+	}
+	crossed := false
+	lastPart := map[int32]int32{}
+	prevT := 0.0
+	for i, m := range ms {
+		part := sp.Partition(m.Part)
+		if part.Floor != m.Loc.Floor || !part.Poly.Contains(m.Loc.XY()) {
+			t.Fatalf("motion %d: partition %d does not host %v", i, m.Part, m.Loc)
+		}
+		if m.T <= prevT {
+			t.Fatalf("motion %d: timestamp %v not strictly increasing (prev %v)", i, m.T, prevT)
+		}
+		prevT = m.T
+		if lp, ok := lastPart[m.ID]; ok && lp != int32(m.Part) {
+			crossed = true
+		}
+		lastPart[m.ID] = int32(m.Part)
+	}
+	if !crossed {
+		t.Fatal("500 steps at hopFrac 0.3 never crossed a partition")
+	}
+}
